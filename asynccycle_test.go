@@ -1,0 +1,285 @@
+package asynccycle_test
+
+import (
+	"errors"
+	"testing"
+
+	"asynccycle"
+)
+
+func incIDs(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i + 1
+	}
+	return xs
+}
+
+func TestFiveColorCycleDefaults(t *testing.T) {
+	n := 50
+	res, err := asynccycle.FiveColorCycle(asynccycle.GenerateIDs(n, 1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asynccycle.VerifyCycleColoring(n, res); err != nil {
+		t.Error(err)
+	}
+	if err := asynccycle.VerifyPalette(res, 5); err != nil {
+		t.Error(err)
+	}
+	if res.TerminatedCount() != n {
+		t.Errorf("terminated %d/%d", res.TerminatedCount(), n)
+	}
+}
+
+func TestFastColorCycleAllSchedulers(t *testing.T) {
+	n := 40
+	ids := asynccycle.GenerateIDs(n, 2)
+	schedulers := []asynccycle.Scheduler{
+		asynccycle.Synchronous(),
+		asynccycle.RoundRobin(1),
+		asynccycle.RoundRobin(5),
+		asynccycle.RandomSubset(0.3, 3),
+		asynccycle.RandomOne(4),
+		asynccycle.Alternating(),
+		asynccycle.Burst(2),
+		asynccycle.Sleep([]int{0, 1}, 50, asynccycle.Synchronous()),
+	}
+	for _, s := range schedulers {
+		res, err := asynccycle.FastColorCycle(ids, &asynccycle.Config{Scheduler: s})
+		if err != nil {
+			t.Fatalf("%T: %v", s, err)
+		}
+		if err := asynccycle.VerifyCycleColoring(n, res); err != nil {
+			t.Errorf("%T: %v", s, err)
+		}
+		if err := asynccycle.VerifyPalette(res, 5); err != nil {
+			t.Errorf("%T: %v", s, err)
+		}
+	}
+}
+
+func TestSixColorCyclePairs(t *testing.T) {
+	n := 30
+	res, err := asynccycle.SixColorCycle(asynccycle.GenerateIDs(n, 5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asynccycle.VerifyCycleColoring(n, res); err != nil {
+		t.Error(err)
+	}
+	if err := asynccycle.VerifyPairPalette(res, 2); err != nil {
+		t.Error(err)
+	}
+	for i, out := range res.Outputs {
+		a, b := asynccycle.DecodePairColor(out)
+		if a+b > 2 || a < 0 || b < 0 {
+			t.Errorf("node %d: pair (%d,%d) outside palette", i, a, b)
+		}
+	}
+	if asynccycle.PairPaletteSize(2) != 6 {
+		t.Error("cycle pair palette should have 6 colors")
+	}
+}
+
+func TestColorGraphLadder(t *testing.T) {
+	// 2×k circular ladder, Δ=3.
+	k := 10
+	n := 2 * k
+	adj := make([][]int, n)
+	for i := 0; i < k; i++ {
+		adj[i] = append(adj[i], (i+1)%k, (i+k-1)%k, k+i)
+		adj[k+i] = append(adj[k+i], k+(i+1)%k, k+(i+k-1)%k, i)
+	}
+	res, err := asynccycle.ColorGraph(adj, asynccycle.GenerateIDs(n, 3), &asynccycle.Config{
+		Scheduler: asynccycle.RandomOne(8),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asynccycle.VerifyGraphColoring(adj, res); err != nil {
+		t.Error(err)
+	}
+	if err := asynccycle.VerifyPairPalette(res, 3); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	check := func(name string, _ asynccycle.Result, err error) {
+		if !errors.Is(err, asynccycle.ErrBadInput) {
+			t.Errorf("%s: err = %v, want ErrBadInput", name, err)
+		}
+	}
+	r, err := asynccycle.FiveColorCycle([]int{1, 2}, nil)
+	check("short cycle", r, err)
+	r, err = asynccycle.FiveColorCycle([]int{1, 2, 2}, nil)
+	check("adjacent equal", r, err)
+	r, err = asynccycle.FastColorCycle([]int{1, -2, 3}, nil)
+	check("negative id", r, err)
+	r, err = asynccycle.SixColorCycle([]int{7, 8, 7}, nil)
+	check("wraparound equal", r, err)
+	r, err = asynccycle.ColorGraph([][]int{{1}, {0}}, []int{5}, nil)
+	check("id count mismatch", r, err)
+	r, err = asynccycle.ColorGraph([][]int{{1}, {0}}, []int{5, 5}, nil)
+	check("equal across edge", r, err)
+	r, err = asynccycle.ColorGraph([][]int{{0}}, []int{5}, nil)
+	check("self loop", r, err)
+	r, err = asynccycle.FiveColorCycle(incIDs(5), &asynccycle.Config{CrashAfter: map[int]int{9: 1}})
+	check("crash index out of range", r, err)
+}
+
+func TestCrashConfig(t *testing.T) {
+	n := 20
+	res, err := asynccycle.FiveColorCycle(asynccycle.GenerateIDs(n, 9), &asynccycle.Config{
+		Scheduler:  asynccycle.RandomOne(2),
+		CrashAfter: map[int]int{0: 0, 5: 1, 10: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed[0] || res.Done[0] {
+		t.Error("node 0 (crash at birth) should be crashed, not terminated")
+	}
+	// Nodes with a small round budget either terminated within it or
+	// crashed — never kept running past it.
+	for _, i := range []int{5, 10} {
+		if !res.Crashed[i] && !res.Done[i] {
+			t.Errorf("node %d neither crashed nor terminated", i)
+		}
+		if budget := map[int]int{5: 1, 10: 2}[i]; res.Activations[i] > budget {
+			t.Errorf("node %d performed %d rounds past its budget %d", i, res.Activations[i], budget)
+		}
+	}
+	if err := asynccycle.VerifySurvivorsTerminated(res); err != nil {
+		t.Error(err)
+	}
+	if err := asynccycle.VerifyCycleColoring(n, res); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentVariants(t *testing.T) {
+	n := 60
+	ids := asynccycle.GenerateIDs(n, 4)
+	cfg := &asynccycle.ConcurrentConfig{Yield: true, Seed: 1}
+
+	res, err := asynccycle.FiveColorCycleConcurrent(ids, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asynccycle.VerifyCycleColoring(n, res); err != nil {
+		t.Error(err)
+	}
+
+	res, err = asynccycle.FastColorCycleConcurrent(ids, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asynccycle.VerifyCycleColoring(n, res); err != nil {
+		t.Error(err)
+	}
+	if err := asynccycle.VerifyPalette(res, 5); err != nil {
+		t.Error(err)
+	}
+
+	res, err = asynccycle.SixColorCycleConcurrent(ids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asynccycle.VerifyCycleColoring(n, res); err != nil {
+		t.Error(err)
+	}
+	if err := asynccycle.VerifyPairPalette(res, 2); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentValidation(t *testing.T) {
+	if _, err := asynccycle.FastColorCycleConcurrent([]int{1, 2}, nil); !errors.Is(err, asynccycle.ErrBadInput) {
+		t.Errorf("err = %v, want ErrBadInput", err)
+	}
+}
+
+// TestF1LivelockWitness is the regression test for repository finding F1:
+// under the paper-literal simultaneous-round semantics, the alternating
+// lockstep schedule drives Algorithm 2 on C5 into a period-2 livelock
+// (step limit exceeded), while the same schedule under the standard
+// interleaved semantics terminates quickly.
+func TestF1LivelockWitness(t *testing.T) {
+	ids := incIDs(5)
+
+	_, err := asynccycle.FiveColorCycle(ids, &asynccycle.Config{
+		Scheduler: asynccycle.Alternating(),
+		Mode:      asynccycle.ModeSimultaneous,
+		MaxSteps:  5_000,
+	})
+	if !errors.Is(err, asynccycle.ErrStepLimit) {
+		t.Errorf("simultaneous alternating on C5: err = %v, want ErrStepLimit (livelock)", err)
+	}
+
+	res, err := asynccycle.FiveColorCycle(ids, &asynccycle.Config{
+		Scheduler: asynccycle.Alternating(),
+		Mode:      asynccycle.ModeInterleaved,
+		MaxSteps:  5_000,
+	})
+	if err != nil {
+		t.Fatalf("interleaved alternating on C5: %v", err)
+	}
+	if res.TerminatedCount() != 5 {
+		t.Errorf("interleaved: %d/5 terminated", res.TerminatedCount())
+	}
+}
+
+func TestGenerateIDs(t *testing.T) {
+	ids := asynccycle.GenerateIDs(100, 7)
+	seen := map[int]bool{}
+	for _, x := range ids {
+		if x < 0 || seen[x] {
+			t.Fatalf("bad id set: %v", ids)
+		}
+		seen[x] = true
+	}
+	again := asynccycle.GenerateIDs(100, 7)
+	for i := range ids {
+		if ids[i] != again[i] {
+			t.Fatal("GenerateIDs not deterministic per seed")
+		}
+	}
+}
+
+func TestVerifyHelpersRejectBadInput(t *testing.T) {
+	res, err := asynccycle.FiveColorCycle(incIDs(5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := asynccycle.VerifyCycleColoring(2, res); err == nil {
+		t.Error("VerifyCycleColoring accepted n=2")
+	}
+	if err := asynccycle.VerifyGraphColoring([][]int{{0}}, res); err == nil {
+		t.Error("VerifyGraphColoring accepted self-loop")
+	}
+	// Wrong n (mismatched result size) must fail.
+	if err := asynccycle.VerifyCycleColoring(6, res); err == nil {
+		t.Error("VerifyCycleColoring accepted size mismatch")
+	}
+}
+
+// TestREADMEQuickstartShape keeps the README example honest: n=1000 under
+// the random scheduler finishes with everyone colored in at most a handful
+// of rounds.
+func TestREADMEQuickstartShape(t *testing.T) {
+	n := 1000
+	res, err := asynccycle.FastColorCycle(asynccycle.GenerateIDs(n, 2022), &asynccycle.Config{
+		Scheduler: asynccycle.RandomSubset(0.3, 7),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TerminatedCount() != n {
+		t.Fatalf("terminated %d/%d", res.TerminatedCount(), n)
+	}
+	if res.MaxActivations() > 25 {
+		t.Errorf("max rounds %d; expected O(log* n) ≈ single digits", res.MaxActivations())
+	}
+}

@@ -1,0 +1,178 @@
+// Benchmarks regenerating every experiment of DESIGN.md §3 — one bench per
+// table (BenchmarkE1…BenchmarkE13, BenchmarkF1) plus micro-benchmarks of
+// the hot paths. The experiment benches print their table once (the same
+// rows recorded in EXPERIMENTS.md) and then measure the cost of
+// regenerating it.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package asynccycle_test
+
+import (
+	"sync"
+	"testing"
+
+	"asynccycle"
+	"asynccycle/internal/conc"
+	"asynccycle/internal/core"
+	"asynccycle/internal/cv"
+	"asynccycle/internal/expt"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/model"
+	"asynccycle/internal/schedule"
+	"asynccycle/internal/sim"
+)
+
+// benchTable runs one experiment per iteration, printing its rows once so
+// the bench output doubles as the reproduction artifact.
+func benchTable(b *testing.B, run func(expt.Options) *expt.Table) {
+	var once sync.Once
+	for i := 0; i < b.N; i++ {
+		t := run(expt.Options{Quick: true, Seed: int64(i + 1)})
+		once.Do(func() { b.Log("\n" + t.String()) })
+	}
+}
+
+func BenchmarkE1Alg1Termination(b *testing.B)  { benchTable(b, expt.E1Alg1Termination) }
+func BenchmarkE2Alg2Linear(b *testing.B)       { benchTable(b, expt.E2Alg2Linear) }
+func BenchmarkE3Alg3LogStar(b *testing.B)      { benchTable(b, expt.E3Alg3LogStar) }
+func BenchmarkE4Crossover(b *testing.B)        { benchTable(b, expt.E4Crossover) }
+func BenchmarkE5ColeVishkin(b *testing.B)      { benchTable(b, expt.E5ColeVishkin) }
+func BenchmarkE6CrashTolerance(b *testing.B)   { benchTable(b, expt.E6CrashTolerance) }
+func BenchmarkE7MISImpossibility(b *testing.B) { benchTable(b, expt.E7MISImpossibility) }
+func BenchmarkE8PaletteTightness(b *testing.B) { benchTable(b, expt.E8PaletteTightness) }
+func BenchmarkE9GeneralGraphs(b *testing.B)    { benchTable(b, expt.E9GeneralGraphs) }
+func BenchmarkE10SyncBaseline(b *testing.B)    { benchTable(b, expt.E10SyncBaseline) }
+func BenchmarkE11Renaming(b *testing.B)        { benchTable(b, expt.E11Renaming) }
+func BenchmarkE12IdentifierInvariant(b *testing.B) {
+	benchTable(b, expt.E12IdentifierInvariant)
+}
+func BenchmarkE13Concurrent(b *testing.B)      { benchTable(b, expt.E13Concurrent) }
+func BenchmarkE14Decoupled(b *testing.B)       { benchTable(b, expt.E14Decoupled) }
+func BenchmarkE15SSBReduction(b *testing.B)    { benchTable(b, expt.E15SSBReduction) }
+func BenchmarkE16ProgressClasses(b *testing.B) { benchTable(b, expt.E16ProgressClasses) }
+func BenchmarkE17Ablations(b *testing.B)       { benchTable(b, expt.E17Ablations) }
+func BenchmarkF1Livelock(b *testing.B)         { benchTable(b, expt.F1Livelock) }
+
+// --- micro-benchmarks of the primitives the experiments are built on ----
+
+// BenchmarkEngineRound measures one engine time step (write + local
+// immediate snapshot + state update) per node at n=1024 under the
+// synchronous schedule, Algorithm 3 payload.
+func BenchmarkEngineRound(b *testing.B) {
+	n := 1024
+	g := graph.MustCycle(n)
+	xs := ids.MustGenerate(ids.Random, n, 1)
+	e, err := sim.NewEngine(g, core.NewFastNodes(xs))
+	if err != nil {
+		b.Fatal(err)
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if e.AllSettled() {
+			b.StopTimer()
+			e, _ = sim.NewEngine(g, core.NewFastNodes(xs))
+			b.StartTimer()
+		}
+		e.Step(all)
+	}
+}
+
+// BenchmarkFastFullRun measures a complete Algorithm 3 execution
+// (n = 4096, synchronous, worst-case increasing identifiers).
+func BenchmarkFastFullRun(b *testing.B) {
+	n := 4096
+	g := graph.MustCycle(n)
+	xs := ids.MustGenerate(ids.Increasing, n, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+		if _, err := e.Run(schedule.Synchronous{}, 100*n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFiveFullRun is the Algorithm 2 counterpart of
+// BenchmarkFastFullRun — the Θ(n) vs O(log* n) gap shows up directly in
+// ns/op.
+func BenchmarkFiveFullRun(b *testing.B) {
+	n := 4096
+	g := graph.MustCycle(n)
+	xs := ids.MustGenerate(ids.Increasing, n, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
+		if _, err := e.Run(schedule.Synchronous{}, 100*n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkConcurrentRun measures the goroutine runtime end to end
+// (n = 512, Algorithm 3).
+func BenchmarkConcurrentRun(b *testing.B) {
+	n := 512
+	g := graph.MustCycle(n)
+	xs := ids.MustGenerate(ids.Random, n, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := conc.Run(g, core.NewFastNodes(xs), conc.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFacadeFastColorCycle measures the public API path.
+func BenchmarkFacadeFastColorCycle(b *testing.B) {
+	xs := asynccycle.GenerateIDs(1000, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := asynccycle.FastColorCycle(xs, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCVReduction measures the Cole–Vishkin reduction function.
+func BenchmarkCVReduction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = cv.F(i|1<<40, (i>>1)|1<<39)
+	}
+}
+
+// BenchmarkModelCheckC4 measures exhaustive verification throughput: one
+// full exploration of Algorithm 2 on C4 over every interleaved schedule
+// (~400 configurations) per iteration.
+func BenchmarkModelCheckC4(b *testing.B) {
+	g := graph.MustCycle(4)
+	xs := ids.MustGenerate(ids.Increasing, 4, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
+		rep := model.Explore(e, model.Options{SingletonsOnly: true}, nil)
+		if !rep.Ok() {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+// BenchmarkWorstActivationsC4 measures the exact worst-case longest-path
+// analysis on the same instance.
+func BenchmarkWorstActivationsC4(b *testing.B) {
+	g := graph.MustCycle(4)
+	xs := ids.MustGenerate(ids.Increasing, 4, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
+		if _, ok, _ := model.WorstActivations(e, model.Options{SingletonsOnly: true}); !ok {
+			b.Fatal("analysis inconclusive")
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Command colorcycle runs one of the paper's wait-free coloring algorithms
+// on a cycle and prints the resulting coloring, per-process round counts,
+// and the verification verdicts.
+//
+// Usage:
+//
+//	colorcycle [-alg fast|five|six] [-n 100] [-ids random|increasing|zigzag]
+//	           [-sched sync|rr|random|one|alt|burst] [-seed 1]
+//	           [-crash 0.2] [-trace] [-concurrent]
+//
+// With -concurrent the run uses one goroutine per node (the -sched and
+// -trace flags do not apply: scheduling comes from the Go runtime).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"asynccycle/internal/check"
+	"asynccycle/internal/conc"
+	"asynccycle/internal/core"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/schedule"
+	"asynccycle/internal/sim"
+	"asynccycle/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "colorcycle:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("colorcycle", flag.ContinueOnError)
+	alg := fs.String("alg", "fast", "algorithm: fast (Alg 3), five (Alg 2), six (Alg 1)")
+	n := fs.Int("n", 100, "cycle length (≥ 3)")
+	assign := fs.String("ids", "random", "identifier assignment: random|increasing|decreasing|zigzag|spaced-increasing")
+	sched := fs.String("sched", "random", "scheduler: sync|rr|random|one|alt|burst")
+	seed := fs.Int64("seed", 1, "random seed")
+	crash := fs.Float64("crash", 0, "fraction of processes to crash at adversarial times")
+	withTrace := fs.Bool("trace", false, "print the execution trace")
+	concurrent := fs.Bool("concurrent", false, "run with one goroutine per node instead of the deterministic engine")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := graph.Cycle(*n)
+	if err != nil {
+		return err
+	}
+	assignment, err := parseAssignment(*assign)
+	if err != nil {
+		return err
+	}
+	xs, err := ids.Generate(assignment, *n, *seed)
+	if err != nil {
+		return err
+	}
+	s, err := parseScheduler(*sched, *seed)
+	if err != nil {
+		return err
+	}
+
+	if *concurrent {
+		switch *alg {
+		case "fast":
+			return executeConcurrent(w, g, core.NewFastNodes(xs), *crash, *seed, verdictFive(w, g))
+		case "five":
+			return executeConcurrent(w, g, core.NewFiveNodes(xs), *crash, *seed, verdictFive(w, g))
+		case "six":
+			return executeConcurrent(w, g, core.NewPairNodes(xs), *crash, *seed, verdictSix(w, g))
+		default:
+			return fmt.Errorf("unknown algorithm %q", *alg)
+		}
+	}
+	switch *alg {
+	case "fast":
+		return execute(w, g, core.NewFastNodes(xs), s, *crash, *seed, *withTrace, verdictFive(w, g))
+	case "five":
+		return execute(w, g, core.NewFiveNodes(xs), s, *crash, *seed, *withTrace, verdictFive(w, g))
+	case "six":
+		return execute(w, g, core.NewPairNodes(xs), s, *crash, *seed, *withTrace, verdictSix(w, g))
+	default:
+		return fmt.Errorf("unknown algorithm %q", *alg)
+	}
+}
+
+// executeConcurrent runs the goroutine runtime instead of the
+// deterministic engine.
+func executeConcurrent[V any](w io.Writer, g graph.Graph, nodes []sim.Node[V], crash float64, seed int64, verdict func(sim.Result)) error {
+	crashes := map[int]int{}
+	count := int(crash * float64(g.N()))
+	for i := 0; i < count; i++ {
+		node := (i*7919 + int(seed)) % g.N()
+		crashes[node] = i % 5
+	}
+	res, err := conc.Run(g, nodes, conc.Options{CrashAfter: crashes, Yield: true, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "graph=%s runtime=goroutines\n", g.Name())
+	fmt.Fprintf(w, "terminated=%d/%d crashed=%d max-rounds=%d\n",
+		res.TerminatedCount(), g.N(), crashedCount(res), res.MaxActivations())
+	printColors(w, res)
+	verdict(res)
+	return nil
+}
+
+func execute[V any](w io.Writer, g graph.Graph, nodes []sim.Node[V], s schedule.Scheduler, crash float64, seed int64, withTrace bool, verdict func(sim.Result)) error {
+	e, err := sim.NewEngine(g, nodes)
+	if err != nil {
+		return err
+	}
+	count := int(crash * float64(g.N()))
+	for i := 0; i < count; i++ {
+		node := (i*7919 + int(seed)) % g.N()
+		e.CrashAfter(node, i%5)
+	}
+	var rec *trace.Recorder[V]
+	if withTrace {
+		rec = &trace.Recorder[V]{}
+		e.AddHook(rec.Hook())
+	}
+	res, err := e.Run(s, 1000*g.N()+100_000)
+	if err != nil {
+		return err
+	}
+	if rec != nil {
+		if err := rec.WriteText(w); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(w, "graph=%s scheduler=%s steps=%d\n", g.Name(), s.Name(), res.Steps)
+	fmt.Fprintf(w, "terminated=%d/%d crashed=%d max-rounds=%d\n",
+		res.TerminatedCount(), g.N(), crashedCount(res), res.MaxActivations())
+	printColors(w, res)
+	verdict(res)
+	return nil
+}
+
+func crashedCount(res sim.Result) int {
+	c := 0
+	for _, b := range res.Crashed {
+		if b {
+			c++
+		}
+	}
+	return c
+}
+
+func printColors(w io.Writer, res sim.Result) {
+	limit := len(res.Outputs)
+	if limit > 32 {
+		limit = 32
+	}
+	fmt.Fprint(w, "colors: ")
+	for i := 0; i < limit; i++ {
+		if res.Done[i] {
+			fmt.Fprintf(w, "%d ", res.Outputs[i])
+		} else {
+			fmt.Fprint(w, "× ")
+		}
+	}
+	if limit < len(res.Outputs) {
+		fmt.Fprintf(w, "… (%d more)", len(res.Outputs)-limit)
+	}
+	fmt.Fprintln(w)
+}
+
+func verdictFive(w io.Writer, g graph.Graph) func(sim.Result) {
+	return func(res sim.Result) {
+		report(w, "proper coloring", check.ProperColoring(g, res))
+		report(w, "palette {0..4}", check.PaletteRange(res, 5))
+		report(w, "survivors terminated", check.SurvivorsTerminated(res))
+	}
+}
+
+func verdictSix(w io.Writer, g graph.Graph) func(sim.Result) {
+	return func(res sim.Result) {
+		report(w, "proper coloring", check.ProperColoring(g, res))
+		report(w, "pair palette a+b≤2", check.PairPalette(res, 2))
+		report(w, "survivors terminated", check.SurvivorsTerminated(res))
+	}
+}
+
+func report(w io.Writer, what string, err error) {
+	if err != nil {
+		fmt.Fprintf(w, "FAIL %s: %v\n", what, err)
+	} else {
+		fmt.Fprintf(w, "ok   %s\n", what)
+	}
+}
+
+func parseAssignment(s string) (ids.Assignment, error) {
+	for _, a := range ids.All() {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown assignment %q", s)
+}
+
+func parseScheduler(s string, seed int64) (schedule.Scheduler, error) {
+	switch s {
+	case "sync":
+		return schedule.Synchronous{}, nil
+	case "rr":
+		return schedule.NewRoundRobin(1), nil
+	case "random":
+		return schedule.NewRandomSubset(0.4, seed), nil
+	case "one":
+		return schedule.NewRandomOne(seed), nil
+	case "alt":
+		return schedule.Alternating{}, nil
+	case "burst":
+		return schedule.NewBurst(4), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", s)
+	}
+}

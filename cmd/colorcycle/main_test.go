@@ -1,0 +1,104 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "20"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"graph=C20", "terminated=20/20", "ok   proper coloring", "ok   palette {0..4}"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, alg := range []string{"fast", "five", "six"} {
+		var b strings.Builder
+		if err := run([]string{"-alg", alg, "-n", "12", "-sched", "rr"}, &b); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if strings.Contains(b.String(), "FAIL") {
+			t.Errorf("%s: verification failed:\n%s", alg, b.String())
+		}
+	}
+}
+
+func TestRunAllSchedulers(t *testing.T) {
+	for _, sched := range []string{"sync", "rr", "random", "one", "alt", "burst"} {
+		var b strings.Builder
+		if err := run([]string{"-sched", sched, "-n", "10"}, &b); err != nil {
+			t.Fatalf("%s: %v", sched, err)
+		}
+	}
+}
+
+func TestRunAllAssignments(t *testing.T) {
+	for _, a := range []string{"random", "increasing", "decreasing", "zigzag", "spaced-increasing"} {
+		var b strings.Builder
+		if err := run([]string{"-ids", a, "-n", "10"}, &b); err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+	}
+}
+
+func TestRunWithCrashes(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "30", "-crash", "0.3", "-sched", "one"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "ok   survivors terminated") {
+		t.Errorf("missing survivor verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "×") && !strings.Contains(out, "crashed=0") {
+		t.Errorf("expected crashed nodes or zero-crash note:\n%s", out)
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "5", "-trace", "-sched", "rr"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "t=1") {
+		t.Errorf("trace output missing:\n%s", b.String())
+	}
+}
+
+func TestRunConcurrent(t *testing.T) {
+	for _, alg := range []string{"fast", "five", "six"} {
+		var b strings.Builder
+		if err := run([]string{"-alg", alg, "-n", "25", "-concurrent", "-crash", "0.2"}, &b); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		out := b.String()
+		if !strings.Contains(out, "runtime=goroutines") {
+			t.Errorf("%s: missing runtime marker:\n%s", alg, out)
+		}
+		if strings.Contains(out, "FAIL") {
+			t.Errorf("%s: verification failed:\n%s", alg, out)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-alg", "bogus"},
+		{"-n", "2"},
+		{"-ids", "bogus"},
+		{"-sched", "bogus"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command experiments regenerates every reproduction experiment of
+// DESIGN.md (E1–E17 and finding F1) and prints the tables recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-only E3,E4] [-format text|markdown|csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"asynccycle/internal/expt"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shrink parameter sweeps for a fast run")
+	seed := fs.Int64("seed", 1, "random seed for workloads and schedulers")
+	only := fs.String("only", "", "comma-separated experiment IDs to run (e.g. E3,E4,F1)")
+	format := fs.String("format", "text", "output format: text, markdown, or csv")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var render func(*expt.Table) error
+	switch *format {
+	case "text":
+		render = func(t *expt.Table) error {
+			_, err := t.WriteTo(w)
+			return err
+		}
+	case "markdown":
+		render = func(t *expt.Table) error { return t.WriteMarkdown(w) }
+	case "csv":
+		render = func(t *expt.Table) error { return t.WriteCSV(w) }
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+
+	opt := expt.Options{Quick: *quick, Seed: *seed}
+	ran := 0
+	for _, r := range expt.Runners() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		if err := render(r.Run(opt)); err != nil {
+			return err
+		}
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched -only=%q", *only)
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunOnlyOneExperiment(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-only", "E5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "E5 — Cole–Vishkin") {
+		t.Errorf("missing E5 table:\n%s", out)
+	}
+	if strings.Contains(out, "E1 —") {
+		t.Error("-only leaked other experiments")
+	}
+}
+
+func TestRunOnlyCaseInsensitive(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-only", "e5, f1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "E5 —") || !strings.Contains(out, "F1 —") {
+		t.Errorf("expected E5 and F1:\n%s", out)
+	}
+}
+
+func TestRunUnknownOnly(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-only", "E99"}, &b); err == nil {
+		t.Fatal("expected error for unknown experiment id")
+	}
+}
+
+func TestRunMarkdownFormat(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-only", "E5", "-format", "markdown"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "## E5 —") || !strings.Contains(out, "|---|") {
+		t.Errorf("not markdown:\n%s", out)
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-quick", "-only", "E5", "-format", "csv"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("csv too short:\n%s", b.String())
+	}
+	if !strings.HasPrefix(lines[0], "experiment,") {
+		t.Errorf("csv header wrong: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "E5,") {
+		t.Errorf("csv row wrong: %q", lines[1])
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-format", "xml"}, &b); err == nil {
+		t.Fatal("expected error for unknown format")
+	}
+}

@@ -1,0 +1,200 @@
+// Command modelcheck exhaustively verifies an algorithm on a small cycle
+// over every schedule, reporting safety violations, livelock cycles
+// (non-wait-freedom certificates), and — when feasible — the exact
+// worst-case per-process round counts.
+//
+// Usage:
+//
+//	modelcheck [-alg fast|five|six|mis-greedy|mis-impatient|renaming]
+//	           [-n 3] [-mode interleaved|simultaneous] [-worst]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"asynccycle/internal/check"
+	"asynccycle/internal/core"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/mis"
+	"asynccycle/internal/model"
+	"asynccycle/internal/renaming"
+	"asynccycle/internal/schedule"
+	"asynccycle/internal/sim"
+	"asynccycle/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "modelcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("modelcheck", flag.ContinueOnError)
+	alg := fs.String("alg", "fast", "algorithm: fast|five|six|mis-greedy|mis-impatient|renaming")
+	n := fs.Int("n", 3, "instance size (3–5 recommended)")
+	modeStr := fs.String("mode", "interleaved", "activation semantics: interleaved|simultaneous")
+	worst := fs.Bool("worst", false, "also compute exact worst-case per-process rounds")
+	maxStates := fs.Int("max-states", 5_000_000, "state budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var mode sim.Mode
+	switch *modeStr {
+	case "interleaved":
+		mode = sim.ModeInterleaved
+	case "simultaneous":
+		mode = sim.ModeSimultaneous
+	default:
+		return fmt.Errorf("unknown mode %q", *modeStr)
+	}
+	// Under interleaved semantics, subset schedules are equivalent to
+	// sequences of singleton activations; explore singletons only.
+	single := mode == sim.ModeInterleaved
+	opt := model.Options{SingletonsOnly: single, MaxStates: *maxStates}
+	xs := ids.MustGenerate(ids.Increasing, *n, 0)
+
+	switch *alg {
+	case "fast":
+		g, err := graph.Cycle(*n)
+		if err != nil {
+			return err
+		}
+		return checkAlg(w, g, core.NewFastNodes(xs), mode, opt, *worst, colorInvariant[core.FastVal](g, 5))
+	case "five":
+		g, err := graph.Cycle(*n)
+		if err != nil {
+			return err
+		}
+		return checkAlg(w, g, core.NewFiveNodes(xs), mode, opt, *worst, colorInvariant[core.FiveVal](g, 5))
+	case "six":
+		g, err := graph.Cycle(*n)
+		if err != nil {
+			return err
+		}
+		inv := func(e *sim.Engine[core.PairVal]) error {
+			r := e.Result()
+			if err := check.ProperColoring(g, r); err != nil {
+				return err
+			}
+			return check.PairPalette(r, 2)
+		}
+		return checkAlg(w, g, core.NewPairNodes(xs), mode, opt, *worst, inv)
+	case "mis-greedy":
+		g, err := graph.Cycle(*n)
+		if err != nil {
+			return err
+		}
+		return checkAlg(w, g, mis.NewGreedyNodes(xs), mode, opt, *worst, misInvariant(g))
+	case "mis-impatient":
+		g, err := graph.Cycle(*n)
+		if err != nil {
+			return err
+		}
+		return checkAlg(w, g, mis.NewImpatientNodes(xs, 2), mode, opt, *worst, misInvariant(g))
+	case "renaming":
+		g, err := graph.Complete(*n)
+		if err != nil {
+			return err
+		}
+		inv := func(e *sim.Engine[renaming.Val]) error {
+			r := e.Result()
+			seen := map[int]bool{}
+			for i, out := range r.Outputs {
+				if !r.Done[i] {
+					continue
+				}
+				if out < 0 || out > renaming.MaxName(*n) {
+					return fmt.Errorf("name %d outside {0..%d}", out, renaming.MaxName(*n))
+				}
+				if seen[out] {
+					return fmt.Errorf("duplicate name %d", out)
+				}
+				seen[out] = true
+			}
+			return nil
+		}
+		return checkAlg(w, g, renaming.NewNodes(xs), mode, opt, *worst, inv)
+	default:
+		return fmt.Errorf("unknown algorithm %q", *alg)
+	}
+}
+
+func colorInvariant[V any](g graph.Graph, palette int) model.Invariant[V] {
+	return func(e *sim.Engine[V]) error {
+		r := e.Result()
+		if err := check.ProperColoring(g, r); err != nil {
+			return err
+		}
+		return check.PaletteRange(r, palette)
+	}
+}
+
+func misInvariant(g graph.Graph) model.Invariant[mis.Val] {
+	return func(e *sim.Engine[mis.Val]) error {
+		r := e.Result()
+		if v := mis.ViolatesMIS(g.Edges(), g.N(), r.Outputs, r.Done); v != "" {
+			return fmt.Errorf("%s", v)
+		}
+		return nil
+	}
+}
+
+func checkAlg[V any](w io.Writer, g graph.Graph, nodes []sim.Node[V], mode sim.Mode, opt model.Options, worst bool, inv model.Invariant[V]) error {
+	e, err := sim.NewEngine(g, nodes)
+	if err != nil {
+		return err
+	}
+	e.SetMode(mode)
+	rep := model.Explore(e, opt, inv)
+	fmt.Fprintf(w, "graph=%s mode=%s %s\n", g.Name(), mode, rep)
+	for _, v := range rep.Violations {
+		fmt.Fprintln(w, "violation:", v)
+	}
+	if rep.ViolationWitness != nil {
+		if data, err := schedule.MarshalSteps(rep.ViolationWitness); err == nil {
+			fmt.Fprintf(w, "violation witness schedule: %s\n", data)
+		}
+	}
+	if rep.CycleFound {
+		fmt.Fprintln(w, "NOT WAIT-FREE: a schedule loop keeps working processes active forever")
+		prefix, errP := schedule.MarshalSteps(rep.CyclePrefix)
+		loop, errL := schedule.MarshalSteps(rep.CycleLoop)
+		if errP == nil && errL == nil {
+			fmt.Fprintf(w, "livelock witness: prefix=%s loop=%s\n", prefix, loop)
+		}
+	}
+	if worst {
+		e2, err := sim.NewEngine(g, cloneNodes(nodes))
+		if err != nil {
+			return err
+		}
+		e2.SetMode(mode)
+		vec, ok, wrep := model.WorstActivations(e2, opt)
+		if ok {
+			fmt.Fprintf(w, "exact worst-case rounds per process: %v (max %d)\n", vec, stats.MaxInt(vec))
+		} else {
+			fmt.Fprintf(w, "worst-case analysis inconclusive: %s\n", wrep)
+		}
+	}
+	if !rep.Ok() && !rep.CycleFound {
+		return fmt.Errorf("verification failed")
+	}
+	return nil
+}
+
+// cloneNodes duplicates node state machines so the two analyses start from
+// identical initial configurations.
+func cloneNodes[V any](nodes []sim.Node[V]) []sim.Node[V] {
+	out := make([]sim.Node[V], len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Clone()
+	}
+	return out
+}

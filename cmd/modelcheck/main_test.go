@@ -1,0 +1,77 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunVerifiesAlgorithms(t *testing.T) {
+	for _, alg := range []string{"fast", "five", "six"} {
+		var b strings.Builder
+		if err := run([]string{"-alg", alg, "-n", "3", "-worst"}, &b); err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		out := b.String()
+		if !strings.Contains(out, "cycle=false") {
+			t.Errorf("%s: expected wait-freedom:\n%s", alg, out)
+		}
+		if !strings.Contains(out, "exact worst-case rounds") {
+			t.Errorf("%s: missing worst-case analysis:\n%s", alg, out)
+		}
+	}
+}
+
+func TestRunFindsMISLivelock(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-alg", "mis-greedy", "-n", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "NOT WAIT-FREE") {
+		t.Errorf("greedy MIS livelock not reported:\n%s", b.String())
+	}
+}
+
+func TestRunFindsMISViolation(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-alg", "mis-impatient", "-n", "3"}, &b)
+	if err == nil {
+		t.Fatal("impatient MIS should fail verification")
+	}
+	if !strings.Contains(b.String(), "violation:") {
+		t.Errorf("violation not printed:\n%s", b.String())
+	}
+}
+
+func TestRunSimultaneousModeFindsF1(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-alg", "five", "-n", "3", "-mode", "simultaneous"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "NOT WAIT-FREE") {
+		t.Errorf("F1 livelock not reported in simultaneous mode:\n%s", b.String())
+	}
+}
+
+func TestRunRenaming(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-alg", "renaming", "-n", "3"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "cycle=false") {
+		t.Errorf("renaming should be wait-free:\n%s", b.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-alg", "bogus"},
+		{"-mode", "bogus"},
+		{"-alg", "fast", "-n", "2"},
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Adversary: reproduces the paper's core quantitative claim head to head.
+// On the worst-case input — identifiers increasing around the cycle, one
+// monotone chain of length n−1 — Algorithm 2 needs Θ(n) rounds per process
+// while Algorithm 3's Cole–Vishkin identifier reduction brings it down to
+// O(log* n). Watch the speedup grow with n.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asynccycle"
+)
+
+func main() {
+	fmt.Printf("%8s  %12s  %12s  %8s\n", "n", "alg2 rounds", "alg3 rounds", "speedup")
+	for _, n := range []int{16, 64, 256, 1024, 4096} {
+		// The adversarial input: 1, 2, …, n around the cycle.
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i + 1
+		}
+
+		res2, err := asynccycle.FiveColorCycle(ids, nil) // synchronous schedule
+		if err != nil {
+			log.Fatal(err)
+		}
+		res3, err := asynccycle.FastColorCycle(ids, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, res := range []asynccycle.Result{res2, res3} {
+			if err := asynccycle.VerifyCycleColoring(n, res); err != nil {
+				log.Fatal(err)
+			}
+			if err := asynccycle.VerifyPalette(res, 5); err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		m2, m3 := res2.MaxActivations(), res3.MaxActivations()
+		fmt.Printf("%8d  %12d  %12d  %7.1fx\n", n, m2, m3, float64(m2)/float64(m3))
+	}
+	fmt.Println("\nalg2 grows linearly with n; alg3 stays flat (Theorem 4.4: O(log* n))")
+}

@@ -1,0 +1,82 @@
+// Decoupled: the separation behind the paper's §1.4 related-work
+// discussion. In the paper's fully asynchronous state model, wait-free
+// coloring of the cycle provably needs 5 colors (Property 2.3). The
+// DECOUPLED model of Castañeda et al. adds one thing — a synchronous,
+// reliable communication layer under the same asynchronous crash-prone
+// processes — and that one thing (a common clock, hence observable
+// wake-up order) brings the palette down to 3.
+//
+// This example colors the same ring with both models' algorithms, under
+// asynchronous scheduling with a fifth of the processes crashed at birth.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asynccycle"
+	"asynccycle/internal/decoupled"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/schedule"
+)
+
+func main() {
+	const n = 60
+	xs := ids.RandomIDs(n, 11)
+
+	// State model (this paper): 5 colors, wait-free against every crash
+	// pattern.
+	crashes := map[int]int{}
+	for i := 0; i < n; i += 5 {
+		crashes[i] = 0 // never wakes
+	}
+	res, err := asynccycle.FastColorCycle(xs, &asynccycle.Config{
+		Scheduler:  asynccycle.RandomSubset(0.4, 3),
+		CrashAfter: crashes,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := asynccycle.VerifyCycleColoring(n, res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("state model   (Algorithm 3): palette guarantee {0..4}; this run used %d colors\n",
+		countColors(res.Outputs, res.Done))
+
+	// DECOUPLED model: 3 colors, exploiting the synchronous layer's clock.
+	g := graph.MustCycle(n)
+	e, err := decoupled.NewEngine(g, decoupled.NewThreeColorNodes(xs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range crashes {
+		e.CrashAfter(i, 0)
+	}
+	dres, err := e.Run(schedule.NewRandomSubset(0.4, 3), 100_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if dres.Done[i] && dres.Done[j] && dres.Outputs[i] == dres.Outputs[j] {
+			log.Fatalf("improper coloring at edge %d-%d", i, j)
+		}
+	}
+	fmt.Printf("DECOUPLED     (wake-priority): palette guarantee {0..2}; this run used %d colors, %d network rounds\n",
+		countColors(dres.Outputs, dres.Done), dres.CommRounds)
+	fmt.Println()
+	fmt.Println("same processes, same crashes, same asynchrony — but no algorithm in the")
+	fmt.Println("state model can PROMISE fewer than 5 colors (Property 2.3), while the")
+	fmt.Println("synchronous layer's common clock lets DECOUPLED promise 3")
+}
+
+func countColors(outputs []int, done []bool) int {
+	used := map[int]bool{}
+	for i, out := range outputs {
+		if done[i] {
+			used[out] = true
+		}
+	}
+	return len(used)
+}

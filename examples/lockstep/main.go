@@ -1,0 +1,61 @@
+// Lockstep: demonstrates repository finding F1. The paper's model (§2.1)
+// allows several processes to perform their rounds simultaneously ("all
+// write, then all read"). Under that literal semantics, Algorithm 2
+// livelocks: on C5 with identifiers 1..5, the alternating schedule makes
+// nodes 1 and 3 terminate instantly with color 0 frozen in their
+// registers, after which the adjacent pair {0, 4} — always activated
+// together — chase each other's colors with period 2, forever.
+//
+// Under the standard interleaved semantics (every execution a sequence of
+// atomic single-process rounds), the same schedule terminates in a
+// handful of steps, as Theorem 3.11 states. Safety is unaffected either
+// way. The model checker certifies both facts exhaustively on C3/C4 (see
+// EXPERIMENTS.md, F1).
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"asynccycle"
+)
+
+func main() {
+	ids := []int{1, 2, 3, 4, 5}
+
+	fmt.Println("Algorithm 2 on C5, alternating lockstep schedule")
+	fmt.Println()
+
+	// Paper-literal simultaneous rounds: livelock (step budget exhausted).
+	_, err := asynccycle.FiveColorCycle(ids, &asynccycle.Config{
+		Scheduler: asynccycle.Alternating(),
+		Mode:      asynccycle.ModeSimultaneous,
+		MaxSteps:  10_000,
+	})
+	switch {
+	case errors.Is(err, asynccycle.ErrStepLimit):
+		fmt.Println("simultaneous semantics: LIVELOCK (10,000 steps without termination)")
+	case err != nil:
+		log.Fatal(err)
+	default:
+		fmt.Println("simultaneous semantics: terminated (unexpected — finding F1 regressed!)")
+	}
+
+	// Standard interleaved semantics: wait-free, as the theorem states.
+	res, err := asynccycle.FiveColorCycle(ids, &asynccycle.Config{
+		Scheduler: asynccycle.Alternating(),
+		Mode:      asynccycle.ModeInterleaved,
+		MaxSteps:  10_000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := asynccycle.VerifyCycleColoring(len(ids), res); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("interleaved semantics:  terminated in %d steps, colors %v\n", res.Steps, res.Outputs)
+	fmt.Println()
+	fmt.Println("the mex(C) color chase needs perfect write-read lockstep to survive;")
+	fmt.Println("any single sequential round breaks the symmetry and the pair terminates")
+}

@@ -1,0 +1,153 @@
+package asynccycle_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"asynccycle"
+)
+
+// Fuzz targets: run with `go test -fuzz=FuzzFiveColoring` (etc.) for
+// coverage-guided exploration; the seed corpus below also runs on every
+// plain `go test`, acting as an extra randomized regression layer.
+
+// buildCycleIDs derives a valid identifier assignment from raw fuzz bytes:
+// n ∈ [3, 40], identifiers distinct (position-salted).
+func buildCycleIDs(rawN uint8, idSeed int64) (int, []int) {
+	n := 3 + int(rawN)%38
+	rng := rand.New(rand.NewSource(idSeed))
+	perm := rng.Perm(4 * n)
+	return n, perm[:n]
+}
+
+func pickScheduler(k uint8, seed int64) asynccycle.Scheduler {
+	switch k % 6 {
+	case 0:
+		return asynccycle.Synchronous()
+	case 1:
+		return asynccycle.RoundRobin(1 + int(k)%4)
+	case 2:
+		return asynccycle.RandomSubset(0.35, seed)
+	case 3:
+		return asynccycle.RandomOne(seed)
+	case 4:
+		return asynccycle.Alternating()
+	default:
+		return asynccycle.Burst(1 + int(k)%5)
+	}
+}
+
+func crashes(n int, mask uint32) map[int]int {
+	out := map[int]int{}
+	for i := 0; i < n && i < 32; i++ {
+		if mask&(1<<i) != 0 {
+			out[i] = int(mask>>uint(i%3)) % 4
+		}
+	}
+	return out
+}
+
+func FuzzFiveColoring(f *testing.F) {
+	f.Add(uint8(3), int64(1), uint8(0), uint32(0))
+	f.Add(uint8(10), int64(7), uint8(2), uint32(0b1010))
+	f.Add(uint8(40), int64(42), uint8(5), uint32(0xFFFF))
+	f.Add(uint8(5), int64(-3), uint8(4), uint32(1))
+	f.Fuzz(func(t *testing.T, rawN uint8, seed int64, schedKind uint8, crashMask uint32) {
+		n, ids := buildCycleIDs(rawN, seed)
+		res, err := asynccycle.FiveColorCycle(ids, &asynccycle.Config{
+			Scheduler:  pickScheduler(schedKind, seed),
+			CrashAfter: crashes(n, crashMask),
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := asynccycle.VerifyCycleColoring(n, res); err != nil {
+			t.Fatal(err)
+		}
+		if err := asynccycle.VerifyPalette(res, 5); err != nil {
+			t.Fatal(err)
+		}
+		if err := asynccycle.VerifySurvivorsTerminated(res); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzFastColoring(f *testing.F) {
+	f.Add(uint8(3), int64(1), uint8(0), uint32(0))
+	f.Add(uint8(33), int64(9), uint8(1), uint32(0b11))
+	f.Add(uint8(40), int64(2022), uint8(3), uint32(0))
+	f.Fuzz(func(t *testing.T, rawN uint8, seed int64, schedKind uint8, crashMask uint32) {
+		n, ids := buildCycleIDs(rawN, seed)
+		res, err := asynccycle.FastColorCycle(ids, &asynccycle.Config{
+			Scheduler:  pickScheduler(schedKind, seed),
+			CrashAfter: crashes(n, crashMask),
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := asynccycle.VerifyCycleColoring(n, res); err != nil {
+			t.Fatal(err)
+		}
+		if err := asynccycle.VerifyPalette(res, 5); err != nil {
+			t.Fatal(err)
+		}
+		if err := asynccycle.VerifySurvivorsTerminated(res); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func FuzzSixColoring(f *testing.F) {
+	f.Add(uint8(4), int64(11), uint8(2), uint32(4))
+	f.Add(uint8(17), int64(5), uint8(0), uint32(0))
+	f.Fuzz(func(t *testing.T, rawN uint8, seed int64, schedKind uint8, crashMask uint32) {
+		n, ids := buildCycleIDs(rawN, seed)
+		res, err := asynccycle.SixColorCycle(ids, &asynccycle.Config{
+			Scheduler:  pickScheduler(schedKind, seed),
+			CrashAfter: crashes(n, crashMask),
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := asynccycle.VerifyCycleColoring(n, res); err != nil {
+			t.Fatal(err)
+		}
+		if err := asynccycle.VerifyPairPalette(res, 2); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzReplayDeterminism records a random execution and replays it,
+// demanding bit-identical results — the replay infrastructure must be a
+// faithful serialization of the adversary.
+func FuzzReplayDeterminism(f *testing.F) {
+	f.Add(uint8(9), int64(3), uint8(2))
+	f.Add(uint8(20), int64(-8), uint8(5))
+	f.Fuzz(func(t *testing.T, rawN uint8, seed int64, schedKind uint8) {
+		_, ids := buildCycleIDs(rawN, seed)
+		rec := asynccycle.Record(pickScheduler(schedKind, seed))
+		res1, err := asynccycle.FastColorCycle(ids, &asynccycle.Config{Scheduler: rec})
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := asynccycle.MarshalSchedule(rec.Steps())
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps, err := asynccycle.UnmarshalSchedule(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res2, err := asynccycle.FastColorCycle(ids, &asynccycle.Config{Scheduler: asynccycle.Replay(steps)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res1.Outputs {
+			if res1.Outputs[i] != res2.Outputs[i] || res1.Activations[i] != res2.Activations[i] {
+				t.Fatalf("replay diverged at node %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module asynccycle
+
+go 1.22

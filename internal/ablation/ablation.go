@@ -1,0 +1,249 @@
+// Package ablation provides deliberately weakened variants of Algorithm 3
+// used to demonstrate that each of its mechanisms is load-bearing
+// (experiments E16/E17):
+//
+//   - NoGreenLight drops the r-counter handshake (lines 11, 13): the model
+//     checker then finds executions violating Lemma 4.5's identifier
+//     invariant — neighbors reduce "past each other" onto equal values.
+//   - NoEvade drops the local-minimum evasion (lines 18–19): safety is
+//     preserved (the evasion is an accelerator, not a guard), measurably
+//     costing extra rounds on adversarial inputs.
+//   - EagerEvade runs the evasion with partial (⊥) neighborhood
+//     information: the invariant checker finds Lemma 4.5 violations within
+//     a handful of steps (the first counterexample documented in
+//     EXPERIMENTS.md F1's notes).
+//   - EagerInf takes the r ← ∞ branch with partial information: safe, but
+//     sequential schedulers then disable reduction permanently for every
+//     node and the algorithm degenerates to Algorithm 2's Θ(n) behaviour.
+//   - ReducerOnly strips the coloring component entirely and terminates
+//     when its identifier stabilizes (r = ∞ or X < 10): per the paper's
+//     §1.3 discussion this component alone is *starvation-free but not
+//     wait-free and not obstruction-free*, which the progress analyzers
+//     certify exhaustively.
+//
+// The variants intentionally duplicate (rather than parameterize) the core
+// implementation: the production algorithm in internal/core stays free of
+// experiment knobs.
+package ablation
+
+import (
+	"asynccycle/internal/core"
+	"asynccycle/internal/cv"
+	"asynccycle/internal/sim"
+)
+
+// Variant selects a weakened Algorithm 3.
+type Variant int
+
+const (
+	// NoGreenLight ignores the r-handshake before reducing.
+	NoGreenLight Variant = iota + 1
+	// NoEvade skips the local-minimum evasion step.
+	NoEvade
+	// EagerEvade evades with partial neighborhood information.
+	EagerEvade
+	// EagerInf freezes r = ∞ based on partial neighborhood information.
+	EagerInf
+	// ReducerOnly runs only the identifier-reduction component and
+	// terminates when the identifier stabilizes.
+	ReducerOnly
+)
+
+var variantNames = map[Variant]string{
+	NoGreenLight: "no-green-light",
+	NoEvade:      "no-evade",
+	EagerEvade:   "eager-evade",
+	EagerInf:     "eager-inf",
+	ReducerOnly:  "reducer-only",
+}
+
+// String returns the variant's name.
+func (v Variant) String() string {
+	if s, ok := variantNames[v]; ok {
+		return s
+	}
+	return "unknown-variant"
+}
+
+// All lists every variant.
+func All() []Variant {
+	return []Variant{NoGreenLight, NoEvade, EagerEvade, EagerInf, ReducerOnly}
+}
+
+// Node is a weakened Algorithm 3 process. It publishes core.FastVal so the
+// standard checkers and engines apply unchanged.
+type Node struct {
+	variant Variant
+	x       int
+	rInf    bool
+	r       int
+	a, b    int
+}
+
+// New returns a process running the given variant with the given
+// identifier.
+func New(id int, v Variant) *Node { return &Node{variant: v, x: id} }
+
+// NewNodes builds one process per identifier.
+func NewNodes(xs []int, v Variant) []sim.Node[core.FastVal] {
+	nodes := make([]sim.Node[core.FastVal], len(xs))
+	for i, x := range xs {
+		nodes[i] = New(x, v)
+	}
+	return nodes
+}
+
+// X returns the current identifier (used by the invariant checkers).
+func (n *Node) X() int { return n.x }
+
+// Publish implements sim.Node.
+func (n *Node) Publish() core.FastVal {
+	return core.FastVal{X: n.x, RInf: n.rInf, R: n.r, A: n.a, B: n.b}
+}
+
+// Observe implements sim.Node.
+func (n *Node) Observe(view []sim.Cell[core.FastVal]) sim.Decision {
+	present := view[:0:0]
+	var all, higher []int
+	for _, c := range view {
+		if !c.Present {
+			continue
+		}
+		present = append(present, c)
+		all = append(all, c.Val.A, c.Val.B)
+		if c.Val.X > n.x {
+			higher = append(higher, c.Val.A, c.Val.B)
+		}
+	}
+
+	if n.variant == ReducerOnly {
+		// Termination = identifier stabilized; no coloring component.
+		if n.rInf || n.x < 10 {
+			return sim.Decision{Return: true, Output: n.x}
+		}
+	} else {
+		if !contains(all, n.a) {
+			return sim.Decision{Return: true, Output: n.a}
+		}
+		if !contains(all, n.b) {
+			return sim.Decision{Return: true, Output: n.b}
+		}
+		n.a = mex(higher)
+		n.b = mex(all)
+	}
+
+	n.reduce(view, present)
+	return sim.Decision{}
+}
+
+// reduce runs the identifier-reduction component under the variant's
+// weakened rules.
+func (n *Node) reduce(view, present []sim.Cell[core.FastVal]) {
+	if n.rInf || len(present) == 0 {
+		return
+	}
+	fullInfo := len(present) == len(view)
+	switch n.variant {
+	case EagerEvade, EagerInf:
+		// Partial information allowed: proceed regardless.
+	default:
+		if !fullInfo {
+			return
+		}
+	}
+	if !n.greenLight(present) {
+		return
+	}
+	lo, hi := present[0].Val.X, present[0].Val.X
+	for _, c := range present[1:] {
+		if c.Val.X < lo {
+			lo = c.Val.X
+		}
+		if c.Val.X > hi {
+			hi = c.Val.X
+		}
+	}
+	if lo < n.x && n.x < hi {
+		n.r++
+		if y := cv.F(n.x, lo); y < lo {
+			n.x = y
+		}
+		return
+	}
+	// Extremum branch. The two "eager" variants isolate the two partial-
+	// information bugs from each other: EagerInf freezes r on partial
+	// views (performance bug) but evades only on full information;
+	// EagerEvade evades on partial views (safety bug) but freezes only on
+	// full information.
+	if fullInfo || n.variant == EagerInf {
+		n.rInf = true
+	}
+	if n.x >= lo {
+		return
+	}
+	switch n.variant {
+	case NoEvade:
+		// Accelerator removed: keep the identifier.
+	case EagerEvade:
+		n.evade(present)
+	default:
+		if fullInfo {
+			n.evade(present)
+		}
+	}
+}
+
+func (n *Node) evade(present []sim.Cell[core.FastVal]) {
+	evade := make([]int, 0, len(present))
+	for _, c := range present {
+		evade = append(evade, cv.F(c.Val.X, n.x))
+	}
+	if m := mex(evade); m < n.x {
+		n.x = m
+	}
+}
+
+// greenLight applies the handshake, except for NoGreenLight.
+func (n *Node) greenLight(present []sim.Cell[core.FastVal]) bool {
+	if n.variant == NoGreenLight {
+		return true
+	}
+	for _, c := range present {
+		if !c.Val.RInf && c.Val.R < n.r {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone implements sim.Node.
+func (n *Node) Clone() sim.Node[core.FastVal] {
+	cp := *n
+	return &cp
+}
+
+var _ sim.Node[core.FastVal] = (*Node)(nil)
+
+func mex(used []int) int {
+	for v := 0; ; v++ {
+		found := false
+		for _, u := range used {
+			if u == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return v
+		}
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,244 @@
+package ablation_test
+
+import (
+	"fmt"
+	"testing"
+
+	"asynccycle/internal/ablation"
+	"asynccycle/internal/check"
+	"asynccycle/internal/core"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/model"
+	"asynccycle/internal/schedule"
+	"asynccycle/internal/sim"
+)
+
+// xHolder is implemented by both core.Fast and ablation.Node.
+type xHolder interface{ X() int }
+
+// identifierInvariant checks Lemma 4.5 (internal and published identifiers
+// properly color the cycle) on any engine whose nodes expose X().
+func identifierInvariant(g graph.Graph) model.Invariant[core.FastVal] {
+	return func(e *sim.Engine[core.FastVal]) error {
+		for _, edge := range g.Edges() {
+			p, q := edge[0], edge[1]
+			xp := e.NodeState(p).(xHolder).X()
+			xq := e.NodeState(q).(xHolder).X()
+			if xp == xq {
+				return fmt.Errorf("X_%d == X_%d == %d", p, q, xp)
+			}
+			if rq := e.Register(q); rq.Present && xp == rq.Val.X {
+				return fmt.Errorf("X_%d == X̂_%d == %d", p, q, xp)
+			}
+			if rp := e.Register(p); rp.Present && xq == rp.Val.X {
+				return fmt.Errorf("X_%d == X̂_%d == %d", q, p, xq)
+			}
+		}
+		return nil
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	for _, v := range ablation.All() {
+		if v.String() == "unknown-variant" {
+			t.Errorf("variant %d has no name", v)
+		}
+	}
+	if ablation.Variant(99).String() != "unknown-variant" {
+		t.Error("unknown variant misnamed")
+	}
+}
+
+// TestNoGreenLightViolatesLemma45 removes the handshake and lets the model
+// checker find an execution in which two adjacent identifiers collide —
+// certifying the green-light mechanism is necessary for Lemma 4.5.
+func TestNoGreenLightViolatesLemma45(t *testing.T) {
+	found := false
+	// Small search over id patterns with enough bit structure to collide.
+	patterns := [][]int{
+		{12, 20, 5, 30},
+		{5, 12, 20, 30},
+		{20, 12, 30, 5},
+		{6, 20, 12, 30},
+	}
+	for _, xs := range patterns {
+		g := graph.MustCycle(len(xs))
+		e, _ := sim.NewEngine(g, ablation.NewNodes(xs, ablation.NoGreenLight))
+		rep := model.Explore(e, model.Options{SingletonsOnly: true, MaxStates: 500_000}, identifierInvariant(g))
+		if len(rep.Violations) > 0 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no Lemma 4.5 violation found without the green light; the ablation should break the invariant")
+	}
+}
+
+// TestGreenLightRestoresInvariant is the control: the same searches on the
+// real Algorithm 3 find nothing.
+func TestGreenLightRestoresInvariant(t *testing.T) {
+	patterns := [][]int{
+		{12, 20, 5, 30},
+		{5, 12, 20, 30},
+		{20, 12, 30, 5},
+		{6, 20, 12, 30},
+	}
+	for _, xs := range patterns {
+		g := graph.MustCycle(len(xs))
+		e, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+		rep := model.Explore(e, model.Options{SingletonsOnly: true, MaxStates: 500_000}, identifierInvariant(g))
+		if len(rep.Violations) > 0 {
+			t.Fatalf("ids %v: real Algorithm 3 violated Lemma 4.5: %v", xs, rep.Violations)
+		}
+		if !rep.Ok() {
+			t.Fatalf("ids %v: %s", xs, rep)
+		}
+	}
+}
+
+// TestNoEvadeSafeButPresent verifies the evasion step is an accelerator,
+// not a safety guard: without it the invariant and the coloring still hold
+// everywhere.
+func TestNoEvadeSafeButPresent(t *testing.T) {
+	xs := []int{12, 20, 5, 30}
+	g := graph.MustCycle(len(xs))
+	e, _ := sim.NewEngine(g, ablation.NewNodes(xs, ablation.NoEvade))
+	inv := func(e *sim.Engine[core.FastVal]) error {
+		if err := identifierInvariant(g)(e); err != nil {
+			return err
+		}
+		r := e.Result()
+		if err := check.ProperColoring(g, r); err != nil {
+			return err
+		}
+		return check.PaletteRange(r, 5)
+	}
+	rep := model.Explore(e, model.Options{SingletonsOnly: true, MaxStates: 1_000_000}, inv)
+	if !rep.Ok() {
+		t.Fatalf("no-evade variant failed: %s %v", rep, rep.Violations)
+	}
+}
+
+// TestEagerEvadeViolatesLemma45 reproduces the first documented
+// counterexample: evading with a ⊥ neighbor lets that neighbor later
+// reduce onto the blindly chosen identifier.
+func TestEagerEvadeViolatesLemma45(t *testing.T) {
+	found := false
+	for seed := int64(0); seed < 100 && !found; seed++ {
+		g := graph.MustCycle(5)
+		xs := []int{1, 2, 3, 4, 5}
+		e, _ := sim.NewEngine(g, ablation.NewNodes(xs, ablation.EagerEvade))
+		violated := false
+		inv := identifierInvariant(g)
+		e.AddHook(func(e *sim.Engine[core.FastVal], t int, _ []int) {
+			if inv(e) != nil {
+				violated = true
+			}
+		})
+		_, _ = e.Run(schedule.NewRandomSubset(0.4, seed), 10_000)
+		found = violated
+	}
+	if !found {
+		t.Error("eager evasion should violate Lemma 4.5 under some random schedule")
+	}
+}
+
+// TestEagerInfDegeneratesToLinear shows the second counterexample: taking
+// r ← ∞ on partial views disables reduction under sequential schedulers,
+// collapsing Algorithm 3 to Algorithm 2's Θ(n) behaviour.
+func TestEagerInfDegeneratesToLinear(t *testing.T) {
+	n := 512
+	g := graph.MustCycle(n)
+	xs := ids.MustGenerate(ids.Increasing, n, 0)
+
+	eBad, _ := sim.NewEngine(g, ablation.NewNodes(xs, ablation.EagerInf))
+	resBad, err := eBad.Run(schedule.NewRoundRobin(1), 1000*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eGood, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+	resGood, err := eGood.Run(schedule.NewRoundRobin(1), 1000*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resGood.MaxActivations() > 20 {
+		t.Errorf("real Algorithm 3 used %d activations; expected log*-ish", resGood.MaxActivations())
+	}
+	if resBad.MaxActivations() < 10*resGood.MaxActivations() {
+		t.Errorf("eager-inf used %d activations vs %d — expected Θ(n) degeneration",
+			resBad.MaxActivations(), resGood.MaxActivations())
+	}
+	// Safety still holds for the degenerate variant.
+	if err := check.ProperColoring(g, resBad); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReducerOnlyProgressClass certifies the paper's §1.3 classification
+// of the identifier-reduction component: starvation-free, but neither
+// wait-free nor obstruction-free.
+func TestReducerOnlyProgressClass(t *testing.T) {
+	xs := []int{12, 25, 18} // all ≥ 10 so reduction actually runs
+	g := graph.MustCycle(3)
+
+	// Not wait-free: some schedule keeps a blocked process spinning.
+	e1, _ := sim.NewEngine(g, ablation.NewNodes(xs, ablation.ReducerOnly))
+	rep := model.Explore(e1, model.Options{SingletonsOnly: true}, nil)
+	if !rep.CycleFound {
+		t.Error("reducer-only should not be wait-free (no livelock cycle found)")
+	}
+
+	// Not obstruction-free: a blocked process running solo stays blocked.
+	e2, _ := sim.NewEngine(g, ablation.NewNodes(xs, ablation.ReducerOnly))
+	counter, _ := model.ObstructionFree(e2, model.Options{SingletonsOnly: true, MaxStates: 200_000}, 20)
+	if counter == "" {
+		t.Error("reducer-only should not be obstruction-free")
+	}
+
+	// Starvation-free: under fair schedules everyone terminates — no fair
+	// livelock component exists.
+	e3, _ := sim.NewEngine(g, ablation.NewNodes(xs, ablation.ReducerOnly))
+	desc, frep := model.FairlyTerminates(e3, model.Options{SingletonsOnly: true})
+	if desc != "" {
+		t.Errorf("reducer-only should be starvation-free; found: %s (%s)", desc, frep)
+	}
+}
+
+// TestFullAlgorithmIsWaitFreeControl contrasts the component with the full
+// algorithm, which passes all three progress analyses.
+func TestFullAlgorithmIsWaitFreeControl(t *testing.T) {
+	xs := []int{12, 25, 18}
+	g := graph.MustCycle(3)
+
+	e1, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+	rep := model.Explore(e1, model.Options{SingletonsOnly: true}, nil)
+	if rep.CycleFound || !rep.Ok() {
+		t.Errorf("full Algorithm 3 not wait-free? %s", rep)
+	}
+
+	e2, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+	counter, _ := model.ObstructionFree(e2, model.Options{SingletonsOnly: true, MaxStates: 200_000}, 20)
+	if counter != "" {
+		t.Errorf("full Algorithm 3 should be obstruction-free: %s", counter)
+	}
+
+	e3, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+	if desc, _ := model.FairlyTerminates(e3, model.Options{SingletonsOnly: true}); desc != "" {
+		t.Errorf("full Algorithm 3 should be starvation-free: %s", desc)
+	}
+}
+
+func TestVariantCloneIndependence(t *testing.T) {
+	n := ablation.New(42, ablation.NoEvade)
+	c := n.Clone()
+	view := []sim.Cell[core.FastVal]{
+		{Present: true, Val: core.FastVal{X: 50, A: 0, B: 0}},
+		{Present: true, Val: core.FastVal{X: 30, A: 0, B: 0}},
+	}
+	c.Observe(view)
+	if got := n.Publish(); got.A != 0 || got.B != 0 {
+		t.Error("observing the clone mutated the original")
+	}
+}

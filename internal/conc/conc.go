@@ -1,0 +1,167 @@
+// Package conc executes the model with real concurrency: one goroutine per
+// process, single-writer/multi-reader registers, and genuine asynchrony
+// supplied by the Go scheduler (plus optional injected jitter).
+//
+// The paper's round is an atomic local immediate snapshot: write the own
+// register and read the neighbors' registers as one indivisible operation.
+// The runtime realizes this by locking the closed neighborhood's register
+// mutexes in increasing index order (deadlock-free by the standard ordered
+// acquisition argument) for the write+read; the private state update
+// happens outside the critical section, since only the owner goroutine
+// touches a node's state. Every execution of this runtime is therefore a
+// linearizable sequence of model rounds, i.e. corresponds to a schedule of
+// the discrete-time engine with singleton activation sets.
+//
+// Crashes are injected by stopping a node's goroutine after a fixed number
+// of rounds; its register keeps the last written value, as in the model.
+package conc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"asynccycle/internal/graph"
+	"asynccycle/internal/sim"
+)
+
+// Options configure a concurrent run.
+type Options struct {
+	// CrashAfter maps a node index to the number of rounds after which its
+	// goroutine stops (0 = never wakes). Absent nodes never crash.
+	CrashAfter map[int]int
+	// MaxRounds is a per-node liveness cap: a node exceeding it aborts the
+	// run with ErrRoundLimit. 0 means DefaultMaxRounds.
+	MaxRounds int
+	// Jitter, when positive, makes each node sleep a uniform random
+	// duration in [0, Jitter) between rounds, widening the space of
+	// interleavings beyond what the Go scheduler produces naturally.
+	Jitter time.Duration
+	// Seed seeds the per-node jitter sources.
+	Seed int64
+	// Yield, when true, calls runtime.Gosched between rounds (cheap
+	// interleaving pressure without timers).
+	Yield bool
+}
+
+// DefaultMaxRounds is the per-node round cap used when Options.MaxRounds
+// is zero. The paper's algorithms finish in O(n) rounds, so this only
+// trips on liveness bugs.
+const DefaultMaxRounds = 1 << 20
+
+// ErrRoundLimit is returned when some node exceeded the round cap without
+// terminating — a liveness failure, since all the paper's algorithms are
+// wait-free.
+var ErrRoundLimit = errors.New("conc: node exceeded round limit")
+
+// Run executes nodes[i] at vertex i of g until every non-crashed node has
+// terminated. It is safe to call concurrently with other Runs but the
+// provided nodes must not be shared.
+func Run[V any](g graph.Graph, nodes []sim.Node[V], opt Options) (sim.Result, error) {
+	n := g.N()
+	if len(nodes) != n {
+		return sim.Result{}, fmt.Errorf("conc: %d nodes for graph %s with %d vertices", len(nodes), g.Name(), n)
+	}
+	maxRounds := opt.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = DefaultMaxRounds
+	}
+
+	type register struct {
+		mu   sync.Mutex
+		cell sim.Cell[V]
+	}
+	regs := make([]register, n)
+
+	// lockOrder[i] is the closed neighborhood of i in increasing index
+	// order; acquiring in this order across all nodes precludes deadlock.
+	lockOrder := make([][]int, n)
+	for i := 0; i < n; i++ {
+		nbh := append([]int{i}, g.Neighbors(i)...)
+		sort.Ints(nbh)
+		lockOrder[i] = nbh
+	}
+
+	outputs := make([]int, n)
+	done := make([]bool, n)
+	crashed := make([]bool, n)
+	acts := make([]int, n)
+	overLimit := make([]bool, n)
+	for i := range outputs {
+		outputs[i] = -1
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			crashLimit, canCrash := opt.CrashAfter[i]
+			if canCrash && crashLimit <= 0 {
+				crashed[i] = true // never wakes; register stays ⊥
+				return
+			}
+			var rng *rand.Rand
+			if opt.Jitter > 0 {
+				rng = rand.New(rand.NewSource(opt.Seed + int64(i)*0x9E3779B9))
+			}
+			node := nodes[i]
+			nbrs := g.Neighbors(i)
+			view := make([]sim.Cell[V], len(nbrs))
+			for round := 1; ; round++ {
+				if round > maxRounds {
+					overLimit[i] = true
+					return
+				}
+				// Atomic local immediate snapshot: write own register, read
+				// neighbors, under the ordered neighborhood locks.
+				for _, j := range lockOrder[i] {
+					regs[j].mu.Lock()
+				}
+				regs[i].cell = sim.Cell[V]{Present: true, Val: node.Publish()}
+				for k, q := range nbrs {
+					view[k] = regs[q].cell
+				}
+				for k := len(lockOrder[i]) - 1; k >= 0; k-- {
+					regs[lockOrder[i][k]].mu.Unlock()
+				}
+
+				dec := node.Observe(view)
+				acts[i] = round
+				if dec.Return {
+					done[i] = true
+					outputs[i] = dec.Output
+					return
+				}
+				if canCrash && round >= crashLimit {
+					crashed[i] = true
+					return
+				}
+				if opt.Yield {
+					runtime.Gosched()
+				}
+				if rng != nil {
+					time.Sleep(time.Duration(rng.Int63n(int64(opt.Jitter))))
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	res := sim.Result{
+		Outputs:     outputs,
+		Done:        done,
+		Crashed:     crashed,
+		Activations: acts,
+	}
+	for _, over := range overLimit {
+		if over {
+			return res, fmt.Errorf("%w (%d rounds)", ErrRoundLimit, maxRounds)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,217 @@
+package conc_test
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"asynccycle/internal/check"
+	"asynccycle/internal/conc"
+	"asynccycle/internal/core"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/sim"
+)
+
+func TestRunValidatesNodeCount(t *testing.T) {
+	g := graph.MustCycle(3)
+	if _, err := conc.Run(g, core.NewFiveNodes([]int{1, 2}), conc.Options{}); err == nil {
+		t.Fatal("accepted wrong node count")
+	}
+}
+
+func TestConcurrentFiveColorsProperly(t *testing.T) {
+	for _, n := range []int{3, 10, 100} {
+		g := graph.MustCycle(n)
+		xs := ids.MustGenerate(ids.Random, n, int64(n))
+		res, err := conc.Run(g, core.NewFiveNodes(xs), conc.Options{Yield: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := check.AllTerminated(res); err != nil {
+			t.Error(err)
+		}
+		if err := check.ProperColoring(g, res); err != nil {
+			t.Error(err)
+		}
+		if err := check.PaletteRange(res, 5); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestConcurrentFastColorsProperly(t *testing.T) {
+	n := 200
+	g := graph.MustCycle(n)
+	xs := ids.MustGenerate(ids.Increasing, n, 0)
+	res, err := conc.Run(g, core.NewFastNodes(xs), conc.Options{Yield: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.AllTerminated(res); err != nil {
+		t.Error(err)
+	}
+	if err := check.ProperColoring(g, res); err != nil {
+		t.Error(err)
+	}
+	if err := check.PaletteRange(res, 5); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentPairOnGeneralGraph(t *testing.T) {
+	g, err := graph.RandomBoundedDegree(60, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := ids.MustGenerate(ids.Random, 60, 5)
+	res, err := conc.Run(g, core.NewPairNodes(xs), conc.Options{Yield: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.ProperColoring(g, res); err != nil {
+		t.Error(err)
+	}
+	if err := check.PairPalette(res, g.MaxDegree()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentCrashes(t *testing.T) {
+	n := 60
+	g := graph.MustCycle(n)
+	xs := ids.MustGenerate(ids.Random, n, 3)
+	crashes := map[int]int{}
+	for i := 0; i < n; i += 2 {
+		crashes[i] = i % 4 // 0 = never wakes
+	}
+	res, err := conc.Run(g, core.NewFiveNodes(xs), conc.Options{CrashAfter: crashes, Yield: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.SurvivorsTerminated(res); err != nil {
+		t.Error(err)
+	}
+	if err := check.ProperColoring(g, res); err != nil {
+		t.Error(err)
+	}
+	for i, k := range crashes {
+		if k == 0 {
+			if !res.Crashed[i] {
+				t.Errorf("node %d should have crashed at birth", i)
+			}
+			if res.Done[i] {
+				t.Errorf("node %d crashed at birth but terminated", i)
+			}
+		}
+	}
+}
+
+func TestConcurrentJitter(t *testing.T) {
+	n := 20
+	g := graph.MustCycle(n)
+	xs := ids.MustGenerate(ids.Zigzag, n, 0)
+	res, err := conc.Run(g, core.NewFastNodes(xs), conc.Options{
+		Jitter: 200 * time.Microsecond,
+		Seed:   42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.AllTerminated(res); err != nil {
+		t.Error(err)
+	}
+	if err := check.ProperColoring(g, res); err != nil {
+		t.Error(err)
+	}
+}
+
+// spinner is a node that never terminates, to exercise the round limit.
+type spinner struct{ n int }
+
+func (s *spinner) Publish() int { return s.n }
+
+func (s *spinner) Observe([]sim.Cell[int]) sim.Decision {
+	s.n++
+	return sim.Decision{}
+}
+
+func (s *spinner) Clone() sim.Node[int] {
+	cp := *s
+	return &cp
+}
+
+func TestConcurrentRoundLimit(t *testing.T) {
+	g := graph.MustCycle(3)
+	nodes := []sim.Node[int]{&spinner{}, &spinner{}, &spinner{}}
+	_, err := conc.Run(g, nodes, conc.Options{MaxRounds: 50})
+	if !errors.Is(err, conc.ErrRoundLimit) {
+		t.Fatalf("err = %v, want ErrRoundLimit", err)
+	}
+}
+
+func TestConcurrentParallelRuns(t *testing.T) {
+	// Multiple concurrent Run invocations must not interfere.
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for k := 0; k < 4; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			n := 30 + k
+			g := graph.MustCycle(n)
+			xs := ids.MustGenerate(ids.Random, n, int64(k))
+			res, err := conc.Run(g, core.NewFiveNodes(xs), conc.Options{Yield: true})
+			if err == nil {
+				err = check.ProperColoring(g, res)
+			}
+			errs[k] = err
+		}(k)
+	}
+	wg.Wait()
+	for k, err := range errs {
+		if err != nil {
+			t.Errorf("run %d: %v", k, err)
+		}
+	}
+}
+
+func TestConcurrentSingleProcessor(t *testing.T) {
+	// Liveness must not depend on parallelism: with GOMAXPROCS(1) and no
+	// explicit yielding, Go's preemption still drives all goroutines.
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	n := 40
+	g := graph.MustCycle(n)
+	xs := ids.MustGenerate(ids.Random, n, 6)
+	res, err := conc.Run(g, core.NewFiveNodes(xs), conc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.AllTerminated(res); err != nil {
+		t.Error(err)
+	}
+	if err := check.ProperColoring(g, res); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentOnCompleteGraph(t *testing.T) {
+	// The ordered-locking snapshot must also work when the neighborhood is
+	// the whole graph (global serialization).
+	g, err := graph.Complete(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := ids.MustGenerate(ids.Random, 6, 1)
+	res, err := conc.Run(g, core.NewPairNodes(xs), conc.Options{Yield: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.ProperColoring(g, res); err != nil {
+		t.Error(err)
+	}
+}

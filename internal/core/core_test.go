@@ -1,0 +1,435 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asynccycle/internal/sim"
+)
+
+// cell wraps a present register value; bottom is ⊥.
+func cellPair(x, a, b int) sim.Cell[PairVal] {
+	return sim.Cell[PairVal]{Present: true, Val: PairVal{X: x, A: a, B: b}}
+}
+
+func cellFive(x, a, b int) sim.Cell[FiveVal] {
+	return sim.Cell[FiveVal]{Present: true, Val: FiveVal{X: x, A: a, B: b}}
+}
+
+func cellFast(x int, rInf bool, r, a, b int) sim.Cell[FastVal] {
+	return sim.Cell[FastVal]{Present: true, Val: FastVal{X: x, RInf: rInf, R: r, A: a, B: b}}
+}
+
+func TestMex(t *testing.T) {
+	tests := []struct {
+		used []int
+		want int
+	}{
+		{nil, 0},
+		{[]int{0}, 1},
+		{[]int{1, 2}, 0},
+		{[]int{0, 1, 2, 3}, 4},
+		{[]int{0, 0, 2}, 1},
+		{[]int{3, 0, 1}, 2},
+	}
+	for _, tt := range tests {
+		if got := mex(tt.used); got != tt.want {
+			t.Errorf("mex(%v) = %d, want %d", tt.used, got, tt.want)
+		}
+	}
+}
+
+func TestEncodeDecodePair(t *testing.T) {
+	for a := 0; a <= 10; a++ {
+		for b := 0; b <= 10; b++ {
+			ga, gb := DecodePair(EncodePair(a, b))
+			if ga != a || gb != b {
+				t.Fatalf("round-trip (%d,%d) → (%d,%d)", a, b, ga, gb)
+			}
+		}
+	}
+}
+
+func TestPairPaletteSize(t *testing.T) {
+	tests := []struct{ deg, want int }{
+		{2, 6}, // the cycle: Theorem 3.1's six colors
+		{3, 10},
+		{4, 15},
+		{8, 45},
+	}
+	for _, tt := range tests {
+		if got := PairPaletteSize(tt.deg); got != tt.want {
+			t.Errorf("PairPaletteSize(%d) = %d, want %d", tt.deg, got, tt.want)
+		}
+	}
+}
+
+func TestInPairPalette(t *testing.T) {
+	if !InPairPalette(EncodePair(0, 2), 2) || !InPairPalette(EncodePair(2, 0), 2) {
+		t.Error("rejected valid cycle pairs")
+	}
+	if InPairPalette(EncodePair(2, 1), 2) {
+		t.Error("accepted (2,1) with a+b=3 > 2")
+	}
+}
+
+// --- Pair (Algorithm 1 / 4) round behaviour ---------------------------------
+
+func TestPairReturnsWhenDistinct(t *testing.T) {
+	p := NewPair(5) // initial pair (0,0)
+	dec := p.Observe([]sim.Cell[PairVal]{cellPair(3, 0, 1), cellPair(9, 1, 0)})
+	if !dec.Return {
+		t.Fatal("pair (0,0) distinct from (0,1) and (1,0): should return")
+	}
+	if a, b := DecodePair(dec.Output); a != 0 || b != 0 {
+		t.Errorf("output pair = (%d,%d), want (0,0)", a, b)
+	}
+}
+
+func TestPairReturnsAgainstBottomNeighbors(t *testing.T) {
+	p := NewPair(5)
+	dec := p.Observe(make([]sim.Cell[PairVal], 2)) // both ⊥
+	if !dec.Return {
+		t.Fatal("⊥ neighbors cannot conflict (Lemma 3.2): should return")
+	}
+}
+
+func TestPairUpdatesDirectionally(t *testing.T) {
+	p := NewPair(5)
+	// Conflict with the lower neighbor (same pair), higher neighbor holds
+	// a = 0 too: a must dodge the higher's a, b must dodge the lower's b.
+	dec := p.Observe([]sim.Cell[PairVal]{cellPair(3, 0, 0), cellPair(9, 0, 2)})
+	if dec.Return {
+		t.Fatal("conflicting pair returned")
+	}
+	a, b := p.Color()
+	if a != 1 { // mex{a of higher} = mex{0} = 1
+		t.Errorf("a = %d, want 1", a)
+	}
+	if b != 1 { // mex{b of lower} = mex{0} = 1
+		t.Errorf("b = %d, want 1", b)
+	}
+}
+
+func TestPairIgnoresEqualIdentifierNeighbors(t *testing.T) {
+	// Neighbors with equal identifiers (allowed in Algorithm 4 inputs only
+	// across non-edges, but the machine must not misbehave) constrain
+	// neither component.
+	p := NewPair(5)
+	dec := p.Observe([]sim.Cell[PairVal]{cellPair(5, 0, 0)})
+	if dec.Return {
+		t.Fatal("equal pair must conflict")
+	}
+	a, b := p.Color()
+	if a != 0 || b != 0 {
+		t.Errorf("(a,b) = (%d,%d); equal-id neighbor should constrain nothing", a, b)
+	}
+}
+
+func TestPairHighDegree(t *testing.T) {
+	// Algorithm 4: with Δ=4 higher neighbors all holding distinct a-values,
+	// a = mex reaches 4 but stays within the palette a+b ≤ Δ... the machine
+	// itself just computes mex; palette membership is the theorem.
+	p := NewPair(1)
+	view := []sim.Cell[PairVal]{
+		cellPair(2, 0, 0), cellPair(3, 1, 0), cellPair(4, 2, 0), cellPair(5, 3, 0),
+	}
+	p.Observe(view) // conflicts with (0,0) at neighbor X=2
+	a, b := p.Color()
+	if a != 4 {
+		t.Errorf("a = %d, want mex{0,1,2,3} = 4", a)
+	}
+	if b != 0 {
+		t.Errorf("b = %d, want 0 (no lower neighbors)", b)
+	}
+}
+
+func TestPairClone(t *testing.T) {
+	p := NewPair(5)
+	p.Observe([]sim.Cell[PairVal]{cellPair(3, 0, 0), cellPair(9, 0, 0)})
+	c := p.Clone().(*Pair)
+	if ca, cb := c.Color(); ca != 1 || cb != 1 {
+		t.Fatalf("clone colors (%d,%d)", ca, cb)
+	}
+	c.Observe([]sim.Cell[PairVal]{cellPair(3, 1, 1), cellPair(9, 1, 1)})
+	a, _ := p.Color()
+	ca, _ := c.Color()
+	if a == ca {
+		t.Fatal("observing the clone mutated the original (or changed nothing)")
+	}
+}
+
+// --- Five (Algorithm 2) round behaviour -------------------------------------
+
+func TestFiveReturnsAWhenFree(t *testing.T) {
+	f := NewFive(5)
+	// C = {1, 2, 3, 4}: a=0 ∉ C → return 0.
+	dec := f.Observe([]sim.Cell[FiveVal]{cellFive(3, 1, 2), cellFive(9, 3, 4)})
+	if !dec.Return || dec.Output != 0 {
+		t.Fatalf("dec = %+v, want return 0", dec)
+	}
+}
+
+func TestFiveReturnsBWhenAOccupied(t *testing.T) {
+	f := NewFive(5)
+	f.a, f.b = 1, 2
+	// C = {1, 0, 3, 4}: a=1 ∈ C, b=2 ∉ C → return 2.
+	dec := f.Observe([]sim.Cell[FiveVal]{cellFive(3, 1, 0), cellFive(9, 3, 4)})
+	if !dec.Return || dec.Output != 2 {
+		t.Fatalf("dec = %+v, want return 2", dec)
+	}
+}
+
+func TestFiveUpdatesFromHigherAndAll(t *testing.T) {
+	f := NewFive(5)
+	// Both colors occupied: C = {0, 1} (lower neighbor) ∪ {0, 2} (higher).
+	dec := f.Observe([]sim.Cell[FiveVal]{cellFive(3, 0, 1), cellFive(9, 0, 2)})
+	if dec.Return {
+		t.Fatal("occupied colors returned")
+	}
+	a, b := f.Color()
+	if a != 1 { // mex over higher colors {0, 2}
+		t.Errorf("a = %d, want 1", a)
+	}
+	if b != 3 { // mex over all colors {0, 1, 2}
+		t.Errorf("b = %d, want 3", b)
+	}
+}
+
+func TestFiveBoundedByFour(t *testing.T) {
+	// Even with all four neighbor slots distinct, mex(C) ≤ 4.
+	f := NewFive(5)
+	f.a, f.b = 0, 1
+	dec := f.Observe([]sim.Cell[FiveVal]{cellFive(3, 0, 1), cellFive(9, 2, 3)})
+	if dec.Return {
+		t.Fatal("should conflict")
+	}
+	_, b := f.Color()
+	if b != 4 {
+		t.Errorf("b = %d, want 4 = mex{0,1,2,3}", b)
+	}
+}
+
+func TestFiveSoloReturnsImmediately(t *testing.T) {
+	f := NewFive(7)
+	dec := f.Observe(make([]sim.Cell[FiveVal], 2))
+	if !dec.Return || dec.Output != 0 {
+		t.Fatalf("dec = %+v, want return 0 with ⊥ neighbors", dec)
+	}
+}
+
+// --- Fast (Algorithm 3) round behaviour -------------------------------------
+
+func TestFastColoringComponentMatchesFive(t *testing.T) {
+	f := NewFast(5)
+	dec := f.Observe([]sim.Cell[FastVal]{cellFast(3, false, 0, 1, 2), cellFast(9, false, 0, 3, 4)})
+	if !dec.Return || dec.Output != 0 {
+		t.Fatalf("dec = %+v, want return 0", dec)
+	}
+}
+
+func TestFastSandwichReduces(t *testing.T) {
+	f := NewFast(6) // 110
+	// Neighbors 5 (101) and 9: sandwiched 5 < 6 < 9 with green light.
+	dec := f.Observe([]sim.Cell[FastVal]{cellFast(5, false, 0, 0, 0), cellFast(9, false, 0, 0, 0)})
+	if dec.Return {
+		t.Fatal("conflicting colors returned")
+	}
+	if r, inf := f.R(); r != 1 || inf {
+		t.Errorf("r = %d/%t, want 1/false", r, inf)
+	}
+	// f(6, 5) = 0 (differ at bit 0, x_0 = 0), 0 < 5: adopted.
+	if f.X() != 0 {
+		t.Errorf("X = %d, want 0", f.X())
+	}
+}
+
+func TestFastSandwichRejectsNonImprovingValue(t *testing.T) {
+	f := NewFast(5) // 101
+	// Neighbors 1 (001) and 9: f(5, 1) = 2 (i = min(3,1,2) = 1, bit 0) —
+	// not below the smaller neighbor 1, so the identifier stays but r
+	// still increments (paper line 13 before line 15).
+	f.a, f.b = 1, 1 // avoid returning against these neighbors
+	dec := f.Observe([]sim.Cell[FastVal]{cellFast(1, false, 0, 0, 1), cellFast(9, false, 0, 0, 1)})
+	if dec.Return {
+		t.Fatal("unexpected return")
+	}
+	if f.X() != 5 {
+		t.Errorf("X = %d, want unchanged 5", f.X())
+	}
+	if r, _ := f.R(); r != 1 {
+		t.Errorf("r = %d, want 1", r)
+	}
+}
+
+func TestFastBlockedByLaggingNeighbor(t *testing.T) {
+	f := NewFast(6)
+	f.r = 2
+	f.a, f.b = 1, 1
+	// Neighbor r = 1 < 2: no green light; nothing changes.
+	dec := f.Observe([]sim.Cell[FastVal]{cellFast(5, false, 1, 0, 1), cellFast(9, false, 5, 0, 1)})
+	if dec.Return {
+		t.Fatal("unexpected return")
+	}
+	if f.X() != 6 {
+		t.Errorf("X = %d, want unchanged (blocked)", f.X())
+	}
+	if r, _ := f.R(); r != 2 {
+		t.Errorf("r = %d, want unchanged 2", r)
+	}
+}
+
+func TestFastInfNeighborDoesNotBlock(t *testing.T) {
+	f := NewFast(6)
+	f.r = 3
+	f.a, f.b = 1, 1
+	// One neighbor at r=∞, other at r=3: green light holds.
+	dec := f.Observe([]sim.Cell[FastVal]{cellFast(5, true, 0, 0, 1), cellFast(9, false, 3, 0, 1)})
+	if dec.Return {
+		t.Fatal("unexpected return")
+	}
+	if r, _ := f.R(); r != 4 {
+		t.Errorf("r = %d, want 4 (reduced once more)", r)
+	}
+}
+
+func TestFastLocalMaxFreezes(t *testing.T) {
+	f := NewFast(9)
+	f.a, f.b = 1, 1
+	dec := f.Observe([]sim.Cell[FastVal]{cellFast(5, false, 0, 0, 1), cellFast(6, false, 0, 0, 1)})
+	if dec.Return {
+		t.Fatal("unexpected return")
+	}
+	if _, inf := f.R(); !inf {
+		t.Error("local max did not set r = ∞")
+	}
+	if f.X() != 9 {
+		t.Errorf("X = %d, want unchanged 9", f.X())
+	}
+}
+
+func TestFastLocalMinEvades(t *testing.T) {
+	f := NewFast(3)
+	f.a, f.b = 1, 1
+	// Local min below 5 (101) and 9 (1001):
+	// f(5,3): 101 vs 011 differ at bit 1 → 2·1+0 = 2.
+	// f(9,3): 1001 vs 0011 differ at bit 1 → 2·1+0 = 2.
+	// evade = {2, 2} → mex = 0 < 3: adopt 0.
+	dec := f.Observe([]sim.Cell[FastVal]{cellFast(5, false, 0, 0, 1), cellFast(9, false, 0, 0, 1)})
+	if dec.Return {
+		t.Fatal("unexpected return")
+	}
+	if _, inf := f.R(); !inf {
+		t.Error("local min did not set r = ∞")
+	}
+	if f.X() != 0 {
+		t.Errorf("X = %d, want evaded to 0", f.X())
+	}
+}
+
+func TestFastLocalMinKeepsSmallerIdentifier(t *testing.T) {
+	f := NewFast(0)
+	f.a, f.b = 1, 1
+	// Already 0: mex of evade set cannot be < 0; X stays.
+	dec := f.Observe([]sim.Cell[FastVal]{cellFast(5, false, 0, 0, 1), cellFast(9, false, 0, 0, 1)})
+	if dec.Return {
+		t.Fatal("unexpected return")
+	}
+	if f.X() != 0 {
+		t.Errorf("X = %d, want 0", f.X())
+	}
+}
+
+func TestFastSkipsReductionOnPartialView(t *testing.T) {
+	f := NewFast(6)
+	f.a, f.b = 0, 1
+	// One neighbor ⊥: the reduction component must not run at all — no r
+	// change, no X change, no ∞.
+	view := []sim.Cell[FastVal]{cellFast(9, false, 0, 0, 1), {}}
+	dec := f.Observe(view)
+	if dec.Return {
+		t.Fatal("unexpected return")
+	}
+	if r, inf := f.R(); r != 0 || inf {
+		t.Errorf("r = %d/%t, want untouched 0/false", r, inf)
+	}
+	if f.X() != 6 {
+		t.Errorf("X = %d, want untouched 6", f.X())
+	}
+}
+
+func TestFastRInfFrozenForever(t *testing.T) {
+	f := NewFast(6)
+	f.rInf = true
+	f.a, f.b = 1, 1
+	dec := f.Observe([]sim.Cell[FastVal]{cellFast(5, false, 7, 0, 1), cellFast(9, false, 7, 0, 1)})
+	if dec.Return {
+		t.Fatal("unexpected return")
+	}
+	if f.X() != 6 {
+		t.Errorf("X = %d, want frozen 6", f.X())
+	}
+}
+
+func TestFastAccessors(t *testing.T) {
+	f := NewFast(42)
+	if f.X() != 42 {
+		t.Errorf("X = %d", f.X())
+	}
+	if r, inf := f.R(); r != 0 || inf {
+		t.Errorf("R = %d/%t", r, inf)
+	}
+	if a, b := f.Color(); a != 0 || b != 0 {
+		t.Errorf("Color = %d,%d", a, b)
+	}
+	if got := f.Publish(); got.X != 42 || got.RInf {
+		t.Errorf("Publish = %+v", got)
+	}
+}
+
+func TestNodeConstructorsMatchInputs(t *testing.T) {
+	xs := []int{5, 1, 9}
+	pairs := NewPairNodes(xs)
+	fives := NewFiveNodes(xs)
+	fasts := NewFastNodes(xs)
+	if len(pairs) != 3 || len(fives) != 3 || len(fasts) != 3 {
+		t.Fatal("wrong node counts")
+	}
+	for i, x := range xs {
+		if pairs[i].(*Pair).X() != x || fives[i].(*Five).X() != x || fasts[i].(*Fast).X() != x {
+			t.Fatalf("node %d identifier mismatch", i)
+		}
+	}
+}
+
+// TestMexNeverInSetQuick: mex(used) ∉ used and everything below it ∈ used.
+func TestMexNeverInSetQuick(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		used := make([]int, len(raw))
+		for i, r := range raw {
+			used[i] = int(r) % 8
+		}
+		m := mex(used)
+		for _, u := range used {
+			if u == m {
+				return false
+			}
+		}
+		for v := 0; v < m; v++ {
+			found := false
+			for _, u := range used {
+				if u == v {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

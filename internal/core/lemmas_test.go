@@ -1,0 +1,292 @@
+package core_test
+
+// Per-lemma behavioural tests: each numbered lemma of the paper with
+// testable operational content is verified directly, either exhaustively
+// (via the model checker's exact worst-case analysis) or across scheduler
+// sweeps on structured instances.
+
+import (
+	"math/rand"
+	"testing"
+
+	"asynccycle/internal/core"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/model"
+	"asynccycle/internal/schedule"
+	"asynccycle/internal/sim"
+)
+
+// monotoneDistances returns, for each node of the cycle with the given
+// identifiers, the monotone distances ℓ (to its nearest local maximum
+// along a strictly increasing path) and ℓ' (to its nearest local minimum
+// along a strictly decreasing path), as used by Lemma 3.9. A local
+// maximum has ℓ = 0; a node whose identifiers increase in exactly one
+// direction walks that direction; a local minimum takes the shorter of
+// the two increasing walks (and symmetrically for ℓ').
+func monotoneDistances(xs []int) (up, down []int) {
+	n := len(xs)
+	up = make([]int, n)
+	down = make([]int, n)
+	for i := 0; i < n; i++ {
+		up[i] = monotoneDist(xs, i, func(a, b int) bool { return a < b })
+		down[i] = monotoneDist(xs, i, func(a, b int) bool { return a > b })
+	}
+	return up, down
+}
+
+// monotoneDist returns the number of edges from i to the nearest node at
+// which a strictly less-monotone walk must stop (i.e. the nearest local
+// extremum in the walk's sense). Directions whose first step is not
+// monotone do not provide a path; if neither does, i itself is the
+// extremum and the distance is 0.
+func monotoneDist(xs []int, i int, less func(a, b int) bool) int {
+	n := len(xs)
+	walk := func(dir int) (int, bool) {
+		cur := i
+		d := 0
+		for d <= n {
+			next := (cur + dir + n) % n
+			if !less(xs[cur], xs[next]) {
+				return d, d > 0 // a zero-length walk is not a path
+			}
+			cur = next
+			d++
+		}
+		return d, true
+	}
+	dPlus, okPlus := walk(+1)
+	dMinus, okMinus := walk(-1)
+	switch {
+	case okPlus && okMinus:
+		if dPlus < dMinus {
+			return dPlus
+		}
+		return dMinus
+	case okPlus:
+		return dPlus
+	case okMinus:
+		return dMinus
+	default:
+		return 0 // i is itself the extremum
+	}
+}
+
+// TestLemma34ExtremaReturnFast verifies the corollary of Lemma 3.4 used in
+// Theorem 3.1's proof: local extrema return after at most 4 activations —
+// exactly, over every schedule, via the model checker on small cycles.
+func TestLemma34ExtremaReturnFast(t *testing.T) {
+	instances := [][]int{
+		{1, 5, 3},        // node 1 is the max, node 0 the min
+		{2, 9, 4, 7},     // max at 1, min at 0
+		{10, 3, 8, 1, 6}, // extrema at several nodes
+	}
+	for _, xs := range instances {
+		n := len(xs)
+		g := graph.MustCycle(n)
+		e, _ := sim.NewEngine(g, core.NewPairNodes(xs))
+		vec, ok, rep := model.WorstActivations(e, model.Options{SingletonsOnly: true})
+		if !ok {
+			t.Fatalf("ids %v: %s", xs, rep)
+		}
+		for i := 0; i < n; i++ {
+			prev, next := xs[(i+n-1)%n], xs[(i+1)%n]
+			isMax := xs[i] > prev && xs[i] > next
+			isMin := xs[i] < prev && xs[i] < next
+			if (isMax || isMin) && vec[i] > 4 {
+				t.Errorf("ids %v: extremal node %d has exact worst case %d > 4", xs, i, vec[i])
+			}
+		}
+	}
+}
+
+// TestLemma39MonotoneDistanceBound verifies Lemma 3.9: a non-extremal
+// process returns within min{3ℓ, 3ℓ', ℓ+ℓ'}+4 activations, where ℓ and ℓ'
+// are its monotone distances to the closest extrema — exactly on small
+// cycles, and across scheduler sweeps on larger ones.
+func TestLemma39MonotoneDistanceBound(t *testing.T) {
+	exact := [][]int{
+		{1, 5, 3},
+		{2, 9, 4, 7},
+	}
+	for _, xs := range exact {
+		n := len(xs)
+		g := graph.MustCycle(n)
+		e, _ := sim.NewEngine(g, core.NewPairNodes(xs))
+		vec, ok, rep := model.WorstActivations(e, model.Options{SingletonsOnly: true})
+		if !ok {
+			t.Fatalf("ids %v: %s", xs, rep)
+		}
+		up, down := monotoneDistances(xs)
+		for i := 0; i < n; i++ {
+			bound := lemma39Bound(up[i], down[i])
+			if vec[i] > bound {
+				t.Errorf("ids %v node %d: exact worst %d > Lemma 3.9 bound %d (ℓ=%d, ℓ'=%d)",
+					xs, i, vec[i], bound, up[i], down[i])
+			}
+		}
+	}
+
+	// Sweep check on bigger structured instances.
+	for _, n := range []int{16, 64} {
+		for _, a := range []ids.Assignment{ids.Increasing, ids.Zigzag, ids.Random} {
+			xs := ids.MustGenerate(a, n, 5)
+			up, down := monotoneDistances(xs)
+			g := graph.MustCycle(n)
+			for _, s := range []schedule.Scheduler{
+				schedule.Synchronous{}, schedule.NewRoundRobin(1), schedule.NewRandomOne(3),
+			} {
+				e, _ := sim.NewEngine(g, core.NewPairNodes(xs))
+				res, err := e.Run(s, 500*n)
+				if err != nil {
+					t.Fatalf("n=%d %s: %v", n, a, err)
+				}
+				for i := 0; i < n; i++ {
+					if bound := lemma39Bound(up[i], down[i]); res.Activations[i] > bound {
+						t.Errorf("n=%d %s %s node %d: %d activations > bound %d",
+							n, a, s.Name(), i, res.Activations[i], bound)
+					}
+				}
+			}
+		}
+	}
+}
+
+func lemma39Bound(l, lp int) int {
+	m := 3 * l
+	if v := 3 * lp; v < m {
+		m = v
+	}
+	if v := l + lp; v < m {
+		m = v
+	}
+	return m + 4
+}
+
+// TestLemma312ReturnCharacterization verifies Lemma 3.12's if-and-only-if
+// as a randomized property: for any reachable Five state and any view, the
+// process returns exactly when its pre-round a or b lies outside the
+// neighbor color set C — and it returns a in preference to b.
+func TestLemma312ReturnCharacterization(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	randomView := func() []sim.Cell[core.FiveVal] {
+		view := make([]sim.Cell[core.FiveVal], 2)
+		for k := range view {
+			if rng.Intn(5) == 0 {
+				continue // ⊥ neighbor
+			}
+			view[k] = cellFiveT(rng.Intn(20), rng.Intn(5), rng.Intn(5))
+		}
+		return view
+	}
+	checked := 0
+	for trial := 0; trial < 2000; trial++ {
+		f := core.NewFive(7)
+		// Drive to a random reachable state with a few prep rounds.
+		alive := true
+		for k := rng.Intn(4); k > 0 && alive; k-- {
+			alive = !f.Observe(randomView()).Return
+		}
+		if !alive {
+			continue
+		}
+		a, b := f.Color()
+		view := randomView()
+		var colors []int
+		for _, c := range view {
+			if c.Present {
+				colors = append(colors, c.Val.A, c.Val.B)
+			}
+		}
+		aFree := !intsContain(colors, a)
+		bFree := !intsContain(colors, b)
+		dec := f.Observe(view)
+		if dec.Return != (aFree || bFree) {
+			t.Fatalf("trial %d: return=%t but aFree=%t bFree=%t (a=%d b=%d C=%v)",
+				trial, dec.Return, aFree, bFree, a, b, colors)
+		}
+		if dec.Return {
+			want := b
+			if aFree {
+				want = a
+			}
+			if dec.Output != want {
+				t.Fatalf("trial %d: output %d, want %d (a preferred)", trial, dec.Output, want)
+			}
+		}
+		checked++
+	}
+	if checked < 500 {
+		t.Fatalf("only %d meaningful trials", checked)
+	}
+}
+
+func cellFiveT(x, a, b int) sim.Cell[core.FiveVal] {
+	return sim.Cell[core.FiveVal]{Present: true, Val: core.FiveVal{X: x, A: a, B: b}}
+}
+
+func intsContain(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLemma46LocalMaxStaysMax verifies Lemma 4.6 on traced executions:
+// once a Fast process's identifier is a local maximum (w.r.t. published
+// identifiers), it remains one for the rest of the execution.
+func TestLemma46LocalMaxStaysMax(t *testing.T) {
+	for _, n := range []int{5, 16, 64} {
+		g := graph.MustCycle(n)
+		xs := ids.MustGenerate(ids.Random, n, int64(n))
+		e, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+		wasMax := make([]bool, n)
+		violations := 0
+		e.AddHook(func(e *sim.Engine[core.FastVal], _ int, _ []int) {
+			for i := 0; i < n; i++ {
+				l, r := (i+n-1)%n, (i+1)%n
+				rl, rr := e.Register(l), e.Register(r)
+				if !rl.Present || !rr.Present {
+					continue
+				}
+				xi := e.NodeState(i).(*core.Fast).X()
+				isMax := xi > rl.Val.X && xi > rr.Val.X
+				if wasMax[i] && !isMax {
+					violations++
+				}
+				if isMax {
+					wasMax[i] = true
+				}
+			}
+		})
+		if _, err := e.Run(schedule.NewRandomSubset(0.4, 7), 100_000); err != nil {
+			t.Fatal(err)
+		}
+		if violations > 0 {
+			t.Errorf("n=%d: %d Lemma 4.6 violations (a local max stopped being one)", n, violations)
+		}
+	}
+}
+
+// TestTheorem311LocalMinimaLag verifies the structure inside Theorem
+// 3.11's proof: local minima terminate at most a few steps after their
+// neighbors, i.e. within the 3n+8 global bound even on adversarial
+// instances where minima are starved last.
+func TestTheorem311LocalMinimaLag(t *testing.T) {
+	n := 32
+	g := graph.MustCycle(n)
+	xs := ids.MustGenerate(ids.Increasing, n, 0)
+	// Burst scheduling starves low-id processes while their neighbors race.
+	e, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
+	res, err := e.Run(schedule.NewBurst(6), 500*n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, acts := range res.Activations {
+		if acts > 3*n+8 {
+			t.Errorf("node %d: %d activations exceed Theorem 3.11's 3n+8 = %d", i, acts, 3*n+8)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package core_test
+
+import (
+	"testing"
+
+	"asynccycle/internal/check"
+	"asynccycle/internal/core"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/schedule"
+	"asynccycle/internal/sim"
+)
+
+// TestSmokeAllAlgorithms is the first-light test: every algorithm, on a few
+// cycles and schedulers, terminates and properly colors within its palette.
+func TestSmokeAllAlgorithms(t *testing.T) {
+	sizes := []int{3, 4, 5, 8, 33, 100}
+	assignments := []ids.Assignment{ids.Random, ids.Increasing, ids.Zigzag}
+	newScheds := func() []schedule.Scheduler {
+		return []schedule.Scheduler{
+			schedule.Synchronous{},
+			schedule.NewRoundRobin(1),
+			schedule.NewRandomSubset(0.4, 7),
+			schedule.NewRandomOne(11),
+			schedule.Alternating{},
+			schedule.NewBurst(3),
+		}
+	}
+	for _, n := range sizes {
+		g := graph.MustCycle(n)
+		for _, a := range assignments {
+			xs := ids.MustGenerate(a, n, 42)
+			for _, s := range newScheds() {
+				s := s
+				run := func(name string, f func(t *testing.T)) {
+					t.Run(name, f)
+				}
+				label := func(alg string) string {
+					return alg + "/" + g.Name() + "/" + a.String() + "/" + s.Name()
+				}
+
+				run(label("pair"), func(t *testing.T) {
+					e, err := sim.NewEngine(g, core.NewPairNodes(xs))
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := e.Run(s, 100_000)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := check.AllTerminated(res); err != nil {
+						t.Error(err)
+					}
+					if err := check.ProperColoring(g, res); err != nil {
+						t.Error(err)
+					}
+					if err := check.PairPalette(res, 2); err != nil {
+						t.Error(err)
+					}
+					if bound := 3*n/2 + 4; res.MaxActivations() > bound {
+						t.Errorf("max activations %d exceeds Theorem 3.1 bound %d", res.MaxActivations(), bound)
+					}
+				})
+
+				run(label("five"), func(t *testing.T) {
+					e, err := sim.NewEngine(g, core.NewFiveNodes(xs))
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := e.Run(s, 100_000)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := check.AllTerminated(res); err != nil {
+						t.Error(err)
+					}
+					if err := check.ProperColoring(g, res); err != nil {
+						t.Error(err)
+					}
+					if err := check.PaletteRange(res, 5); err != nil {
+						t.Error(err)
+					}
+					if bound := 3*n + 8; res.MaxActivations() > bound {
+						t.Errorf("max activations %d exceeds Theorem 3.11 bound %d", res.MaxActivations(), bound)
+					}
+				})
+
+				run(label("fast"), func(t *testing.T) {
+					e, err := sim.NewEngine(g, core.NewFastNodes(xs))
+					if err != nil {
+						t.Fatal(err)
+					}
+					rec := &check.FastInvariantRecorder{}
+					e.AddHook(rec.Hook())
+					res, err := e.Run(s, 100_000)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := check.AllTerminated(res); err != nil {
+						t.Error(err)
+					}
+					if err := check.ProperColoring(g, res); err != nil {
+						t.Error(err)
+					}
+					if err := check.PaletteRange(res, 5); err != nil {
+						t.Error(err)
+					}
+					if err := rec.Err(); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+		}
+	}
+}

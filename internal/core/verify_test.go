@@ -1,0 +1,367 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"asynccycle/internal/check"
+	"asynccycle/internal/core"
+	"asynccycle/internal/cv"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/model"
+	"asynccycle/internal/schedule"
+	"asynccycle/internal/sim"
+	"asynccycle/internal/stats"
+)
+
+// fiveInvariant checks the Theorem 3.11 safety clauses at one
+// configuration.
+func fiveInvariant(g graph.Graph) model.Invariant[core.FiveVal] {
+	return func(e *sim.Engine[core.FiveVal]) error {
+		r := e.Result()
+		if err := check.ProperColoring(g, r); err != nil {
+			return err
+		}
+		return check.PaletteRange(r, 5)
+	}
+}
+
+func fastInvariant(g graph.Graph) model.Invariant[core.FastVal] {
+	return func(e *sim.Engine[core.FastVal]) error {
+		r := e.Result()
+		if err := check.ProperColoring(g, r); err != nil {
+			return err
+		}
+		if err := check.PaletteRange(r, 5); err != nil {
+			return err
+		}
+		// Lemma 4.5 on internal and published identifiers.
+		for _, edge := range g.Edges() {
+			p, q := edge[0], edge[1]
+			fp := e.NodeState(p).(*core.Fast)
+			fq := e.NodeState(q).(*core.Fast)
+			if fp.X() == fq.X() {
+				return fmt.Errorf("X_%d == X_%d == %d", p, q, fp.X())
+			}
+			if rq := e.Register(q); rq.Present && fp.X() == rq.Val.X {
+				return fmt.Errorf("X_%d == X̂_%d == %d", p, q, fp.X())
+			}
+			if rp := e.Register(p); rp.Present && fq.X() == rp.Val.X {
+				return fmt.Errorf("X_%d == X̂_%d == %d", q, p, fq.X())
+			}
+		}
+		return nil
+	}
+}
+
+func pairInvariant(g graph.Graph) model.Invariant[core.PairVal] {
+	return func(e *sim.Engine[core.PairVal]) error {
+		r := e.Result()
+		if err := check.ProperColoring(g, r); err != nil {
+			return err
+		}
+		return check.PairPalette(r, g.MaxDegree())
+	}
+}
+
+// TestExhaustiveInterleaved model-checks all three algorithms over every
+// interleaved schedule of C3 and C4 (and C5 unless -short): safety at
+// every configuration (covering every crash pattern) and no livelock.
+func TestExhaustiveInterleaved(t *testing.T) {
+	sizes := []int{3, 4}
+	if !testing.Short() {
+		sizes = append(sizes, 5, 6)
+	}
+	for _, n := range sizes {
+		g := graph.MustCycle(n)
+		xs := ids.MustGenerate(ids.Increasing, n, 0)
+
+		t.Run(fmt.Sprintf("pair/C%d", n), func(t *testing.T) {
+			e, _ := sim.NewEngine(g, core.NewPairNodes(xs))
+			rep := model.Explore(e, model.Options{SingletonsOnly: true}, pairInvariant(g))
+			if !rep.Ok() {
+				t.Fatalf("verification failed: %s %v", rep, rep.Violations)
+			}
+		})
+		t.Run(fmt.Sprintf("five/C%d", n), func(t *testing.T) {
+			e, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
+			rep := model.Explore(e, model.Options{SingletonsOnly: true}, fiveInvariant(g))
+			if !rep.Ok() {
+				t.Fatalf("verification failed: %s %v", rep, rep.Violations)
+			}
+		})
+		t.Run(fmt.Sprintf("fast/C%d", n), func(t *testing.T) {
+			e, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+			rep := model.Explore(e, model.Options{SingletonsOnly: true}, fastInvariant(g))
+			if !rep.Ok() {
+				t.Fatalf("verification failed: %s %v", rep, rep.Violations)
+			}
+		})
+	}
+}
+
+// TestExhaustiveSimultaneousSafety verifies that under the paper-literal
+// simultaneous semantics safety still holds for all three algorithms —
+// and documents finding F1: Algorithms 2 and 3 lose wait-freedom there
+// (livelock cycles exist), while Algorithm 1 does not.
+func TestExhaustiveSimultaneousSafety(t *testing.T) {
+	n := 3
+	if !testing.Short() {
+		n = 4
+	}
+	g := graph.MustCycle(n)
+	xs := ids.MustGenerate(ids.Increasing, n, 0)
+
+	ePair, _ := sim.NewEngine(g, core.NewPairNodes(xs))
+	ePair.SetMode(sim.ModeSimultaneous)
+	repPair := model.Explore(ePair, model.Options{}, pairInvariant(g))
+	if len(repPair.Violations) > 0 || repPair.Truncated {
+		t.Fatalf("pair safety failed: %s %v", repPair, repPair.Violations)
+	}
+	if repPair.CycleFound {
+		t.Error("Algorithm 1 unexpectedly admits livelock under simultaneous semantics")
+	}
+
+	eFive, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
+	eFive.SetMode(sim.ModeSimultaneous)
+	repFive := model.Explore(eFive, model.Options{}, fiveInvariant(g))
+	if len(repFive.Violations) > 0 || repFive.Truncated {
+		t.Fatalf("five safety failed: %s %v", repFive, repFive.Violations)
+	}
+	if !repFive.CycleFound {
+		t.Error("finding F1 regression: Algorithm 2's simultaneous livelock disappeared")
+	}
+
+	eFast, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+	eFast.SetMode(sim.ModeSimultaneous)
+	repFast := model.Explore(eFast, model.Options{}, fastInvariant(g))
+	if len(repFast.Violations) > 0 || repFast.Truncated {
+		t.Fatalf("fast safety failed: %s %v", repFast, repFast.Violations)
+	}
+	if !repFast.CycleFound {
+		t.Error("finding F1 regression: Algorithm 3's simultaneous livelock disappeared")
+	}
+}
+
+// TestExactWorstCaseWithinPaperBounds computes, by exhaustive longest-path
+// analysis, the exact worst-case per-process activation counts on small
+// cycles and compares them to the paper's bounds.
+func TestExactWorstCaseWithinPaperBounds(t *testing.T) {
+	sizes := []int{3, 4}
+	if !testing.Short() {
+		sizes = append(sizes, 5)
+	}
+	for _, n := range sizes {
+		g := graph.MustCycle(n)
+		xs := ids.MustGenerate(ids.Increasing, n, 0)
+
+		e1, _ := sim.NewEngine(g, core.NewPairNodes(xs))
+		vec, ok, rep := model.WorstActivations(e1, model.Options{SingletonsOnly: true})
+		if !ok {
+			t.Fatalf("pair C%d analysis inconclusive: %s", n, rep)
+		}
+		if got, bound := stats.MaxInt(vec), 3*n/2+4; got > bound {
+			t.Errorf("pair C%d: exact worst %d exceeds Theorem 3.1 bound %d", n, got, bound)
+		}
+
+		e2, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
+		vec2, ok2, rep2 := model.WorstActivations(e2, model.Options{SingletonsOnly: true})
+		if !ok2 {
+			t.Fatalf("five C%d analysis inconclusive: %s", n, rep2)
+		}
+		if got, bound := stats.MaxInt(vec2), 3*n+8; got > bound {
+			t.Errorf("five C%d: exact worst %d exceeds Theorem 3.11 bound %d", n, got, bound)
+		}
+
+		e3, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+		vec3, ok3, rep3 := model.WorstActivations(e3, model.Options{SingletonsOnly: true})
+		if !ok3 {
+			t.Fatalf("fast C%d analysis inconclusive: %s", n, rep3)
+		}
+		// No closed-form constant in the paper; sanity: comfortably small.
+		if got := stats.MaxInt(vec3); got > 3*n+8 {
+			t.Errorf("fast C%d: exact worst %d suspiciously large", n, got)
+		}
+	}
+}
+
+// TestRandomExecutionsProper is the randomized property test: any cycle
+// size, identifier permutation, scheduler mix, and crash pattern yields a
+// proper partial coloring within the palette.
+func TestRandomExecutionsProper(t *testing.T) {
+	prop := func(seed int64, rawN uint8, crashMask uint16, alg uint8) bool {
+		n := 3 + int(rawN)%30
+		g := graph.MustCycle(n)
+		xs := ids.RandomIDs(n, seed)
+		rng := rand.New(rand.NewSource(seed))
+		var s schedule.Scheduler
+		switch rng.Intn(4) {
+		case 0:
+			s = schedule.Synchronous{}
+		case 1:
+			s = schedule.NewRoundRobin(1 + rng.Intn(3))
+		case 2:
+			s = schedule.NewRandomSubset(0.3, seed)
+		default:
+			s = schedule.NewRandomOne(seed)
+		}
+		crash := func(e interface{ CrashAfter(i, k int) }) {
+			for i := 0; i < n && i < 16; i++ {
+				if crashMask&(1<<i) != 0 {
+					e.CrashAfter(i, int(crashMask)%4)
+				}
+			}
+		}
+		switch alg % 3 {
+		case 0:
+			e, _ := sim.NewEngine(g, core.NewPairNodes(xs))
+			crash(e)
+			res, err := e.Run(s, 100_000)
+			return err == nil &&
+				check.ProperColoring(g, res) == nil &&
+				check.PairPalette(res, 2) == nil &&
+				check.SurvivorsTerminated(res) == nil
+		case 1:
+			e, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
+			crash(e)
+			res, err := e.Run(s, 100_000)
+			return err == nil &&
+				check.ProperColoring(g, res) == nil &&
+				check.PaletteRange(res, 5) == nil &&
+				check.SurvivorsTerminated(res) == nil
+		default:
+			e, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+			crash(e)
+			res, err := e.Run(s, 100_000)
+			return err == nil &&
+				check.ProperColoring(g, res) == nil &&
+				check.PaletteRange(res, 5) == nil &&
+				check.SurvivorsTerminated(res) == nil
+		}
+	}
+	cfg := &quick.Config{MaxCount: 150}
+	if testing.Short() {
+		cfg.MaxCount = 40
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNeighborOrderIrrelevant verifies algorithms are insensitive to the
+// arbitrary order in which a node's neighbors are presented (the paper's
+// "no coherent notion of left and right").
+func TestNeighborOrderIrrelevant(t *testing.T) {
+	n := 17
+	xs := ids.MustGenerate(ids.Random, n, 9)
+	g := graph.MustCycle(n)
+	shuffled := g.ShuffledNeighbors(4)
+
+	run := func(g graph.Graph) sim.Result {
+		e, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+		res, err := e.Run(schedule.Synchronous{}, 100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(g), run(shuffled)
+	for _, res := range []sim.Result{r1, r2} {
+		if err := check.ProperColoring(g, res); err != nil {
+			t.Error(err)
+		}
+	}
+	// Synchronous runs differ only in view order; every decision of Fast is
+	// order-independent (sets and extrema), so the outputs must coincide.
+	for i := range r1.Outputs {
+		if r1.Outputs[i] != r2.Outputs[i] {
+			t.Fatalf("node %d output differs under shuffled neighbor order: %d vs %d",
+				i, r1.Outputs[i], r2.Outputs[i])
+		}
+	}
+}
+
+// TestFastOnPath exercises Algorithm 3 on paths (degree ≤ 2 but with
+// endpoints of degree 1) — endpoints never sandwich, so they keep their
+// identifiers, and the coloring still works.
+func TestFastOnPath(t *testing.T) {
+	g, err := graph.Path(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := []int{4, 11, 7, 2, 9, 15, 3, 8, 1}
+	e, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+	res, err := e.Run(schedule.NewRoundRobin(1), 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := check.AllTerminated(res); err != nil {
+		t.Error(err)
+	}
+	if err := check.ProperColoring(g, res); err != nil {
+		t.Error(err)
+	}
+	if err := check.PaletteRange(res, 5); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLogStarScaling is the headline Theorem 4.4 regression: the max
+// activation count must not grow with n (beyond the log* staircase).
+func TestLogStarScaling(t *testing.T) {
+	worst := map[int]int{}
+	sizes := []int{16, 256, 4096}
+	if !testing.Short() {
+		sizes = append(sizes, 65_536)
+	}
+	for _, n := range sizes {
+		g := graph.MustCycle(n)
+		xs := ids.MustGenerate(ids.Increasing, n, 0)
+		e, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+		res, err := e.Run(schedule.Synchronous{}, 100*n+10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst[n] = res.MaxActivations()
+	}
+	for n, m := range worst {
+		budget := 6 * (cv.LogStar(float64(n)) + 3)
+		if m > budget {
+			t.Errorf("n=%d: %d activations exceed O(log* n) budget %d", n, m, budget)
+		}
+	}
+	if worst[4096] > worst[16]+4 {
+		t.Errorf("activations grew with n: %v", worst)
+	}
+}
+
+// TestFiveLinearUpperBound checks the ⌊3n/2⌋+4 / 3n+8 activation bounds of
+// Theorems 3.1 and 3.11 on mid-sized cycles across schedulers.
+func TestFiveLinearUpperBound(t *testing.T) {
+	for _, n := range []int{8, 32, 128} {
+		g := graph.MustCycle(n)
+		for _, a := range ids.All() {
+			xs := ids.MustGenerate(a, n, 3)
+			e, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
+			res, err := e.Run(schedule.NewRoundRobin(1), 500*n+10_000)
+			if err != nil {
+				t.Fatalf("n=%d %s: %v", n, a, err)
+			}
+			if err := check.ActivationBound(res, 3*n+8); err != nil {
+				t.Errorf("n=%d %s: %v", n, a, err)
+			}
+
+			eP, _ := sim.NewEngine(g, core.NewPairNodes(xs))
+			resP, err := eP.Run(schedule.NewRoundRobin(1), 500*n+10_000)
+			if err != nil {
+				t.Fatalf("pair n=%d %s: %v", n, a, err)
+			}
+			if err := check.ActivationBound(resP, 3*n/2+4); err != nil {
+				t.Errorf("pair n=%d %s: %v", n, a, err)
+			}
+		}
+	}
+}

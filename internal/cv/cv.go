@@ -1,0 +1,138 @@
+// Package cv implements the Cole–Vishkin deterministic coin-tossing
+// machinery the paper uses to reduce identifiers (§4.1): the bit-length
+// |Z| = ⌈log₂(Z+1)⌉, the reduction function f of Equation (6), its iterates,
+// the bound function F of Lemma 4.1, and log*.
+//
+// The key algebraic properties, proved as Lemmas 4.2 and 4.3 in the paper
+// and property-tested in this package, are:
+//
+//   - if x > y ≥ 10 then f(x, y) < y            (identifiers shrink), and
+//   - if x > y > z then f(x, y) ≠ f(y, z)        (proper coloring preserved).
+package cv
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Bits returns the length |z| = ⌈log₂(z+1)⌉ of the binary decomposition of
+// z ≥ 0, i.e. the number of bits up to and including the highest set bit.
+// Bits(0) == 0.
+func Bits(z int) int {
+	if z < 0 {
+		panic("cv.Bits: negative argument")
+	}
+	return bits.Len(uint(z))
+}
+
+// Bit returns bit k (0-indexed from the least significant end) of z ≥ 0.
+func Bit(z, k int) int {
+	if k >= bits.UintSize {
+		return 0
+	}
+	return (z >> uint(k)) & 1
+}
+
+// F computes the reduction function of Equation (6):
+//
+//	f(x, y) = 2i + xᵢ  where  i = min( {|x|, |y|} ∪ { k : xₖ ≠ yₖ } ).
+//
+// Both arguments must be non-negative. Note f is well defined even when
+// x == y (then i = min(|x|, |y|)), although the algorithms only ever apply
+// it to distinct neighbor identifiers.
+func F(x, y int) int {
+	if x < 0 || y < 0 {
+		panic("cv.F: negative argument")
+	}
+	i := Bits(x)
+	if ly := Bits(y); ly < i {
+		i = ly
+	}
+	if d := x ^ y; d != 0 {
+		if k := bits.TrailingZeros(uint(d)); k < i {
+			i = k
+		}
+	}
+	return 2*i + Bit(x, i)
+}
+
+// Bound is the function F(x) = 2⌈log₂(x+1)⌉ + 1 of Lemma 4.1: an upper bound
+// on the value produced by one application of the reduction function f to a
+// first argument of magnitude x, since f(x, y) ≤ 2|x| + 1.
+func Bound(x int) int {
+	return 2*Bits(x) + 1
+}
+
+// BoundIterations returns the smallest t such that the t-th iterate of Bound
+// applied to x drops below 10, the constant-size identifier regime of §4
+// (Lemma 4.1 shows t = O(log* x)). For x < 10 it returns 0.
+func BoundIterations(x int) int {
+	t := 0
+	for x >= 10 {
+		x = Bound(x)
+		t++
+	}
+	return t
+}
+
+// AdversarialIterations measures how many reduction steps an adversary can
+// force on a single identifier before it drops below 10. At each step the
+// adversary picks the smaller neighbor value y < cur that maximizes the
+// adopted result, subject to the algorithm's adoption rule f(cur, y) < y
+// (Algorithm 3, line 15). Forcing the first differing bit as high as
+// possible yields adopted values near 2·|cur|, so the descent is the
+// iterated-logarithm staircase of Lemma 4.1: the result is Θ(log* x).
+func AdversarialIterations(x int) int {
+	t := 0
+	cur := x
+	for cur >= 10 {
+		// Candidate neighbors y < cur whose first differing bit with cur
+		// is exactly j: clear bit j when cur has it set (keeping the bits
+		// above), or keep cur's bits below j, set bit j, and drop
+		// everything above when cur has bit j clear.
+		best := -1
+		for j := 0; j < Bits(cur); j++ {
+			var y int
+			if Bit(cur, j) == 1 {
+				y = cur - (1 << uint(j))
+			} else {
+				y = (cur & ((1 << uint(j)) - 1)) | (1 << uint(j))
+			}
+			if y >= cur || y < 0 {
+				continue
+			}
+			if v := F(cur, y); v < y && v > best {
+				best = v
+			}
+		}
+		if best < 0 {
+			break // no adoptable reduction exists; cannot be forced further
+		}
+		cur = best
+		t++
+	}
+	return t
+}
+
+// LogStar returns log* n: the number of times log₂ must be iterated,
+// starting from n, before the value drops to ≤ 1. LogStar(x) == 0 for
+// x ≤ 1, LogStar(2) == 1, LogStar(16) == 3, LogStar(65536) == 4.
+func LogStar(n float64) int {
+	k := 0
+	for n > 1 {
+		n = math.Log2(n)
+		k++
+	}
+	return k
+}
+
+// Reduce applies f(x, y) once, then clamps per the Algorithm 3 rule: the
+// result replaces x only if it is strictly below y (line 15). It returns the
+// possibly updated identifier and whether it changed.
+func Reduce(x, y int) (nx int, changed bool) {
+	v := F(x, y)
+	if v < y {
+		return v, true
+	}
+	return x, false
+}

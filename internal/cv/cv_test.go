@@ -1,0 +1,323 @@
+package cv
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBits(t *testing.T) {
+	tests := []struct {
+		z    int
+		want int
+	}{
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{7, 3},
+		{8, 4},
+		{1023, 10},
+		{1024, 11},
+		{1 << 62, 63},
+	}
+	for _, tt := range tests {
+		if got := Bits(tt.z); got != tt.want {
+			t.Errorf("Bits(%d) = %d, want %d", tt.z, got, tt.want)
+		}
+	}
+}
+
+func TestBitsPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bits(-1) did not panic")
+		}
+	}()
+	Bits(-1)
+}
+
+func TestBit(t *testing.T) {
+	tests := []struct {
+		z, k, want int
+	}{
+		{0b1011, 0, 1},
+		{0b1011, 1, 1},
+		{0b1011, 2, 0},
+		{0b1011, 3, 1},
+		{0b1011, 4, 0},
+		{1, 100, 0}, // beyond word size
+	}
+	for _, tt := range tests {
+		if got := Bit(tt.z, tt.k); got != tt.want {
+			t.Errorf("Bit(%b, %d) = %d, want %d", tt.z, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestFExamples(t *testing.T) {
+	tests := []struct {
+		x, y, want int
+	}{
+		// x=6 (110), y=5 (101): first differing bit is 0, x_0 = 0 → 0.
+		{6, 5, 0},
+		// x=5 (101), y=4 (100): first differing bit is 0, x_0 = 1 → 1.
+		{5, 4, 1},
+		// x=12 (1100), y=4 (0100): first differing bit is 3, capped by
+		// |y| = 3 → i = 3, x_3 = 1 → 7.
+		{12, 4, 7},
+		// x=8 (1000), y=0: i = min(4, 0) = 0, x_0 = 0 → 0.
+		{8, 0, 0},
+		// equal arguments: i = |x|, bit above the top is 0.
+		{5, 5, 6},
+	}
+	for _, tt := range tests {
+		if got := F(tt.x, tt.y); got != tt.want {
+			t.Errorf("F(%d, %d) = %d, want %d", tt.x, tt.y, got, tt.want)
+		}
+	}
+}
+
+// TestLemma42Exhaustive checks Lemma 4.2 — x > y ≥ 10 implies f(x, y) < y —
+// exhaustively for all pairs up to 1<<11.
+func TestLemma42Exhaustive(t *testing.T) {
+	const limit = 1 << 11
+	for y := 10; y < limit; y++ {
+		for x := y + 1; x < limit; x++ {
+			if f := F(x, y); f >= y {
+				t.Fatalf("Lemma 4.2 violated: f(%d, %d) = %d ≥ %d", x, y, f, y)
+			}
+		}
+	}
+}
+
+// TestLemma43Exhaustive checks Lemma 4.3 — x > y > z implies
+// f(x, y) ≠ f(y, z) — exhaustively for all triples up to 1<<8.
+func TestLemma43Exhaustive(t *testing.T) {
+	const limit = 1 << 8
+	for z := 0; z < limit; z++ {
+		for y := z + 1; y < limit; y++ {
+			for x := y + 1; x < limit; x++ {
+				if F(x, y) == F(y, z) {
+					t.Fatalf("Lemma 4.3 violated: f(%d,%d) == f(%d,%d) == %d", x, y, y, z, F(x, y))
+				}
+			}
+		}
+	}
+}
+
+// TestLemma42Quick property-tests Lemma 4.2 on random large pairs.
+func TestLemma42Quick(t *testing.T) {
+	prop := func(a, b uint32) bool {
+		x, y := int(a), int(b)
+		if x == y {
+			return true
+		}
+		if x < y {
+			x, y = y, x
+		}
+		if y < 10 {
+			y += 10
+			x += 11
+		}
+		return F(x, y) < y
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20_000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemma43Quick property-tests Lemma 4.3 on random large triples.
+func TestLemma43Quick(t *testing.T) {
+	prop := func(a, b, c uint32) bool {
+		vals := []int{int(a), int(b), int(c)}
+		// Sort the three values descending into x > y > z; skip collisions.
+		x, y, z := vals[0], vals[1], vals[2]
+		if x < y {
+			x, y = y, x
+		}
+		if y < z {
+			y, z = z, y
+		}
+		if x < y {
+			x, y = y, x
+		}
+		if x == y || y == z {
+			return true
+		}
+		return F(x, y) != F(y, z)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20_000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFValueBound checks f(x, y) ≤ 2|x|+1 (the bound behind Lemma 4.1) on
+// random inputs.
+func TestFValueBound(t *testing.T) {
+	prop := func(a, b uint32) bool {
+		x, y := int(a), int(b)
+		return F(x, y) <= 2*Bits(x)+1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20_000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBound(t *testing.T) {
+	tests := []struct {
+		x, want int
+	}{
+		{0, 1},
+		{1, 3},
+		{7, 7},
+		{1 << 20, 43},
+	}
+	for _, tt := range tests {
+		if got := Bound(tt.x); got != tt.want {
+			t.Errorf("Bound(%d) = %d, want %d", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestBoundIterations(t *testing.T) {
+	tests := []struct {
+		x, want int
+	}{
+		{0, 0},
+		{9, 0},
+		{10, 1}, // 10 → 9
+		{100, 2},
+		{1 << 20, 3},
+		{1 << 62, 3},
+	}
+	for _, tt := range tests {
+		if got := BoundIterations(tt.x); got != tt.want {
+			t.Errorf("BoundIterations(%d) = %d, want %d", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestBoundIterationsIsLogStarish(t *testing.T) {
+	// The iteration count may exceed log* x only by a small constant, and
+	// must be monotone-ish: across 62 binary orders of magnitude it never
+	// exceeds 4.
+	for k := 4; k < 63; k++ {
+		x := 1 << uint(k)
+		it := BoundIterations(x)
+		if it > 4 {
+			t.Errorf("BoundIterations(2^%d) = %d > 4", k, it)
+		}
+	}
+}
+
+func TestAdversarialIterations(t *testing.T) {
+	if got := AdversarialIterations(5); got != 0 {
+		t.Errorf("AdversarialIterations(5) = %d, want 0 (already constant)", got)
+	}
+	// Monotone staircase: never more than a small constant, and at least 1
+	// for anything ≥ 16.
+	for k := 4; k < 63; k++ {
+		x := 1<<uint(k) | 1 // avoid exact powers of two, plus variety below
+		it := AdversarialIterations(x)
+		if it < 1 || it > 5 {
+			t.Errorf("AdversarialIterations(2^%d+1) = %d, outside [1,5]", k, it)
+		}
+	}
+}
+
+// TestAdversarialDescentRespectsAdoption replays the descent and verifies
+// each adopted value is a legal Algorithm 3 line-15 adoption: strictly
+// below the neighbor value used.
+func TestAdversarialDescentRespectsAdoption(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		x := rng.Intn(1 << 30)
+		cur := x
+		steps := 0
+		for cur >= 10 && steps < 100 {
+			next := -1
+			for j := 0; j < Bits(cur); j++ {
+				var y int
+				if Bit(cur, j) == 1 {
+					y = cur - (1 << uint(j))
+				} else {
+					y = (cur & ((1 << uint(j)) - 1)) | (1 << uint(j))
+				}
+				if y >= cur {
+					continue
+				}
+				if v := F(cur, y); v < y && v > next {
+					next = v
+				}
+			}
+			if next < 0 {
+				break
+			}
+			if next >= cur {
+				t.Fatalf("descent from %d failed to decrease at %d → %d", x, cur, next)
+			}
+			cur = next
+			steps++
+		}
+		if steps != AdversarialIterations(x) {
+			t.Fatalf("AdversarialIterations(%d) = %d, replay found %d", x, AdversarialIterations(x), steps)
+		}
+	}
+}
+
+func TestLogStar(t *testing.T) {
+	tests := []struct {
+		n    float64
+		want int
+	}{
+		{0, 0},
+		{1, 0},
+		{2, 1},
+		{4, 2},
+		{16, 3},
+		{65_536, 4},
+		{1 << 20, 5},
+		{1 << 62, 5},
+	}
+	for _, tt := range tests {
+		if got := LogStar(tt.n); got != tt.want {
+			t.Errorf("LogStar(%g) = %d, want %d", tt.n, got, tt.want)
+		}
+	}
+}
+
+func TestReduce(t *testing.T) {
+	// f(37, 21) : 100101 vs 010101 differ first at bit 4 → i=4, x_4=0 → 8.
+	// 8 < 21 so the reduction is adopted.
+	if nx, changed := Reduce(37, 21); !changed || nx != 8 {
+		t.Errorf("Reduce(37, 21) = (%d, %t), want (8, true)", nx, changed)
+	}
+	// f(3, 2): differ at bit 0 → f = 1; 1 < 2 adopted.
+	if nx, changed := Reduce(3, 2); !changed || nx != 1 {
+		t.Errorf("Reduce(3, 2) = (%d, %t), want (1, true)", nx, changed)
+	}
+	// f(2, 1): 10 vs 01 differ at bit 0 → f = 0 < 1 adopted.
+	if nx, changed := Reduce(2, 1); !changed || nx != 0 {
+		t.Errorf("Reduce(2, 1) = (%d, %t), want (0, true)", nx, changed)
+	}
+	// f(5, 1): i = min(3,1,2) = 1, x_1 = 0 → 2 ≥ 1... 2 > 1 so rejected.
+	if nx, changed := Reduce(5, 1); changed || nx != 5 {
+		t.Errorf("Reduce(5, 1) = (%d, %t), want (5, false)", nx, changed)
+	}
+}
+
+func BenchmarkF(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]int, 1024)
+	ys := make([]int, 1024)
+	for i := range xs {
+		xs[i] = rng.Intn(1 << 50)
+		ys[i] = rng.Intn(1 << 50)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = F(xs[i%1024], ys[i%1024])
+	}
+}

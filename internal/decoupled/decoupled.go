@@ -1,0 +1,237 @@
+// Package decoupled implements the DECOUPLED model of Castañeda et al.
+// [13] and Delporte-Gallet et al. [18], the closest related work the paper
+// discusses (§1.4): n asynchronous crash-prone processes occupy the nodes
+// of a *synchronous and reliable* network. The communication layer ticks
+// in lock-step rounds and relays each woken node's current value to its
+// neighbors every round, autonomously — even when the owning process is
+// slow, stopped, or already terminated — and nothing is ever lost: a
+// process consuming its buffer late finds everything that passed by.
+// Because the layer is synchronous, the round number is common knowledge,
+// and that is precisely the power the paper's fully asynchronous state
+// model lacks.
+//
+// DECOUPLED is strictly stronger than the state model: wake-up order
+// becomes observable ("any neighbor that woke no later than me is visible
+// in my buffer two rounds after I woke"), which enables 3-coloring the
+// cycle — impossible wait-free in the state model, where 5 colors are
+// necessary (Property 2.3). Experiment E14 reproduces this separation
+// using the ThreeColor process in this package.
+package decoupled
+
+import (
+	"errors"
+	"fmt"
+
+	"asynccycle/internal/graph"
+	"asynccycle/internal/schedule"
+)
+
+// Message is one buffered delivery: the value a neighbor's register held
+// at a given communication round.
+type Message[V any] struct {
+	// Round is the communication-layer tick at which the value was
+	// relayed.
+	Round int
+	// From is the sender's index in the receiver's neighbor list (not a
+	// global node index: processes have no global knowledge).
+	From int
+	// Value is the relayed payload.
+	Value V
+}
+
+// Proc is an asynchronous process in the DECOUPLED model. At each of its
+// adversarially scheduled steps it learns the current network round (the
+// layer is synchronous, so the clock is common knowledge) and receives
+// every message buffered since its previous step; it returns the value
+// the layer will relay for it from now on, plus its decision.
+type Proc[V any] interface {
+	Step(now int, buffered []Message[V]) (emit V, done bool, output int)
+}
+
+// Result mirrors the state-model result for DECOUPLED executions.
+type Result struct {
+	Outputs     []int
+	Done        []bool
+	Crashed     []bool
+	Activations []int
+	// CommRounds is the number of communication-layer ticks consumed.
+	CommRounds int
+}
+
+// TerminatedCount returns how many processes decided.
+func (r Result) TerminatedCount() int {
+	n := 0
+	for _, d := range r.Done {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// ErrStepLimit is returned when the execution exceeds its tick budget.
+var ErrStepLimit = errors.New("decoupled: step limit exceeded")
+
+// Engine couples the synchronous reliable communication layer with
+// asynchronous process scheduling. It reuses the state model's Scheduler
+// interface: the scheduler picks which processes take a step at each
+// network tick.
+type Engine[V any] struct {
+	g       graph.Graph
+	procs   []Proc[V]
+	emit    []V
+	started []bool
+	buffers [][]Message[V]
+	done    []bool
+	crashed []bool
+	outputs []int
+	acts    []int
+	limits  []int
+	tick    int
+}
+
+// NewEngine builds a DECOUPLED engine. The layer starts relaying a node's
+// value after the node's first step.
+func NewEngine[V any](g graph.Graph, procs []Proc[V]) (*Engine[V], error) {
+	if len(procs) != g.N() {
+		return nil, fmt.Errorf("decoupled: %d procs for graph %s with %d nodes", len(procs), g.Name(), g.N())
+	}
+	n := g.N()
+	e := &Engine[V]{
+		g:       g,
+		procs:   procs,
+		emit:    make([]V, n),
+		started: make([]bool, n),
+		buffers: make([][]Message[V], n),
+		done:    make([]bool, n),
+		crashed: make([]bool, n),
+		outputs: make([]int, n),
+		acts:    make([]int, n),
+		limits:  make([]int, n),
+	}
+	for i := range e.outputs {
+		e.outputs[i] = -1
+		e.limits[i] = -1
+	}
+	return e, nil
+}
+
+// CrashAfter crashes process i after k steps (0 = never wakes). A crashed
+// process takes no further steps, but the layer keeps relaying its last
+// emitted value: reliability belongs to the network, not the process.
+func (e *Engine[V]) CrashAfter(i, k int) {
+	e.limits[i] = k
+	if k <= e.acts[i] {
+		e.crashed[i] = true
+	}
+}
+
+// N implements schedule.State.
+func (e *Engine[V]) N() int { return len(e.procs) }
+
+// Time implements schedule.State.
+func (e *Engine[V]) Time() int { return e.tick + 1 }
+
+// Working implements schedule.State.
+func (e *Engine[V]) Working(i int) bool { return !e.done[i] && !e.crashed[i] }
+
+// Activations implements schedule.State.
+func (e *Engine[V]) Activations(i int) int { return e.acts[i] }
+
+var _ schedule.State = (*Engine[int])(nil)
+
+// Tick advances the network one synchronous round — delivering every
+// started node's current value into its neighbors' buffers — and then
+// runs one asynchronous step of each scheduled working process. It
+// returns the processes that actually stepped.
+func (e *Engine[V]) Tick(active []int) []int {
+	e.tick++
+	for u := 0; u < e.g.N(); u++ {
+		if !e.started[u] {
+			continue
+		}
+		for _, v := range e.g.Neighbors(u) {
+			slot := neighborSlot(e.g, v, u)
+			e.buffers[v] = append(e.buffers[v], Message[V]{Round: e.tick, From: slot, Value: e.emit[u]})
+		}
+	}
+	performed := make([]int, 0, len(active))
+	seen := make(map[int]bool, len(active))
+	for _, i := range active {
+		if i < 0 || i >= len(e.procs) || seen[i] || !e.Working(i) {
+			continue
+		}
+		seen[i] = true
+		performed = append(performed, i)
+		buf := e.buffers[i]
+		e.buffers[i] = nil
+		emit, done, output := e.procs[i].Step(e.tick, buf)
+		e.acts[i]++
+		e.emit[i] = emit
+		e.started[i] = true
+		if done {
+			e.done[i] = true
+			e.outputs[i] = output
+		} else if e.limits[i] >= 0 && e.acts[i] >= e.limits[i] {
+			e.crashed[i] = true
+		}
+	}
+	return performed
+}
+
+// neighborSlot returns the index of u in v's neighbor list.
+func neighborSlot(g graph.Graph, v, u int) int {
+	for k, w := range g.Neighbors(v) {
+		if w == u {
+			return k
+		}
+	}
+	return -1
+}
+
+// Run drives the engine until every process settles or maxTicks elapse.
+// Several consecutive ticks without any process step crash the remaining
+// processes, as in the state model.
+func (e *Engine[V]) Run(s schedule.Scheduler, maxTicks int) (Result, error) {
+	empties := 0
+	for !e.allSettled() {
+		if e.tick >= maxTicks {
+			return e.result(), fmt.Errorf("%w: %d ticks, scheduler %s", ErrStepLimit, e.tick, s.Name())
+		}
+		if performed := e.Tick(s.Next(e)); len(performed) == 0 {
+			empties++
+			// As in the state-model engine, sustained idling is treated as
+			// the adversary abandoning the remaining processes; the
+			// tolerance leaves room for deliberate sleep phases.
+			if empties >= 2048 {
+				for i := range e.crashed {
+					if e.Working(i) {
+						e.crashed[i] = true
+					}
+				}
+			}
+		} else {
+			empties = 0
+		}
+	}
+	return e.result(), nil
+}
+
+func (e *Engine[V]) allSettled() bool {
+	for i := range e.done {
+		if e.Working(i) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine[V]) result() Result {
+	return Result{
+		Outputs:     append([]int(nil), e.outputs...),
+		Done:        append([]bool(nil), e.done...),
+		Crashed:     append([]bool(nil), e.crashed...),
+		Activations: append([]int(nil), e.acts...),
+		CommRounds:  e.tick,
+	}
+}

@@ -1,0 +1,194 @@
+// Package expt implements the reproduction experiments E1–E17 and finding
+// F1 listed in DESIGN.md. Each experiment runs a parameter sweep and
+// returns a Table whose rows are what cmd/experiments prints and what
+// EXPERIMENTS.md records; the root benchmarks drive the same runners.
+//
+// The paper is a theory brief announcement with no empirical tables, so
+// each experiment operationalizes one theorem, lemma, or property: the
+// "paper" column of a table is the theorem's bound and the "measured"
+// column is what the implementation achieves.
+package expt
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid of string cells.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a row, formatting each cell with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddNote appends a free-form note printed under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteTo renders the table as aligned text.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, wd := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", wd))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the table as text.
+func (t *Table) String() string {
+	var b strings.Builder
+	if _, err := t.WriteTo(&b); err != nil {
+		return fmt.Sprintf("table %s: %v", t.ID, err)
+	}
+	return b.String()
+}
+
+// WriteMarkdown renders the table as a GitHub-flavored Markdown section.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if len(t.Notes) > 0 {
+		b.WriteByte('\n')
+		for _, n := range t.Notes {
+			fmt.Fprintf(&b, "> %s\n", n)
+		}
+	}
+	b.WriteByte('\n')
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return fmt.Errorf("expt: write markdown: %w", err)
+	}
+	return nil
+}
+
+// WriteCSV renders the table as CSV with an id column prepended, suitable
+// for downstream plotting. Notes are omitted.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(append([]string{"experiment"}, t.Columns...)); err != nil {
+		return fmt.Errorf("expt: write csv: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(append([]string{t.ID}, row...)); err != nil {
+			return fmt.Errorf("expt: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("expt: write csv: %w", err)
+	}
+	return nil
+}
+
+// Options tune the sweeps. The zero value runs the full experiment suite;
+// Quick shrinks parameter ranges for fast test runs.
+type Options struct {
+	Quick bool
+	Seed  int64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+// Runner names one experiment and how to produce its table.
+type Runner struct {
+	ID  string
+	Run func(Options) *Table
+}
+
+// Runners lists every experiment in order, lazily: nothing executes until
+// a Runner's Run is called.
+func Runners() []Runner {
+	return []Runner{
+		{"E1", E1Alg1Termination},
+		{"E2", E2Alg2Linear},
+		{"E3", E3Alg3LogStar},
+		{"E4", E4Crossover},
+		{"E5", E5ColeVishkin},
+		{"E6", E6CrashTolerance},
+		{"E7", E7MISImpossibility},
+		{"E8", E8PaletteTightness},
+		{"E9", E9GeneralGraphs},
+		{"E10", E10SyncBaseline},
+		{"E11", E11Renaming},
+		{"E12", E12IdentifierInvariant},
+		{"E13", E13Concurrent},
+		{"E14", E14Decoupled},
+		{"E15", E15SSBReduction},
+		{"E16", E16ProgressClasses},
+		{"E17", E17Ablations},
+		{"F1", F1Livelock},
+	}
+}
+
+// All runs every experiment in order.
+func All(o Options) []*Table {
+	runners := Runners()
+	tables := make([]*Table, len(runners))
+	for i, r := range runners {
+		tables[i] = r.Run(o)
+	}
+	return tables
+}

@@ -1,0 +1,94 @@
+package expt
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestE14ShapeThreeColors(t *testing.T) {
+	tb := E14Decoupled(Options{Quick: true})
+	if len(tb.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	for r := range tb.Rows {
+		if cell(t, tb, r, "survivors colored") != "true" || cell(t, tb, r, "proper") != "true" {
+			t.Errorf("row %d: correctness flags false", r)
+		}
+		colors := atoi(t, cell(t, tb, r, "colors used"))
+		if colors > 3 {
+			t.Errorf("row %d: %d colors used; DECOUPLED should need ≤ 3", r, colors)
+		}
+	}
+}
+
+func TestE15ShapeDichotomy(t *testing.T) {
+	tb := E15SSBReduction(Options{Quick: true})
+	for r := range tb.Rows {
+		waitFree := cell(t, tb, r, "wait-free") == "true"
+		ssbOK := cell(t, tb, r, "SSB conditions hold") == "true"
+		if waitFree && ssbOK {
+			t.Errorf("row %d (%s): wait-free AND SSB-correct — would contradict Attiya–Paz",
+				r, tb.Rows[r][0])
+		}
+		if !waitFree && !ssbOK {
+			t.Errorf("row %d (%s): expected exactly one failure mode", r, tb.Rows[r][0])
+		}
+	}
+}
+
+func TestE16ShapeProgressHierarchy(t *testing.T) {
+	tb := E16ProgressClasses(Options{Quick: true})
+	want := map[string][3]string{
+		"reduction component only": {"false", "false", "true"},
+		"full Algorithm 3":         {"true", "true", "true"},
+		"greedy MIS":               {"false", "false", "true"},
+	}
+	for r := range tb.Rows {
+		label := tb.Rows[r][0]
+		w, ok := want[label]
+		if !ok {
+			t.Errorf("unexpected row %q", label)
+			continue
+		}
+		got := [3]string{
+			cell(t, tb, r, "wait-free"),
+			cell(t, tb, r, "obstruction-free"),
+			cell(t, tb, r, "starvation-free"),
+		}
+		if got != w {
+			t.Errorf("%s: classes %v, want %v", label, got, w)
+		}
+	}
+}
+
+func TestE17ShapeAblations(t *testing.T) {
+	tb := E17Ablations(Options{Quick: true})
+	lemma := map[string]string{}
+	acts := map[string]int{}
+	for r := range tb.Rows {
+		label := tb.Rows[r][0]
+		lemma[label] = cell(t, tb, r, "Lemma 4.5 holds")
+		if s := cell(t, tb, r, "max acts (n=512, sequential)"); s != "-" {
+			v, err := strconv.Atoi(s)
+			if err != nil {
+				t.Fatalf("%s: bad acts %q", label, s)
+			}
+			acts[label] = v
+		}
+		if cell(t, tb, r, "proper coloring") != "true" {
+			t.Errorf("%s: coloring safety must survive every ablation", label)
+		}
+	}
+	if lemma["full Algorithm 3"] != "true" || lemma["no-evade"] != "true" || lemma["eager-inf"] != "true" {
+		t.Errorf("Lemma 4.5 verdicts wrong for safe variants: %v", lemma)
+	}
+	if lemma["no-green-light"] != "false" {
+		t.Error("no-green-light should violate Lemma 4.5")
+	}
+	if lemma["eager-evade"] != "false" {
+		t.Error("eager-evade should violate Lemma 4.5")
+	}
+	if acts["eager-inf"] < 10*acts["full Algorithm 3"] {
+		t.Errorf("eager-inf should degenerate: %d vs %d", acts["eager-inf"], acts["full Algorithm 3"])
+	}
+}

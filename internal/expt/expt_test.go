@@ -1,0 +1,290 @@
+package expt
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tb := &Table{ID: "T", Title: "demo", Columns: []string{"a", "longcol"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("xyz", true)
+	tb.AddNote("hello %d", 42)
+	out := tb.String()
+	if !strings.Contains(out, "T — demo") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(out, "2.50") {
+		t.Error("floats should render with two decimals")
+	}
+	if !strings.Contains(out, "note: hello 42") {
+		t.Error("missing note")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // header, columns, rule, 2 rows, note
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRunnersCoverAllExperiments(t *testing.T) {
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "F1"}
+	runners := Runners()
+	if len(runners) != len(want) {
+		t.Fatalf("got %d runners, want %d", len(runners), len(want))
+	}
+	for i, id := range want {
+		if runners[i].ID != id {
+			t.Errorf("runner %d = %s, want %s", i, runners[i].ID, id)
+		}
+	}
+}
+
+func cell(t *testing.T, tb *Table, row int, col string) string {
+	t.Helper()
+	for i, c := range tb.Columns {
+		if c == col {
+			if row >= len(tb.Rows) {
+				t.Fatalf("%s: row %d out of range", tb.ID, row)
+			}
+			return tb.Rows[row][i]
+		}
+	}
+	t.Fatalf("%s: no column %q", tb.ID, col)
+	return ""
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("not an int: %q", s)
+	}
+	return v
+}
+
+func atof(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("not a float: %q", s)
+	}
+	return v
+}
+
+// The experiment integration tests run each experiment in quick mode and
+// assert the *shape* of the reproduced result, not exact numbers.
+
+func TestE1ShapeWithinBound(t *testing.T) {
+	tb := E1Alg1Termination(Options{Quick: true})
+	if len(tb.Rows) == 0 {
+		t.Fatal("empty table")
+	}
+	for r := range tb.Rows {
+		bound := atoi(t, cell(t, tb, r, "bound"))
+		got := atoi(t, cell(t, tb, r, "sweep max"))
+		if got > bound {
+			t.Errorf("row %d: sweep max %d exceeds bound %d", r, got, bound)
+		}
+		if cell(t, tb, r, "proper") != "true" || cell(t, tb, r, "palette") != "true" {
+			t.Errorf("row %d: correctness flags false", r)
+		}
+	}
+}
+
+func TestE2ShapeLinear(t *testing.T) {
+	tb := E2Alg2Linear(Options{Quick: true})
+	first := atoi(t, cell(t, tb, 0, "max acts (incr ids)"))
+	last := atoi(t, cell(t, tb, len(tb.Rows)-1, "max acts (incr ids)"))
+	n0 := atoi(t, cell(t, tb, 0, "n"))
+	n1 := atoi(t, cell(t, tb, len(tb.Rows)-1, "n"))
+	// Linear shape: scaling n by k scales activations by ≈ k (at least k/2).
+	if last*2 < first*(n1/n0)/2 {
+		t.Errorf("activations not linear: %d@n=%d vs %d@n=%d", first, n0, last, n1)
+	}
+	foundFit := false
+	for _, note := range tb.Notes {
+		if strings.Contains(note, "slope=") {
+			foundFit = true
+			// R² close to 1 is asserted textually by the harness itself.
+			if !strings.Contains(note, "R²=1.000") && !strings.Contains(note, "R²=0.9") {
+				t.Errorf("weak linear fit: %s", note)
+			}
+		}
+	}
+	if !foundFit {
+		t.Error("missing linear-fit note")
+	}
+}
+
+func TestE3ShapeFlat(t *testing.T) {
+	tb := E3Alg3LogStar(Options{Quick: true})
+	first := atoi(t, cell(t, tb, 0, "max acts (incr)"))
+	last := atoi(t, cell(t, tb, len(tb.Rows)-1, "max acts (incr)"))
+	if last > first+6 {
+		t.Errorf("Algorithm 3 activations grew from %d to %d across the sweep", first, last)
+	}
+	if last > 40 {
+		t.Errorf("Algorithm 3 used %d activations; not O(log* n)-like", last)
+	}
+	for r := range tb.Rows {
+		if cell(t, tb, r, "proper") != "true" || cell(t, tb, r, "palette≤5") != "true" {
+			t.Errorf("row %d: correctness flags false", r)
+		}
+	}
+}
+
+func TestE4ShapeSpeedupGrows(t *testing.T) {
+	tb := E4Crossover(Options{Quick: true})
+	firstSpeedup := atof(t, cell(t, tb, 0, "speedup"))
+	lastSpeedup := atof(t, cell(t, tb, len(tb.Rows)-1, "speedup"))
+	if lastSpeedup < 4*firstSpeedup {
+		t.Errorf("speedup did not grow: %.2f → %.2f", firstSpeedup, lastSpeedup)
+	}
+	if lastSpeedup < 10 {
+		t.Errorf("final speedup %.2f < 10×", lastSpeedup)
+	}
+}
+
+func TestE5ShapeStaircase(t *testing.T) {
+	tb := E5ColeVishkin(Options{Quick: true})
+	for r := range tb.Rows {
+		b := atoi(t, cell(t, tb, r, "bound iterations"))
+		a := atoi(t, cell(t, tb, r, "adversarial iterations"))
+		if b > 5 || a > 5 {
+			t.Errorf("row %d: iterations (%d, %d) exceed the log* plateau", r, b, a)
+		}
+	}
+}
+
+func TestE6ShapeAllSurvive(t *testing.T) {
+	tb := E6CrashTolerance(Options{Quick: true})
+	if len(tb.Rows) < 8 {
+		t.Fatalf("only %d rows", len(tb.Rows))
+	}
+	for r := range tb.Rows {
+		if cell(t, tb, r, "survivors done") != "true" {
+			t.Errorf("row %d: survivors did not all terminate", r)
+		}
+		if cell(t, tb, r, "proper") != "true" {
+			t.Errorf("row %d: improper coloring", r)
+		}
+	}
+}
+
+func TestE7ShapeCertificates(t *testing.T) {
+	tb := E7MISImpossibility(Options{Quick: true})
+	for r := range tb.Rows {
+		candidate := tb.Rows[r][0]
+		cycle := cell(t, tb, r, "not wait-free (cycle)")
+		violation := cell(t, tb, r, "MIS violation found")
+		switch {
+		case strings.HasPrefix(candidate, "greedy"):
+			if cycle != "true" || violation != "false" {
+				t.Errorf("greedy row %d: cycle=%s violation=%s, want true/false", r, cycle, violation)
+			}
+		case strings.HasPrefix(candidate, "impatient"):
+			if cycle != "false" || violation != "true" {
+				t.Errorf("impatient row %d: cycle=%s violation=%s, want false/true", r, cycle, violation)
+			}
+		}
+	}
+}
+
+func TestE8ShapePaletteFills(t *testing.T) {
+	tb := E8PaletteTightness(Options{Quick: true})
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	wantMax := map[string]int{"3": 2, "4": 3, "5": 4}
+	for r := range tb.Rows {
+		n := cell(t, tb, r, "cycle C_n")
+		got := atoi(t, cell(t, tb, r, "max reachable color"))
+		if got != wantMax[n] {
+			t.Errorf("C%s: max reachable color %d, want %d", n, got, wantMax[n])
+		}
+		if cell(t, tb, r, "violations") != "0" {
+			t.Errorf("C%s: safety violations", n)
+		}
+	}
+}
+
+func TestE9ShapePaletteHolds(t *testing.T) {
+	tb := E9GeneralGraphs(Options{Quick: true})
+	for r := range tb.Rows {
+		if cell(t, tb, r, "proper") != "true" || cell(t, tb, r, "palette ok") != "true" {
+			t.Errorf("row %d: correctness flags false", r)
+		}
+		delta := atoi(t, cell(t, tb, r, "Δ"))
+		maxSum := atoi(t, cell(t, tb, r, "max a+b seen"))
+		if maxSum > delta {
+			t.Errorf("row %d: pair sum %d exceeds Δ=%d", r, maxSum, delta)
+		}
+	}
+}
+
+func TestE10ShapeBaselineLogStar(t *testing.T) {
+	tb := E10SyncBaseline(Options{Quick: true})
+	for r := range tb.Rows {
+		rounds := atoi(t, cell(t, tb, r, "CV rounds (3 colors)"))
+		logstar := atoi(t, cell(t, tb, r, "log* n"))
+		if rounds > logstar+8 {
+			t.Errorf("row %d: %d CV rounds too many for log*=%d", r, rounds, logstar)
+		}
+		if cell(t, tb, r, "proper") != "true" {
+			t.Errorf("row %d: improper 3-coloring", r)
+		}
+	}
+}
+
+func TestE11ShapeNamesBounded(t *testing.T) {
+	tb := E11Renaming(Options{Quick: true})
+	for r := range tb.Rows {
+		bound := atoi(t, cell(t, tb, r, "name bound 2n−2"))
+		seen := atoi(t, cell(t, tb, r, "max name seen"))
+		if seen > bound {
+			t.Errorf("row %d: name %d exceeds 2n−2=%d", r, seen, bound)
+		}
+		if cell(t, tb, r, "all unique") != "true" {
+			t.Errorf("row %d: duplicate names", r)
+		}
+	}
+}
+
+func TestE12ShapeZeroViolations(t *testing.T) {
+	tb := E12IdentifierInvariant(Options{Quick: true})
+	for r := range tb.Rows {
+		if cell(t, tb, r, "violations") != "0" {
+			t.Errorf("row %d: Lemma 4.5 violations", r)
+		}
+		if atoi(t, cell(t, tb, r, "steps checked")) == 0 {
+			t.Errorf("row %d: nothing checked", r)
+		}
+	}
+}
+
+func TestE13ShapeConcurrentClean(t *testing.T) {
+	tb := E13Concurrent(Options{Quick: true})
+	for r := range tb.Rows {
+		if cell(t, tb, r, "survivors done") != "true" || cell(t, tb, r, "proper") != "true" {
+			t.Errorf("row %d: concurrent run failed checks", r)
+		}
+	}
+}
+
+func TestF1ShapeFinding(t *testing.T) {
+	tb := F1Livelock(Options{Quick: true})
+	for r := range tb.Rows {
+		alg := tb.Rows[r][0]
+		mode := cell(t, tb, r, "mode")
+		found := cell(t, tb, r, "livelock cycle found")
+		switch {
+		case mode == "interleaved" && found != "false":
+			t.Errorf("row %d: %s livelocks under interleaved semantics", r, alg)
+		case mode == "simultaneous" && alg == "pair" && found != "false":
+			t.Errorf("row %d: Algorithm 1 should be immune", r)
+		case mode == "simultaneous" && (alg == "five" || alg == "fast") && found != "true":
+			t.Errorf("row %d: finding F1 regression for %s", r, alg)
+		}
+	}
+}

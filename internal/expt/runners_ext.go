@@ -1,0 +1,245 @@
+package expt
+
+import (
+	"fmt"
+
+	"asynccycle/internal/ablation"
+	"asynccycle/internal/check"
+	"asynccycle/internal/core"
+	"asynccycle/internal/decoupled"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/mis"
+	"asynccycle/internal/model"
+	"asynccycle/internal/schedule"
+	"asynccycle/internal/sim"
+	"asynccycle/internal/ssb"
+)
+
+// E14Decoupled reproduces the separation from the DECOUPLED related work
+// (§1.4, [13], [18]): the synchronous communication layer makes wake-up
+// order common knowledge, so asynchronous crash-prone processes 3-color
+// the cycle — two fewer colors than the five that are provably necessary
+// in the paper's fully asynchronous state model (Property 2.3).
+func E14Decoupled(o Options) *Table {
+	t := &Table{
+		ID:      "E14",
+		Title:   "DECOUPLED separation (§1.4): 3 colors suffice with a synchronous layer, vs 5 without",
+		Columns: []string{"n", "scheduler", "initial crashes", "survivors colored", "colors used", "comm rounds", "proper"},
+	}
+	sizes := []int{8, 32, 128}
+	if !o.Quick {
+		sizes = append(sizes, 512)
+	}
+	for _, n := range sizes {
+		g := graph.MustCycle(n)
+		xs := ids.MustGenerate(ids.Random, n, o.seed())
+		scheds := []schedule.Scheduler{
+			schedule.Synchronous{},
+			schedule.NewRandomSubset(0.4, o.seed()),
+			schedule.NewRoundRobin(1),
+		}
+		for _, s := range scheds {
+			e, err := decoupled.NewEngine(g, decoupled.NewThreeColorNodes(xs))
+			if err != nil {
+				t.AddNote("n=%d: %v", n, err)
+				continue
+			}
+			crashes := 0
+			for i := 0; i < n; i += 5 {
+				e.CrashAfter(i, 0) // never wakes
+				crashes++
+			}
+			res, err := e.Run(s, 1000*n+10_000)
+			if err != nil {
+				t.AddNote("n=%d %s: %v", n, s.Name(), err)
+				continue
+			}
+			used := map[int]bool{}
+			proper := true
+			allSurvivors := true
+			for i := 0; i < n; i++ {
+				if res.Crashed[i] {
+					continue
+				}
+				if !res.Done[i] {
+					allSurvivors = false
+					continue
+				}
+				used[res.Outputs[i]] = true
+				j := (i + 1) % n
+				if res.Done[j] && res.Outputs[i] == res.Outputs[j] {
+					proper = false
+				}
+			}
+			t.AddRow(n, s.Name(), crashes, allSurvivors, len(used), res.CommRounds, proper)
+		}
+	}
+	t.AddNote("paper §1.4: DECOUPLED is strictly stronger — 3-coloring C3 is trivial there, impossible in the state model")
+	t.AddNote("mid-protocol crash tolerance at 3 colors is the contribution of [13] and out of scope; initial crashes and committed crashes are handled")
+	return t
+}
+
+// E15SSBReduction reproduces the construction inside Property 2.1's proof:
+// a wait-free MIS algorithm on C_n would yield a wait-free strong
+// symmetry-breaking algorithm on n shared-memory processes, contradicting
+// Attiya & Paz. Each MIS candidate is wrapped onto K_n (our engine's
+// shared-memory model) and model-checked against the SSB conditions.
+func E15SSBReduction(o Options) *Table {
+	t := &Table{
+		ID:      "E15",
+		Title:   "Property 2.1 reduction: MIS candidates wrapped as shared-memory SSB algorithms",
+		Columns: []string{"candidate", "K_n", "states", "wait-free", "SSB conditions hold"},
+	}
+	sizes := []int{3, 4}
+	for _, n := range sizes {
+		gK, err := graph.Complete(n)
+		if err != nil {
+			t.AddNote("n=%d: %v", n, err)
+			continue
+		}
+		xs := ids.MustGenerate(ids.Increasing, n, 0)
+		inv := func(e *sim.Engine[mis.Val]) error {
+			r := e.Result()
+			if v := ssb.Check(r.Outputs, r.Done); v != "" {
+				return fmt.Errorf("%s", v)
+			}
+			return nil
+		}
+		eg, _ := sim.NewEngine(gK, ssb.WrapCycle(mis.NewGreedyNodes(xs)))
+		repG := model.Explore(eg, model.Options{SingletonsOnly: true}, inv)
+		t.AddRow("greedy", n, repG.States, !repG.CycleFound, len(repG.Violations) == 0)
+
+		ei, _ := sim.NewEngine(gK, ssb.WrapCycle(mis.NewImpatientNodes(xs, 2)))
+		repI := model.Explore(ei, model.Options{SingletonsOnly: true}, inv)
+		t.AddRow("impatient(2)", n, repI.States, !repI.CycleFound, len(repI.Violations) == 0)
+	}
+	t.AddNote("no candidate is simultaneously wait-free and SSB-correct — exactly what the impossibility [6] mandates")
+	return t
+}
+
+// E16ProgressClasses certifies the paper's §1.3 progress-hierarchy
+// discussion on bounded instances: the identifier-reduction component of
+// Algorithm 3, run standalone, is starvation-free but neither wait-free
+// nor obstruction-free, while the full algorithm (its composition with
+// the coloring component) is wait-free — "bootstrapping a wait-free
+// algorithm from non-wait-free subcomponents".
+func E16ProgressClasses(o Options) *Table {
+	t := &Table{
+		ID:      "E16",
+		Title:   "Progress classes (§1.3): the reduction component alone vs the full Algorithm 3",
+		Columns: []string{"algorithm", "wait-free", "obstruction-free", "starvation-free"},
+	}
+	xs := []int{12, 25, 18} // above the constant-identifier regime
+	g := graph.MustCycle(3)
+	opt := model.Options{SingletonsOnly: true, MaxStates: 500_000}
+
+	classify := func(label string, mk func() []sim.Node[core.FastVal]) {
+		e1, _ := sim.NewEngine(g, mk())
+		rep := model.Explore(e1, opt, nil)
+		e2, _ := sim.NewEngine(g, mk())
+		counter, _ := model.ObstructionFree(e2, opt, 25)
+		e3, _ := sim.NewEngine(g, mk())
+		fair, _ := model.FairlyTerminates(e3, opt)
+		t.AddRow(label, !rep.CycleFound, counter == "", fair == "")
+	}
+	classify("reduction component only", func() []sim.Node[core.FastVal] {
+		return ablation.NewNodes(xs, ablation.ReducerOnly)
+	})
+	classify("full Algorithm 3", func() []sim.Node[core.FastVal] {
+		return core.NewFastNodes(xs)
+	})
+	// The MIS candidates slot into the same hierarchy.
+	eMis, _ := sim.NewEngine(g, mis.NewGreedyNodes(xs))
+	repMis := model.Explore(eMis, opt, nil)
+	eMis2, _ := sim.NewEngine(g, mis.NewGreedyNodes(xs))
+	counterMis, _ := model.ObstructionFree(eMis2, opt, 25)
+	eMis3, _ := sim.NewEngine(g, mis.NewGreedyNodes(xs))
+	fairMis, _ := model.FairlyTerminates(eMis3, opt)
+	t.AddRow("greedy MIS", !repMis.CycleFound, counterMis == "", fairMis == "")
+
+	t.AddNote("paper §1.3: the second component is not wait-free by itself but offers starvation-free progress;")
+	t.AddNote("the composition is wait-free — of independent interest. All three cells verified exhaustively on C3.")
+	return t
+}
+
+// E17Ablations removes each mechanism of Algorithm 3 in turn and records
+// what breaks: the green-light handshake guards Lemma 4.5; full
+// neighborhood information guards both the invariant (evasion) and the
+// O(log* n) bound (extremum freezing); the evasion step is a pure
+// accelerator.
+func E17Ablations(o Options) *Table {
+	t := &Table{
+		ID:      "E17",
+		Title:   "Ablations: which mechanism of Algorithm 3 guards which property",
+		Columns: []string{"variant", "Lemma 4.5 holds", "proper coloring", "max acts (n=512, sequential)"},
+	}
+	invFor := func(g graph.Graph) model.Invariant[core.FastVal] {
+		type xHolder interface{ X() int }
+		return func(e *sim.Engine[core.FastVal]) error {
+			for _, edge := range g.Edges() {
+				p, q := edge[0], edge[1]
+				xp := e.NodeState(p).(xHolder).X()
+				xq := e.NodeState(q).(xHolder).X()
+				if xp == xq {
+					return fmt.Errorf("X_%d == X_%d", p, q)
+				}
+				if rq := e.Register(q); rq.Present && xp == rq.Val.X {
+					return fmt.Errorf("X_%d == X̂_%d", p, q)
+				}
+				if rp := e.Register(p); rp.Present && xq == rp.Val.X {
+					return fmt.Errorf("X_%d == X̂_%d", q, p)
+				}
+			}
+			return nil
+		}
+	}
+
+	// Exhaustive invariant verdicts on a 4-cycle with structured ids, plus
+	// a performance probe on a 512-cycle.
+	probe := func(label string, mk4 func() []sim.Node[core.FastVal], mk512 func() []sim.Node[core.FastVal]) {
+		g4 := graph.MustCycle(4)
+		e4, _ := sim.NewEngine(g4, mk4())
+		inv := invFor(g4)
+		properViolated := false
+		combined := func(e *sim.Engine[core.FastVal]) error {
+			r := e.Result()
+			if err := check.ProperColoring(g4, r); err != nil {
+				properViolated = true
+				return err
+			}
+			return inv(e)
+		}
+		rep := model.Explore(e4, model.Options{SingletonsOnly: true, MaxStates: 1_000_000}, combined)
+		lemma45 := len(rep.Violations) == 0
+
+		g512 := graph.MustCycle(512)
+		e512, _ := sim.NewEngine(g512, mk512())
+		res, err := e512.Run(schedule.NewRoundRobin(1), 1_000_000)
+		acts := "-"
+		if err == nil {
+			acts = fmt.Sprintf("%d", res.MaxActivations())
+			if check.ProperColoring(g512, res) != nil {
+				properViolated = true
+			}
+		}
+		t.AddRow(label, lemma45, !properViolated, acts)
+	}
+
+	// One long monotone run with spread bit patterns: the instance on which
+	// the weakened variants' violations are reachable within C4's state
+	// space (found by exhaustive search; see ablation tests).
+	xs4 := []int{5, 12, 20, 30}
+	xs512 := ids.MustGenerate(ids.Increasing, 512, 0)
+	probe("full Algorithm 3", func() []sim.Node[core.FastVal] { return core.NewFastNodes(xs4) },
+		func() []sim.Node[core.FastVal] { return core.NewFastNodes(xs512) })
+	for _, v := range []ablation.Variant{ablation.NoGreenLight, ablation.NoEvade, ablation.EagerEvade, ablation.EagerInf} {
+		v := v
+		probe(v.String(), func() []sim.Node[core.FastVal] { return ablation.NewNodes(xs4, v) },
+			func() []sim.Node[core.FastVal] { return ablation.NewNodes(xs512, v) })
+	}
+	t.AddNote("no-green-light and eager-evade break Lemma 4.5 (coloring safety is guarded separately and survives);")
+	t.AddNote("eager-inf keeps all safety but degenerates to Θ(n); no-evade keeps everything — the evasion is a")
+	t.AddNote("constant-factor accelerator for local minima, invisible on this workload")
+	return t
+}

@@ -1,0 +1,199 @@
+// Package ids generates the identifier assignments the algorithms take as
+// input: unique integers from a poly(n) range (paper §2.1). Besides uniform
+// random assignments it provides the structured worst cases the analysis
+// singles out — fully increasing identifiers around the cycle create the
+// Θ(n) monotone chains that make Algorithm 2 slow (Remark 3.10), which is
+// precisely what Algorithm 3's identifier reduction dismantles.
+package ids
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Assignment names a reproducible identifier-generation strategy.
+type Assignment int
+
+const (
+	// Random draws a uniform random set of n distinct identifiers from
+	// [0, n²) — the "typical" poly(n) input.
+	Random Assignment = iota + 1
+	// Increasing assigns 1, 2, …, n in cycle order: one monotone chain of
+	// length n−1, the worst case for Algorithms 1 and 2.
+	Increasing
+	// Decreasing assigns n, n−1, …, 1 in cycle order (the mirror worst
+	// case).
+	Decreasing
+	// Zigzag alternates low and high identifiers, so every node is a local
+	// extremum: the best case, with monotone chains of length 1.
+	Zigzag
+	// SpacedIncreasing is Increasing with identifiers spread to the top of
+	// the n² range (n², 2n², … scaled within range): long monotone chains of
+	// identifiers with many bits, maximizing Cole–Vishkin reduction work.
+	SpacedIncreasing
+)
+
+var assignmentNames = map[Assignment]string{
+	Random:           "random",
+	Increasing:       "increasing",
+	Decreasing:       "decreasing",
+	Zigzag:           "zigzag",
+	SpacedIncreasing: "spaced-increasing",
+}
+
+// String returns the assignment's name, e.g. "random".
+func (a Assignment) String() string {
+	if s, ok := assignmentNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("assignment(%d)", int(a))
+}
+
+// All lists every named assignment, for sweeps.
+func All() []Assignment {
+	return []Assignment{Random, Increasing, Decreasing, Zigzag, SpacedIncreasing}
+}
+
+// ErrUnknownAssignment is returned by Generate for an unrecognized strategy.
+var ErrUnknownAssignment = errors.New("ids: unknown assignment")
+
+// Generate produces n distinct non-negative identifiers per the strategy.
+// Random (and only Random) consumes the seed.
+func Generate(a Assignment, n int, seed int64) ([]int, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("ids: negative n %d", n)
+	}
+	switch a {
+	case Random:
+		return RandomIDs(n, seed), nil
+	case Increasing:
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i + 1
+		}
+		return out, nil
+	case Decreasing:
+		out := make([]int, n)
+		for i := range out {
+			out[i] = n - i
+		}
+		return out, nil
+	case Zigzag:
+		out := make([]int, n)
+		for i := range out {
+			if i%2 == 0 {
+				out[i] = i + 1 // low band: 1, 3, 5, …
+			} else {
+				out[i] = n + i + 1 // high band: n+2, n+4, …
+			}
+		}
+		return out, nil
+	case SpacedIncreasing:
+		out := make([]int, n)
+		step := n // spread over [n, n²+n): still poly(n), with ~2·log n bits
+		for i := range out {
+			out[i] = (i + 1) * step
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownAssignment, int(a))
+	}
+}
+
+// MustGenerate is Generate but panics on error; for statically valid inputs.
+func MustGenerate(a Assignment, n int, seed int64) []int {
+	out, err := Generate(a, n, seed)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// RandomIDs returns n distinct identifiers drawn uniformly from [0, n²)
+// (or [0, 4) for n < 2, keeping the range nonempty), in random cycle order.
+func RandomIDs(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	rangeMax := n * n
+	if rangeMax < 4 {
+		rangeMax = 4
+	}
+	chosen := make(map[int]bool, n)
+	out := make([]int, 0, n)
+	for len(out) < n {
+		x := rng.Intn(rangeMax)
+		if !chosen[x] {
+			chosen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Unique reports whether all identifiers are distinct and non-negative —
+// the paper's global input precondition.
+func Unique(xs []int) bool {
+	seen := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		if x < 0 || seen[x] {
+			return false
+		}
+		seen[x] = true
+	}
+	return true
+}
+
+// ProperOnCycle reports whether the assignment properly colors the n-cycle
+// in its given order, i.e. consecutive values (cyclically) differ. Per
+// Remark 3.10 this weaker precondition already suffices for Theorem 3.1.
+func ProperOnCycle(xs []int) bool {
+	n := len(xs)
+	if n < 3 {
+		return false
+	}
+	for i := range xs {
+		if xs[i] < 0 || xs[i] == xs[(i+1)%n] {
+			return false
+		}
+	}
+	return true
+}
+
+// LongestMonotoneChain returns the length (edge count) of the longest
+// sub-path of the cycle along which identifiers strictly increase. By
+// Remark 3.10 this quantity governs the convergence time of Algorithms 1
+// and 2.
+func LongestMonotoneChain(xs []int) int {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	best := 0
+	for dir := 0; dir < 2; dir++ { // both traversal directions
+		run := 0
+		// 2n steps to capture chains crossing the seam of the cycle.
+		for i := 1; i < 2*n; i++ {
+			var prev, cur int
+			if dir == 0 {
+				prev, cur = xs[(i-1)%n], xs[i%n]
+			} else {
+				prev, cur = xs[(2*n-i)%n], xs[(2*n-i-1)%n]
+			}
+			if cur > prev {
+				run++
+				if run > best {
+					best = run
+				}
+				if run >= n { // fully monotone cycle is impossible; cap
+					break
+				}
+			} else {
+				run = 0
+			}
+		}
+	}
+	if best > n-1 {
+		best = n - 1
+	}
+	return best
+}

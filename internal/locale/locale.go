@@ -1,0 +1,103 @@
+// Package locale implements the synchronous failure-free LOCAL model
+// baseline the paper compares against (§1.1): Cole–Vishkin deterministic
+// coin tossing, which 3-colors the oriented n-node cycle in
+// ½·log* n + O(1) synchronous rounds. It provides the quantitative
+// comparison point for Algorithm 3's O(log* n) asynchronous round bound.
+//
+// Unlike the asynchronous packages, communication here is lock-step: in
+// each round every node reads its successor's current color (the LOCAL
+// model gives the cycle an orientation for this classic algorithm) and
+// applies the reduction simultaneously.
+package locale
+
+import (
+	"fmt"
+	"math/bits"
+
+	"asynccycle/internal/ids"
+)
+
+// reduce is the classic Cole–Vishkin step on an oriented edge: given the
+// node's color x and its successor's color y with x ≠ y, return 2k + x_k
+// where k is the lowest bit position at which x and y differ. Two adjacent
+// nodes get distinct results, so the coloring stays proper.
+func reduce(x, y int) int {
+	k := bits.TrailingZeros(uint(x ^ y))
+	return 2*k + (x>>uint(k))&1
+}
+
+// ThreeColorCycle properly 3-colors the cycle whose node i has identifier
+// xs[i] and successor (i+1) mod n, returning the colors (in {0, 1, 2}) and
+// the number of synchronous rounds used. Identifiers must be distinct and
+// non-negative.
+func ThreeColorCycle(xs []int) (colors []int, rounds int, err error) {
+	n := len(xs)
+	if n < 3 {
+		return nil, 0, fmt.Errorf("locale: cycle of length %d too short", n)
+	}
+	if !ids.Unique(xs) {
+		return nil, 0, fmt.Errorf("locale: identifiers not distinct non-negative")
+	}
+	colors = append([]int(nil), xs...)
+
+	// Phase 1: iterate Cole–Vishkin until all colors are in {0, …, 5}.
+	// Once every color has at most 3 bits, differing positions are ≤ 2 and
+	// the reduction maps into {0, …, 5}, a fixed range.
+	for !allBelow(colors, 6) {
+		next := make([]int, n)
+		for i := 0; i < n; i++ {
+			next[i] = reduce(colors[i], colors[(i+1)%n])
+		}
+		colors = next
+		rounds++
+	}
+
+	// Phase 2: eliminate colors 5, 4, 3 one synchronous round each. All
+	// nodes of the eliminated color class recolor simultaneously with the
+	// smallest color unused by their two neighbors; the class is an
+	// independent set (the coloring is proper), so this is safe, and with
+	// two neighbors the replacement is always ≤ 2.
+	for drop := 5; drop >= 3; drop-- {
+		next := append([]int(nil), colors...)
+		for i := 0; i < n; i++ {
+			if colors[i] != drop {
+				continue
+			}
+			l, r := colors[(i+n-1)%n], colors[(i+1)%n]
+			for c := 0; c <= 2; c++ {
+				if c != l && c != r {
+					next[i] = c
+					break
+				}
+			}
+		}
+		colors = next
+		rounds++
+	}
+	return colors, rounds, nil
+}
+
+// allBelow reports whether every value is < k.
+func allBelow(xs []int, k int) bool {
+	for _, x := range xs {
+		if x >= k {
+			return false
+		}
+	}
+	return true
+}
+
+// ProperCycleColoring reports whether colors properly color the n-cycle in
+// index order.
+func ProperCycleColoring(colors []int) bool {
+	n := len(colors)
+	if n < 3 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if colors[i] == colors[(i+1)%n] {
+			return false
+		}
+	}
+	return true
+}

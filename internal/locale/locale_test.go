@@ -1,0 +1,114 @@
+package locale
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asynccycle/internal/cv"
+	"asynccycle/internal/ids"
+)
+
+func TestThreeColorCycleSmall(t *testing.T) {
+	for _, n := range []int{3, 4, 5, 8, 16} {
+		xs := ids.MustGenerate(ids.Random, n, int64(n))
+		colors, rounds, err := ThreeColorCycle(xs)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !ProperCycleColoring(colors) {
+			t.Errorf("n=%d: improper coloring %v", n, colors)
+		}
+		for i, c := range colors {
+			if c < 0 || c > 2 {
+				t.Errorf("n=%d node %d: color %d outside {0,1,2}", n, i, c)
+			}
+		}
+		if rounds < 3 { // at least the three shift-down rounds
+			t.Errorf("n=%d: %d rounds", n, rounds)
+		}
+	}
+}
+
+func TestThreeColorCycleAssignments(t *testing.T) {
+	for _, a := range ids.All() {
+		xs := ids.MustGenerate(a, 64, 7)
+		colors, _, err := ThreeColorCycle(xs)
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if !ProperCycleColoring(colors) {
+			t.Errorf("%s: improper coloring", a)
+		}
+	}
+}
+
+func TestThreeColorCycleRoundsTrackLogStar(t *testing.T) {
+	prev := 0
+	for _, n := range []int{8, 256, 65_536, 1 << 20} {
+		xs := ids.MustGenerate(ids.Random, n, 13)
+		_, rounds, err := ThreeColorCycle(xs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		budget := cv.LogStar(float64(n)) + 8
+		if rounds > budget {
+			t.Errorf("n=%d: %d rounds exceed log* budget %d", n, rounds, budget)
+		}
+		if rounds < prev-2 {
+			t.Errorf("rounds not roughly monotone: n=%d got %d after %d", n, rounds, prev)
+		}
+		prev = rounds
+	}
+}
+
+func TestThreeColorCycleErrors(t *testing.T) {
+	if _, _, err := ThreeColorCycle([]int{1, 2}); err == nil {
+		t.Error("accepted n=2")
+	}
+	if _, _, err := ThreeColorCycle([]int{1, 2, 1}); err == nil {
+		t.Error("accepted duplicate identifiers")
+	}
+	if _, _, err := ThreeColorCycle([]int{1, -2, 3}); err == nil {
+		t.Error("accepted negative identifier")
+	}
+}
+
+func TestReduceStepPreservesProper(t *testing.T) {
+	// One reduce round on any distinct pair yields distinct results for
+	// adjacent applications: reduce(x, y) ≠ reduce(y, z) when x≠y, y≠z
+	// share the classic Cole–Vishkin argument.
+	prop := func(a, b, c uint32) bool {
+		x, y, z := int(a), int(b), int(c)
+		if x == y || y == z {
+			return true
+		}
+		return reduce(x, y) != reduce(y, z) || x == z
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20_000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProperCycleColoring(t *testing.T) {
+	tests := []struct {
+		colors []int
+		want   bool
+	}{
+		{[]int{0, 1, 2}, true},
+		{[]int{0, 1, 0, 1}, true},
+		{[]int{0, 1, 1}, false},
+		{[]int{0, 1, 0}, false}, // wrap collision
+		{[]int{0, 1}, false},    // too short
+	}
+	for _, tt := range tests {
+		if got := ProperCycleColoring(tt.colors); got != tt.want {
+			t.Errorf("ProperCycleColoring(%v) = %t", tt.colors, got)
+		}
+	}
+}
+
+func TestAllBelow(t *testing.T) {
+	if !allBelow([]int{1, 2}, 3) || allBelow([]int{1, 3}, 3) {
+		t.Error("allBelow wrong")
+	}
+}

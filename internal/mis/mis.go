@@ -1,0 +1,244 @@
+// Package mis provides candidate algorithms for maximal independent set on
+// the asynchronous cycle, used to illustrate Property 2.1: MIS is *not*
+// solvable wait-free in this model. Since the impossibility is proved by
+// reduction (to strong symmetry breaking), no candidate can work; this
+// package exhibits the two characteristic failure modes on natural
+// attempts, which the bounded model checker certifies on small cycles:
+//
+//   - Greedy (decide In when locally maximal, Out when a neighbor is In)
+//     is safe but not wait-free: a process adjacent to a never-scheduled
+//     higher-identifier neighbor loops forever (the checker finds a
+//     configuration-graph cycle).
+//   - Impatient (like Greedy, but presume a silent higher neighbor crashed
+//     after Patience rounds and decide In) is wait-free but unsafe: the
+//     checker finds an execution with two adjacent In outputs.
+//
+// Outputs: Out = 0, In = 1 (matching the problem statement in §2.3).
+package mis
+
+import (
+	"fmt"
+
+	"asynccycle/internal/sim"
+)
+
+// Output values.
+const (
+	Out = 0
+	In  = 1
+)
+
+// Val is the register content of both candidates.
+type Val struct {
+	X       int
+	Decided bool
+	Member  bool // valid only if Decided
+}
+
+// Greedy is the classic sequential-greedy MIS adapted naively: wait until
+// every higher-identifier neighbor has decided; join the MIS if none of
+// them joined, else stay out. It is correct in the synchronous failure-free
+// LOCAL model but merely starvation-free here — not wait-free.
+type Greedy struct {
+	x       int
+	decided bool
+	member  bool
+}
+
+// NewGreedy returns a Greedy process with the given identifier.
+func NewGreedy(id int) *Greedy { return &Greedy{x: id} }
+
+// Publish implements sim.Node.
+func (g *Greedy) Publish() Val { return Val{X: g.x, Decided: g.decided, Member: g.member} }
+
+// Observe implements sim.Node.
+func (g *Greedy) Observe(view []sim.Cell[Val]) sim.Decision {
+	if g.decided {
+		return g.ret()
+	}
+	higherUndecided := false
+	neighborIn := false
+	for _, c := range view {
+		if !c.Present {
+			higherUndecided = true // an unseen neighbor may outrank us; wait
+			continue
+		}
+		if c.Val.Decided {
+			if c.Val.Member {
+				neighborIn = true
+			}
+			continue
+		}
+		if c.Val.X > g.x {
+			higherUndecided = true
+		}
+	}
+	switch {
+	case neighborIn:
+		g.decided, g.member = true, false
+	case !higherUndecided:
+		g.decided, g.member = true, true
+	default:
+		// Wait for higher neighbors: the non-wait-free step.
+	}
+	// A fresh decision is not returned yet: it must first be published, so
+	// the node returns at its next round (rounds write before they read).
+	return sim.Decision{}
+}
+
+func (g *Greedy) ret() sim.Decision {
+	out := Out
+	if g.member {
+		out = In
+	}
+	return sim.Decision{Return: true, Output: out}
+}
+
+// Clone implements sim.Node.
+func (g *Greedy) Clone() sim.Node[Val] {
+	cp := *g
+	return &cp
+}
+
+var _ sim.Node[Val] = (*Greedy)(nil)
+
+// NewGreedyNodes builds one Greedy process per identifier.
+func NewGreedyNodes(xs []int) []sim.Node[Val] {
+	nodes := make([]sim.Node[Val], len(xs))
+	for i, x := range xs {
+		nodes[i] = NewGreedy(x)
+	}
+	return nodes
+}
+
+// Impatient behaves like Greedy but gives up waiting after Patience rounds
+// and joins the MIS, presuming silent higher neighbors crashed. This buys
+// wait-freedom at the price of safety: a slow-but-alive higher neighbor
+// can make the same presumption, yielding two adjacent members.
+type Impatient struct {
+	Patience int
+	x        int
+	waited   int
+	decided  bool
+	member   bool
+}
+
+// NewImpatient returns an Impatient process with the given identifier and
+// patience bound (≥ 1).
+func NewImpatient(id, patience int) *Impatient {
+	if patience < 1 {
+		patience = 1
+	}
+	return &Impatient{x: id, Patience: patience}
+}
+
+// Publish implements sim.Node.
+func (m *Impatient) Publish() Val { return Val{X: m.x, Decided: m.decided, Member: m.member} }
+
+// Observe implements sim.Node.
+func (m *Impatient) Observe(view []sim.Cell[Val]) sim.Decision {
+	if m.decided {
+		return m.ret()
+	}
+	higherUndecided := false
+	neighborIn := false
+	for _, c := range view {
+		if !c.Present {
+			higherUndecided = true
+			continue
+		}
+		if c.Val.Decided {
+			if c.Val.Member {
+				neighborIn = true
+			}
+			continue
+		}
+		if c.Val.X > m.x {
+			higherUndecided = true
+		}
+	}
+	switch {
+	case neighborIn:
+		m.decided, m.member = true, false
+	case !higherUndecided:
+		m.decided, m.member = true, true
+	default:
+		m.waited++
+		if m.waited >= m.Patience {
+			m.decided, m.member = true, true // presume the laggards crashed
+		}
+	}
+	// As in Greedy, a fresh decision is published before being returned.
+	return sim.Decision{}
+}
+
+func (m *Impatient) ret() sim.Decision {
+	out := Out
+	if m.member {
+		out = In
+	}
+	return sim.Decision{Return: true, Output: out}
+}
+
+// Clone implements sim.Node.
+func (m *Impatient) Clone() sim.Node[Val] {
+	cp := *m
+	return &cp
+}
+
+var _ sim.Node[Val] = (*Impatient)(nil)
+
+// NewImpatientNodes builds one Impatient process per identifier with the
+// given patience.
+func NewImpatientNodes(xs []int, patience int) []sim.Node[Val] {
+	nodes := make([]sim.Node[Val], len(xs))
+	for i, x := range xs {
+		nodes[i] = NewImpatient(x, patience)
+	}
+	return nodes
+}
+
+// ViolatesMIS checks an outcome against the MIS specification on the given
+// edges: (1) no two adjacent terminated processes are both In, and (2)
+// every terminated Out process has a terminated In neighbor when all its
+// neighbors terminated. It returns a description of the first violation,
+// or "".
+func ViolatesMIS(edges [][2]int, n int, outputs []int, done []bool) string {
+	adjIn := make([]bool, n)
+	allNbDone := make([]bool, n)
+	for i := range allNbDone {
+		allNbDone[i] = true
+	}
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if done[u] && done[v] && outputs[u] == In && outputs[v] == In {
+			return violationAdjacent(u, v)
+		}
+		if done[v] && outputs[v] == In {
+			adjIn[u] = true
+		}
+		if done[u] && outputs[u] == In {
+			adjIn[v] = true
+		}
+		if !done[u] {
+			allNbDone[v] = false
+		}
+		if !done[v] {
+			allNbDone[u] = false
+		}
+	}
+	for i := 0; i < n; i++ {
+		if done[i] && outputs[i] == Out && allNbDone[i] && !adjIn[i] {
+			return violationUncovered(i)
+		}
+	}
+	return ""
+}
+
+func violationAdjacent(u, v int) string {
+	return fmt.Sprintf("adjacent nodes %d and %d both in MIS", u, v)
+}
+
+func violationUncovered(i int) string {
+	return fmt.Sprintf("node %d out of MIS with no In neighbor", i)
+}

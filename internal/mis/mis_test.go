@@ -1,0 +1,166 @@
+package mis_test
+
+import (
+	"fmt"
+	"testing"
+
+	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/mis"
+	"asynccycle/internal/model"
+	"asynccycle/internal/schedule"
+	"asynccycle/internal/sim"
+)
+
+func misInvariant(g graph.Graph) model.Invariant[mis.Val] {
+	return func(e *sim.Engine[mis.Val]) error {
+		r := e.Result()
+		if v := mis.ViolatesMIS(g.Edges(), g.N(), r.Outputs, r.Done); v != "" {
+			return fmt.Errorf("%s", v)
+		}
+		return nil
+	}
+}
+
+func TestViolatesMIS(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 0}} // C3
+	allDone := []bool{true, true, true}
+	tests := []struct {
+		name    string
+		outputs []int
+		done    []bool
+		wantHit bool
+	}{
+		{"valid single in", []int{mis.In, mis.Out, mis.Out}, allDone, false},
+		{"adjacent both in", []int{mis.In, mis.In, mis.Out}, allDone, true},
+		{"uncovered out", []int{mis.Out, mis.Out, mis.Out}, allDone, true},
+		{"partial: undecided neighbor exempts", []int{mis.Out, mis.Out, mis.Out}, []bool{true, true, false}, false},
+		{"partial adjacent in still caught", []int{mis.In, mis.In, mis.Out}, []bool{true, true, false}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := mis.ViolatesMIS(edges, 3, tt.outputs, tt.done)
+			if (got != "") != tt.wantHit {
+				t.Errorf("ViolatesMIS = %q, wantHit=%t", got, tt.wantHit)
+			}
+		})
+	}
+}
+
+func TestGreedySolvesMISSynchronouslyWithoutFaults(t *testing.T) {
+	// Under the synchronous failure-free schedule the greedy candidate
+	// does compute a valid MIS — the impossibility bites only with
+	// asynchrony and crashes.
+	for _, n := range []int{3, 4, 7, 16} {
+		g := graph.MustCycle(n)
+		xs := ids.MustGenerate(ids.Random, n, int64(n))
+		e, _ := sim.NewEngine(g, mis.NewGreedyNodes(xs))
+		res, err := e.Run(schedule.Synchronous{}, 10_000)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.TerminatedCount() != n {
+			t.Fatalf("n=%d: only %d terminated", n, res.TerminatedCount())
+		}
+		if v := mis.ViolatesMIS(g.Edges(), n, res.Outputs, res.Done); v != "" {
+			t.Errorf("n=%d: %s", n, v)
+		}
+	}
+}
+
+func TestGreedyIsSafeButNotWaitFree(t *testing.T) {
+	for _, n := range []int{3, 4} {
+		g := graph.MustCycle(n)
+		xs := ids.MustGenerate(ids.Increasing, n, 0)
+		e, _ := sim.NewEngine(g, mis.NewGreedyNodes(xs))
+		rep := model.Explore(e, model.Options{SingletonsOnly: true}, misInvariant(g))
+		if len(rep.Violations) > 0 {
+			t.Errorf("C%d: greedy violated MIS safety: %v", n, rep.Violations)
+		}
+		if !rep.CycleFound {
+			t.Errorf("C%d: greedy should livelock (not wait-free)", n)
+		}
+	}
+}
+
+func TestImpatientIsWaitFreeButUnsafe(t *testing.T) {
+	for _, n := range []int{3, 4} {
+		g := graph.MustCycle(n)
+		xs := ids.MustGenerate(ids.Increasing, n, 0)
+		e, _ := sim.NewEngine(g, mis.NewImpatientNodes(xs, 2))
+		rep := model.Explore(e, model.Options{SingletonsOnly: true}, misInvariant(g))
+		if rep.CycleFound {
+			t.Errorf("C%d: impatient should be wait-free", n)
+		}
+		if len(rep.Violations) == 0 {
+			t.Errorf("C%d: impatient should admit an MIS violation", n)
+		}
+	}
+}
+
+func TestGreedyBlocksOnSleepingHigherNeighbor(t *testing.T) {
+	// Concretely: node 0 (highest id asleep forever) starves node 1.
+	g := graph.MustCycle(3)
+	e, _ := sim.NewEngine(g, mis.NewGreedyNodes([]int{9, 5, 1}))
+	e.CrashAfter(0, 0) // the local max never wakes
+	_, err := e.Run(schedule.NewRoundRobin(1), 500)
+	// The run settles only because the engine's step limit or crash rules
+	// end it; the point is that nodes waiting on node 0 never terminate.
+	if err == nil {
+		res := e.Result()
+		if res.Done[1] && res.Done[2] {
+			t.Error("greedy decided under a crashed higher neighbor — should wait forever")
+		}
+	}
+}
+
+func TestImpatientDecidesDespiteCrash(t *testing.T) {
+	g := graph.MustCycle(3)
+	e, _ := sim.NewEngine(g, mis.NewImpatientNodes([]int{9, 5, 1}, 3))
+	e.CrashAfter(0, 0)
+	res, err := e.Run(schedule.NewRoundRobin(1), 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 2; i++ {
+		if !res.Done[i] {
+			t.Errorf("impatient node %d did not decide", i)
+		}
+	}
+}
+
+func TestNodeConstructors(t *testing.T) {
+	gs := mis.NewGreedyNodes([]int{1, 2, 3})
+	is := mis.NewImpatientNodes([]int{1, 2, 3}, 0) // patience clamped to 1
+	if len(gs) != 3 || len(is) != 3 {
+		t.Fatal("wrong counts")
+	}
+	if p := is[0].(*mis.Impatient); p.Patience != 1 {
+		t.Errorf("patience = %d, want clamped 1", p.Patience)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := mis.NewGreedy(5)
+	c := g.Clone()
+	view := []sim.Cell[mis.Val]{
+		{Present: true, Val: mis.Val{X: 1, Decided: true, Member: true}},
+		{Present: true, Val: mis.Val{X: 2, Decided: true, Member: false}},
+	}
+	// First round decides (but publishes before returning, so no Return
+	// yet); the second round returns the published decision.
+	if dec := c.Observe(view); dec.Return {
+		t.Fatalf("clone returned before publishing its decision: %+v", dec)
+	}
+	if v := c.Publish(); !v.Decided || v.Member {
+		t.Fatalf("clone publish = %+v, want decided Out", v)
+	}
+	dec := c.Observe(view)
+	if !dec.Return || dec.Output != mis.Out {
+		t.Fatalf("clone dec = %+v, want Out (neighbor in MIS)", dec)
+	}
+	// The original was never observed: still undecided.
+	if v := g.Publish(); v.Decided {
+		t.Fatal("observing the clone mutated the original")
+	}
+}

@@ -1,0 +1,324 @@
+// Package model is a bounded model checker for the simulation engine: it
+// exhaustively explores every schedule of an algorithm on a small instance,
+// deduplicating configurations by fingerprint.
+//
+// Because a crash is just a schedule that stops activating a process, crash
+// tolerance does not need separate branches: checking the safety invariant
+// at *every* reachable configuration covers every crash pattern (the
+// execution in which everyone else crashes "now" ends in exactly that
+// configuration).
+//
+// Wait-freedom is checked two ways. First, a cycle in the reachable
+// configuration graph (every transition activates at least one working
+// process) is a certificate of an infinite execution in which some process
+// takes infinitely many rounds without terminating — i.e. the algorithm is
+// not wait-free; Explore detects such cycles. Second, WorstActivations
+// computes, by memoized longest-path analysis over the acyclic
+// configuration graph, the exact supremum of per-process activation counts
+// over all schedules — the paper's running-time measure (§2.2).
+package model
+
+import (
+	"fmt"
+
+	"asynccycle/internal/sim"
+)
+
+// Options bound the exploration.
+type Options struct {
+	// MaxDepth bounds schedule length (steps from the initial
+	// configuration). 0 means DefaultMaxDepth.
+	MaxDepth int
+	// MaxStates bounds the number of distinct configurations explored.
+	// 0 means DefaultMaxStates.
+	MaxStates int
+	// SingletonsOnly restricts σ(t) to single-process activations. The
+	// general model allows arbitrary simultaneous sets, but for two-phase
+	// write/read rounds the singleton schedules already generate every
+	// reachable register interleaving up to observational equivalence on
+	// most instances; full subset exploration is the default.
+	SingletonsOnly bool
+	// MaxViolations caps recorded invariant-violation messages.
+	MaxViolations int
+}
+
+// DefaultMaxDepth and DefaultMaxStates are generous bounds for n ≤ 5.
+const (
+	DefaultMaxDepth      = 256
+	DefaultMaxStates     = 2_000_000
+	defaultMaxViolations = 8
+)
+
+func (o Options) withDefaults() Options {
+	if o.MaxDepth <= 0 {
+		o.MaxDepth = DefaultMaxDepth
+	}
+	if o.MaxStates <= 0 {
+		o.MaxStates = DefaultMaxStates
+	}
+	if o.MaxViolations <= 0 {
+		o.MaxViolations = defaultMaxViolations
+	}
+	return o
+}
+
+// Report summarizes an exploration.
+type Report struct {
+	// States is the number of distinct configurations visited.
+	States int
+	// Terminal counts configurations in which every process terminated.
+	Terminal int
+	// Truncated reports whether a depth or state bound cut exploration
+	// short (results are then lower bounds, not exhaustive).
+	Truncated bool
+	// CycleFound reports whether a schedule loop was found along which
+	// working processes are activated without terminating — a certificate
+	// that the algorithm is not wait-free on this instance.
+	CycleFound bool
+	// CyclePrefix and CycleLoop, when CycleFound, form a concrete
+	// replayable certificate: playing CyclePrefix from the initial
+	// configuration reaches a configuration from which CycleLoop returns
+	// to itself — repeating CycleLoop forever is an infinite execution
+	// with working processes activated at every step.
+	CyclePrefix [][]int
+	CycleLoop   [][]int
+	// Violations holds the first few invariant-violation messages.
+	Violations []string
+	// ViolationWitness is the schedule reaching the first recorded
+	// violation's configuration from the initial one.
+	ViolationWitness [][]int
+	// DeepestPath is the longest schedule explored (in steps).
+	DeepestPath int
+}
+
+// Ok reports whether the exploration was exhaustive and found neither
+// invariant violations nor non-termination cycles.
+func (r Report) Ok() bool {
+	return !r.Truncated && !r.CycleFound && len(r.Violations) == 0
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("states=%d terminal=%d cycle=%t violations=%d truncated=%t deepest=%d",
+		r.States, r.Terminal, r.CycleFound, len(r.Violations), r.Truncated, r.DeepestPath)
+}
+
+// Invariant is a per-configuration safety check; return a non-nil error to
+// record a violation. It must not mutate the engine.
+type Invariant[V any] func(e *sim.Engine[V]) error
+
+type explorer[V any] struct {
+	opt       Options
+	inv       Invariant[V]
+	visited   map[string]bool
+	onStack   map[string]bool
+	path      [][]int  // activation sets from the root to the current state
+	pathFPs   []string // fingerprints of the states along the path
+	report    Report
+	interrupt bool
+}
+
+// copySteps deep-copies a schedule fragment.
+func copySteps(steps [][]int) [][]int {
+	out := make([][]int, len(steps))
+	for i, s := range steps {
+		out[i] = append([]int(nil), s...)
+	}
+	return out
+}
+
+// Explore exhaustively runs every schedule of the given initial engine
+// within the option bounds, checking inv (which may be nil) at every
+// reachable configuration, including the initial one.
+func Explore[V any](root *sim.Engine[V], opt Options, inv Invariant[V]) Report {
+	x := &explorer[V]{
+		opt:     opt.withDefaults(),
+		inv:     inv,
+		visited: make(map[string]bool),
+		onStack: make(map[string]bool),
+	}
+	x.dfs(root, 0)
+	return x.report
+}
+
+func (x *explorer[V]) dfs(e *sim.Engine[V], depth int) {
+	if x.interrupt {
+		return
+	}
+	if depth > x.report.DeepestPath {
+		x.report.DeepestPath = depth
+	}
+	fp := e.Fingerprint()
+	if x.onStack[fp] {
+		if !x.report.CycleFound {
+			x.report.CycleFound = true
+			// The repeated state sits somewhere along the current path;
+			// everything before it is the prefix, the rest is the loop.
+			start := 0
+			for i, pfp := range x.pathFPs {
+				if pfp == fp {
+					start = i
+					break
+				}
+			}
+			x.report.CyclePrefix = copySteps(x.path[:start])
+			x.report.CycleLoop = copySteps(x.path[start:])
+		}
+		return
+	}
+	if x.visited[fp] {
+		return
+	}
+	x.visited[fp] = true // counted once, re-marked done below
+	x.report.States++
+	if x.inv != nil {
+		if err := x.inv(e); err != nil {
+			if len(x.report.Violations) == 0 {
+				x.report.ViolationWitness = copySteps(x.path)
+			}
+			if len(x.report.Violations) < x.opt.MaxViolations {
+				x.report.Violations = append(x.report.Violations, err.Error())
+			}
+		}
+	}
+	if e.AllDone() {
+		x.report.Terminal++
+		return
+	}
+	if depth >= x.opt.MaxDepth || x.report.States >= x.opt.MaxStates {
+		x.report.Truncated = true
+		return
+	}
+
+	working := workingSet(e)
+	if len(working) == 0 {
+		// All remaining processes crashed: nothing can evolve.
+		return
+	}
+	x.onStack[fp] = true
+	x.pathFPs = append(x.pathFPs, fp)
+	for _, subset := range subsets(working, x.opt.SingletonsOnly) {
+		child := e.Clone()
+		child.Step(subset)
+		x.path = append(x.path, subset)
+		x.dfs(child, depth+1)
+		x.path = x.path[:len(x.path)-1]
+		if x.interrupt {
+			break
+		}
+	}
+	x.pathFPs = x.pathFPs[:len(x.pathFPs)-1]
+	delete(x.onStack, fp)
+}
+
+// WorstActivations computes, for each process, the exact maximum number of
+// rounds it can be made to perform over *all* schedules before it
+// terminates — the per-process round complexity. The boolean result is
+// false when the analysis was inconclusive (a cycle makes some supremum
+// infinite, or bounds truncated the exploration); the report describes why.
+func WorstActivations[V any](root *sim.Engine[V], opt Options) ([]int, bool, Report) {
+	opt = opt.withDefaults()
+	w := &worst[V]{
+		opt:  opt,
+		memo: make(map[string][]int),
+		onSt: make(map[string]bool),
+	}
+	vec := w.dfs(root, 0)
+	ok := !w.report.CycleFound && !w.report.Truncated
+	return vec, ok, w.report
+}
+
+type worst[V any] struct {
+	opt    Options
+	memo   map[string][]int
+	onSt   map[string]bool
+	report Report
+}
+
+func (w *worst[V]) dfs(e *sim.Engine[V], depth int) []int {
+	n := e.N()
+	zero := make([]int, n)
+	if depth > w.report.DeepestPath {
+		w.report.DeepestPath = depth
+	}
+	fp := e.Fingerprint()
+	if w.onSt[fp] {
+		w.report.CycleFound = true
+		return zero
+	}
+	if v, ok := w.memo[fp]; ok {
+		return v
+	}
+	if e.AllDone() {
+		w.report.Terminal++
+		w.memo[fp] = zero
+		return zero
+	}
+	if depth >= w.opt.MaxDepth || len(w.memo) >= w.opt.MaxStates {
+		w.report.Truncated = true
+		return zero
+	}
+	working := workingSet(e)
+	if len(working) == 0 {
+		w.memo[fp] = zero
+		return zero
+	}
+	w.onSt[fp] = true
+	best := make([]int, n)
+	for _, subset := range subsets(working, w.opt.SingletonsOnly) {
+		child := e.Clone()
+		performed := child.Step(subset)
+		sub := w.dfs(child, depth+1)
+		for p := 0; p < n; p++ {
+			total := sub[p]
+			for _, q := range performed {
+				if q == p {
+					total++
+					break
+				}
+			}
+			if total > best[p] {
+				best[p] = total
+			}
+		}
+	}
+	delete(w.onSt, fp)
+	w.memo[fp] = best
+	w.report.States = len(w.memo)
+	return best
+}
+
+// workingSet lists the processes still eligible for activation.
+func workingSet[V any](e *sim.Engine[V]) []int {
+	var out []int
+	for i := 0; i < e.N(); i++ {
+		if e.Working(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// subsets enumerates the allowed activation sets over the working
+// processes: all non-empty subsets, or singletons only.
+func subsets(working []int, singletonsOnly bool) [][]int {
+	if singletonsOnly {
+		out := make([][]int, len(working))
+		for i, p := range working {
+			out[i] = []int{p}
+		}
+		return out
+	}
+	w := len(working)
+	out := make([][]int, 0, (1<<w)-1)
+	for mask := 1; mask < 1<<w; mask++ {
+		var set []int
+		for i := 0; i < w; i++ {
+			if mask&(1<<i) != 0 {
+				set = append(set, working[i])
+			}
+		}
+		out = append(out, set)
+	}
+	return out
+}

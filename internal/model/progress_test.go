@@ -1,0 +1,130 @@
+package model_test
+
+import (
+	"strings"
+	"testing"
+
+	"asynccycle/internal/model"
+	"asynccycle/internal/sim"
+)
+
+// gateNode terminates only after seeing a neighbor's register present — so
+// it cannot finish solo from a fresh start (not obstruction-free), but any
+// fair schedule terminates it.
+type gateNode struct{ rounds int }
+
+func (g *gateNode) Publish() int { return g.rounds }
+
+func (g *gateNode) Observe(view []sim.Cell[int]) sim.Decision {
+	g.rounds++
+	for _, c := range view {
+		if c.Present {
+			return sim.Decision{Return: true, Output: 0}
+		}
+	}
+	return sim.Decision{}
+}
+
+func (g *gateNode) Clone() sim.Node[int] {
+	cp := *g
+	return &cp
+}
+
+func TestObstructionFreeHolds(t *testing.T) {
+	nodes := []sim.Node[int]{&stepNode{Rounds: 2}, &stepNode{Rounds: 2}, &stepNode{Rounds: 2}}
+	counter, rep := model.ObstructionFree(engineWith(t, nodes), model.Options{SingletonsOnly: true}, 5)
+	if counter != "" {
+		t.Fatalf("counterexample on a wait-free toy: %s", counter)
+	}
+	if rep.States == 0 {
+		t.Fatal("nothing explored")
+	}
+}
+
+func TestObstructionFreeFindsCounterexample(t *testing.T) {
+	nodes := []sim.Node[int]{loopNode{}, loopNode{}, loopNode{}}
+	counter, _ := model.ObstructionFree(engineWith(t, nodes), model.Options{SingletonsOnly: true}, 10)
+	if counter == "" {
+		t.Fatal("no counterexample for a livelocked toy")
+	}
+	if !strings.Contains(counter, "solo") {
+		t.Errorf("unexpected counterexample text %q", counter)
+	}
+}
+
+func TestGateNodeNotObstructionFreeButFair(t *testing.T) {
+	// From the initial configuration (all registers ⊥) a solo gateNode
+	// spins forever; under fair schedules the first two steps of any two
+	// distinct processes unblock each other.
+	nodes := []sim.Node[int]{&gateNode{}, &gateNode{}, &gateNode{}}
+	counter, _ := model.ObstructionFree(engineWith(t, nodes), model.Options{SingletonsOnly: true, MaxStates: 50_000}, 10)
+	if counter == "" {
+		t.Fatal("gateNode should fail obstruction-freedom from the ⊥ start")
+	}
+
+	nodes2 := []sim.Node[int]{&gateNode{}, &gateNode{}, &gateNode{}}
+	desc, _ := model.FairlyTerminates(engineWith(t, nodes2), model.Options{SingletonsOnly: true, MaxStates: 50_000})
+	if desc != "" {
+		t.Fatalf("gateNode should be starvation-free, found: %s", desc)
+	}
+}
+
+func TestFairlyTerminatesHoldsForWaitFree(t *testing.T) {
+	nodes := []sim.Node[int]{&stepNode{Rounds: 3}, &stepNode{Rounds: 3}, &stepNode{Rounds: 3}}
+	desc, rep := model.FairlyTerminates(engineWith(t, nodes), model.Options{SingletonsOnly: true})
+	if desc != "" {
+		t.Fatalf("fair livelock on a wait-free toy: %s", desc)
+	}
+	if rep.Truncated {
+		t.Fatal("truncated on a tiny instance")
+	}
+}
+
+func TestFairlyTerminatesFindsFairLivelock(t *testing.T) {
+	// loopNodes spin forever under *every* schedule, including fair ones:
+	// the self-loop component activates every working process.
+	nodes := []sim.Node[int]{loopNode{}, loopNode{}, loopNode{}}
+	desc, rep := model.FairlyTerminates(engineWith(t, nodes), model.Options{SingletonsOnly: true})
+	if desc == "" {
+		t.Fatal("no fair livelock found for loopNodes")
+	}
+	if !rep.CycleFound {
+		t.Error("report should flag the cycle")
+	}
+}
+
+// starveNode spins until process 0's register shows a value ≥ 1, which
+// requires process 0 to take two steps; process 0 itself is a plain
+// stepNode that terminates quickly. This creates livelock cycles that are
+// all *unfair* (they starve process 0), so FairlyTerminates must find no
+// fair component even though Explore finds cycles.
+type starveNode struct{ fed bool }
+
+func (s *starveNode) Publish() int { return 0 }
+
+func (s *starveNode) Observe(view []sim.Cell[int]) sim.Decision {
+	for _, c := range view {
+		if c.Present && c.Val >= 1 {
+			return sim.Decision{Return: true, Output: 1}
+		}
+	}
+	return sim.Decision{}
+}
+
+func (s *starveNode) Clone() sim.Node[int] {
+	cp := *s
+	return &cp
+}
+
+func TestUnfairOnlyLivelockDistinguished(t *testing.T) {
+	nodes := []sim.Node[int]{&stepNode{Rounds: 2}, &starveNode{}, &starveNode{}}
+	rep := model.Explore(engineWith(t, nodes), model.Options{SingletonsOnly: true}, nil)
+	if !rep.CycleFound {
+		t.Fatal("expected unfair livelock cycles (starvers spinning)")
+	}
+	nodes2 := []sim.Node[int]{&stepNode{Rounds: 2}, &starveNode{}, &starveNode{}}
+	desc, _ := model.FairlyTerminates(engineWith(t, nodes2), model.Options{SingletonsOnly: true})
+	if desc != "" {
+		t.Fatalf("livelock should be unfair-only, found: %s", desc)
+	}
+}

@@ -1,0 +1,115 @@
+// Package renaming implements the classic rank-based wait-free
+// (2n−1)-renaming algorithm for asynchronous shared memory (Attiya et al.,
+// JACM 1990; [7, Algorithm 55] in the paper's references), which the paper
+// cites as the ancestor of Algorithm 2's color-picking component (§1.3).
+//
+// It runs as a sim.Node on the complete graph: on K_n every process reads
+// every register, so the engine's local immediate snapshots become full
+// immediate snapshots and the model coincides with standard wait-free
+// shared memory (paper §2.3, Property 2.3). Each process repeatedly
+// proposes the r-th smallest name not proposed by others, where r is the
+// rank of its identifier among the participants it sees, and decides when
+// its proposal is conflict-free. Names are 0-based, so the (2n−1)-name
+// guarantee reads: every output is in {0, …, 2n−2}.
+package renaming
+
+import (
+	"sort"
+
+	"asynccycle/internal/sim"
+)
+
+// Val is the register content: the identifier and the current proposal
+// (valid only once Proposing).
+type Val struct {
+	ID        int
+	Name      int
+	Proposing bool
+}
+
+// Proc is one renaming process.
+type Proc struct {
+	id        int
+	name      int
+	proposing bool
+}
+
+// New returns a renaming process with the given distinct non-negative
+// identifier.
+func New(id int) *Proc { return &Proc{id: id} }
+
+// ID returns the process identifier.
+func (p *Proc) ID() int { return p.id }
+
+// Publish implements sim.Node.
+func (p *Proc) Publish() Val {
+	return Val{ID: p.id, Name: p.name, Proposing: p.proposing}
+}
+
+// Observe implements sim.Node.
+func (p *Proc) Observe(view []sim.Cell[Val]) sim.Decision {
+	var proposals []int // names proposed by other processes
+	rank := 1           // rank of our identifier among seen participants
+	conflict := false
+	for _, c := range view {
+		if !c.Present {
+			continue
+		}
+		if c.Val.ID < p.id {
+			rank++
+		}
+		if c.Val.Proposing {
+			proposals = append(proposals, c.Val.Name)
+			if p.proposing && c.Val.Name == p.name {
+				conflict = true
+			}
+		}
+	}
+	if p.proposing && !conflict {
+		return sim.Decision{Return: true, Output: p.name}
+	}
+	p.name = nthFree(proposals, rank)
+	p.proposing = true
+	return sim.Decision{}
+}
+
+// nthFree returns the r-th smallest (1-based) natural number not in taken.
+func nthFree(taken []int, r int) int {
+	sort.Ints(taken)
+	candidate := 0
+	for _, t := range taken {
+		if t > candidate {
+			// All names in [candidate, t) are free.
+			if free := t - candidate; free >= r {
+				return candidate + r - 1
+			} else {
+				r -= free
+			}
+		}
+		if t >= candidate {
+			candidate = t + 1
+		}
+	}
+	return candidate + r - 1
+}
+
+// Clone implements sim.Node.
+func (p *Proc) Clone() sim.Node[Val] {
+	cp := *p
+	return &cp
+}
+
+var _ sim.Node[Val] = (*Proc)(nil)
+
+// NewNodes builds one process per identifier, as engine-ready nodes.
+func NewNodes(xs []int) []sim.Node[Val] {
+	nodes := make([]sim.Node[Val], len(xs))
+	for i, x := range xs {
+		nodes[i] = New(x)
+	}
+	return nodes
+}
+
+// MaxName returns the largest name the (2n−1)-renaming guarantee permits
+// for n processes: 2n−2 (names are 0-based).
+func MaxName(n int) int { return 2*n - 2 }

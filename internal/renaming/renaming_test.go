@@ -1,0 +1,200 @@
+package renaming
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/model"
+	"asynccycle/internal/schedule"
+	"asynccycle/internal/sim"
+)
+
+func TestNthFree(t *testing.T) {
+	tests := []struct {
+		taken []int
+		r     int
+		want  int
+	}{
+		{nil, 1, 0},
+		{nil, 3, 2},
+		{[]int{0}, 1, 1},
+		{[]int{1}, 1, 0},
+		{[]int{1}, 2, 2},
+		{[]int{0, 1, 2}, 1, 3},
+		{[]int{0, 2, 4}, 3, 5},
+		{[]int{1, 1, 3}, 2, 2}, // duplicates collapse
+		{[]int{5}, 5, 4},       //
+		{[]int{0, 1, 3}, 2, 4}, // 2 free, then 4
+	}
+	for _, tt := range tests {
+		if got := nthFree(append([]int(nil), tt.taken...), tt.r); got != tt.want {
+			t.Errorf("nthFree(%v, %d) = %d, want %d", tt.taken, tt.r, got, tt.want)
+		}
+	}
+}
+
+// TestNthFreeQuick: the result is never in taken and exactly r-1 free
+// values lie below it.
+func TestNthFreeQuick(t *testing.T) {
+	prop := func(raw []uint8, rRaw uint8) bool {
+		taken := make([]int, len(raw))
+		for i, v := range raw {
+			taken[i] = int(v) % 16
+		}
+		r := 1 + int(rRaw)%8
+		got := nthFree(append([]int(nil), taken...), r)
+		inTaken := func(v int) bool {
+			for _, u := range taken {
+				if u == v {
+					return true
+				}
+			}
+			return false
+		}
+		if inTaken(got) {
+			return false
+		}
+		freeBelow := 0
+		for v := 0; v < got; v++ {
+			if !inTaken(v) {
+				freeBelow++
+			}
+		}
+		return freeBelow == r-1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func runRenaming(t *testing.T, n int, s schedule.Scheduler) sim.Result {
+	t.Helper()
+	g, err := graph.Complete(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := sim.NewEngine(g, NewNodes(ids.RandomIDs(n, int64(n))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(s, 10_000*n+100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRenamingUniqueAndBounded(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8, 16, 32} {
+		for _, s := range []schedule.Scheduler{
+			schedule.Synchronous{},
+			schedule.NewRoundRobin(1),
+			schedule.NewRandomOne(int64(n)),
+			schedule.NewBurst(3),
+		} {
+			res := runRenaming(t, n, s)
+			seen := map[int]bool{}
+			for i := 0; i < n; i++ {
+				if !res.Done[i] {
+					t.Fatalf("n=%d %s: process %d did not decide", n, s.Name(), i)
+				}
+				name := res.Outputs[i]
+				if name < 0 || name > MaxName(n) {
+					t.Errorf("n=%d %s: name %d outside {0..%d}", n, s.Name(), name, MaxName(n))
+				}
+				if seen[name] {
+					t.Errorf("n=%d %s: duplicate name %d", n, s.Name(), name)
+				}
+				seen[name] = true
+			}
+		}
+	}
+}
+
+func TestRenamingWithCrashes(t *testing.T) {
+	n := 12
+	g, _ := graph.Complete(n)
+	e, _ := sim.NewEngine(g, NewNodes(ids.RandomIDs(n, 3)))
+	for i := 0; i < n; i += 3 {
+		e.CrashAfter(i, i%3)
+	}
+	res, err := e.Run(schedule.NewRandomSubset(0.4, 11), 500_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for i := 0; i < n; i++ {
+		if res.Crashed[i] {
+			continue
+		}
+		if !res.Done[i] {
+			t.Fatalf("survivor %d did not decide", i)
+		}
+		if seen[res.Outputs[i]] {
+			t.Errorf("duplicate name %d", res.Outputs[i])
+		}
+		seen[res.Outputs[i]] = true
+		if res.Outputs[i] > MaxName(n) {
+			t.Errorf("name %d exceeds bound", res.Outputs[i])
+		}
+	}
+}
+
+// TestRenamingExhaustive model-checks the full (2n−1)-renaming contract —
+// wait-freedom, uniqueness, name bound — over every schedule on K2 and K3.
+func TestRenamingExhaustive(t *testing.T) {
+	for _, n := range []int{2, 3} {
+		g, _ := graph.Complete(n)
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = (i + 1) * 7 // arbitrary distinct ids
+		}
+		e, _ := sim.NewEngine(g, NewNodes(xs))
+		inv := func(e *sim.Engine[Val]) error {
+			r := e.Result()
+			seen := map[int]int{}
+			for i, out := range r.Outputs {
+				if !r.Done[i] {
+					continue
+				}
+				if out < 0 || out > MaxName(n) {
+					return fmt.Errorf("name %d outside {0..%d}", out, MaxName(n))
+				}
+				if j, dup := seen[out]; dup {
+					return fmt.Errorf("processes %d and %d share name %d", j, i, out)
+				}
+				seen[out] = i
+			}
+			return nil
+		}
+		rep := model.Explore(e, model.Options{SingletonsOnly: true}, inv)
+		if !rep.Ok() {
+			t.Fatalf("K%d verification failed: %s %v", n, rep, rep.Violations)
+		}
+	}
+}
+
+func TestProcAccessors(t *testing.T) {
+	p := New(17)
+	if p.ID() != 17 {
+		t.Errorf("ID = %d", p.ID())
+	}
+	v := p.Publish()
+	if v.ID != 17 || v.Proposing {
+		t.Errorf("Publish = %+v", v)
+	}
+	c := p.Clone().(*Proc)
+	c.Observe(make([]sim.Cell[Val], 0))
+	if p.proposing {
+		t.Error("observing the clone mutated the original")
+	}
+}
+
+func TestMaxName(t *testing.T) {
+	if MaxName(3) != 4 || MaxName(10) != 18 {
+		t.Error("MaxName wrong")
+	}
+}

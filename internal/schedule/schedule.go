@@ -1,0 +1,275 @@
+// Package schedule defines the asynchronous adversary: which set σ(t) of
+// processes is activated at each time step (paper §2.2). A Scheduler decides
+// σ(t) from the observable execution state; the engine filters its choice to
+// processes that are still working (not terminated, not crashed), exactly as
+// the restricted schedule σ̄ does in the paper.
+//
+// Crashes are not a scheduler concern: in the model a crash is just the
+// schedule never activating a process again, and the engine realizes it by
+// marking nodes crashed so they drop out of the working set.
+package schedule
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// State is the scheduler's read-only view of an execution.
+type State interface {
+	// N is the number of processes.
+	N() int
+	// Time is the index of the step about to be scheduled (1-based).
+	Time() int
+	// Working reports whether process i is still a candidate for
+	// activation: awake-able, not terminated, not crashed.
+	Working(i int) bool
+	// Activations returns how many rounds process i has performed so far.
+	Activations(i int) int
+}
+
+// Scheduler chooses the activation set for each time step. Next may return
+// indices of non-working processes; the engine filters them out. Returning
+// an empty set is a no-op step; the engine gives up (declaring the remaining
+// processes crashed) after a run of consecutive empty choices.
+type Scheduler interface {
+	// Name identifies the scheduler in experiment tables.
+	Name() string
+	// Next returns σ(t) for the step described by st.
+	Next(st State) []int
+}
+
+// Synchronous activates every working process at every step — the lock-step
+// LOCAL-model schedule, under which Linial's Ω(log* n) lower bound already
+// applies.
+type Synchronous struct{}
+
+// Name implements Scheduler.
+func (Synchronous) Name() string { return "synchronous" }
+
+// Next implements Scheduler.
+func (Synchronous) Next(st State) []int {
+	out := make([]int, 0, st.N())
+	for i := 0; i < st.N(); i++ {
+		if st.Working(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RoundRobin activates Width working processes per step, cycling through
+// process indices in order. Width 1 is the classic fully sequential
+// adversary.
+type RoundRobin struct {
+	Width int
+	next  int
+}
+
+// NewRoundRobin returns a RoundRobin scheduler of the given width (≥ 1).
+func NewRoundRobin(width int) *RoundRobin {
+	if width < 1 {
+		width = 1
+	}
+	return &RoundRobin{Width: width}
+}
+
+// Name implements Scheduler.
+func (r *RoundRobin) Name() string { return fmt.Sprintf("round-robin(%d)", r.Width) }
+
+// Next implements Scheduler.
+func (r *RoundRobin) Next(st State) []int {
+	n := st.N()
+	out := make([]int, 0, r.Width)
+	for scanned := 0; scanned < n && len(out) < r.Width; scanned++ {
+		i := (r.next + scanned) % n
+		if st.Working(i) {
+			out = append(out, i)
+		}
+	}
+	if len(out) > 0 {
+		r.next = (out[len(out)-1] + 1) % n
+	}
+	return out
+}
+
+// RandomSubset independently activates each working process with probability
+// P at each step, always including at least one working process (chosen
+// uniformly) so the execution makes progress.
+type RandomSubset struct {
+	P   float64
+	rng *rand.Rand
+}
+
+// NewRandomSubset returns a RandomSubset scheduler with inclusion
+// probability p (clamped to (0, 1]) and the given seed.
+func NewRandomSubset(p float64, seed int64) *RandomSubset {
+	if p <= 0 {
+		p = 0.5
+	}
+	if p > 1 {
+		p = 1
+	}
+	return &RandomSubset{P: p, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Scheduler.
+func (s *RandomSubset) Name() string { return fmt.Sprintf("random-subset(p=%.2f)", s.P) }
+
+// Next implements Scheduler.
+func (s *RandomSubset) Next(st State) []int {
+	var working []int
+	var out []int
+	for i := 0; i < st.N(); i++ {
+		if !st.Working(i) {
+			continue
+		}
+		working = append(working, i)
+		if s.rng.Float64() < s.P {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 && len(working) > 0 {
+		out = append(out, working[s.rng.Intn(len(working))])
+	}
+	return out
+}
+
+// RandomOne activates a single uniformly random working process per step —
+// a natural sequential adversary with high interleaving variety.
+type RandomOne struct {
+	rng *rand.Rand
+}
+
+// NewRandomOne returns a RandomOne scheduler with the given seed.
+func NewRandomOne(seed int64) *RandomOne {
+	return &RandomOne{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Scheduler.
+func (s *RandomOne) Name() string { return "random-one" }
+
+// Next implements Scheduler.
+func (s *RandomOne) Next(st State) []int {
+	var working []int
+	for i := 0; i < st.N(); i++ {
+		if st.Working(i) {
+			working = append(working, i)
+		}
+	}
+	if len(working) == 0 {
+		return nil
+	}
+	return []int{working[s.rng.Intn(len(working))]}
+}
+
+// Alternating activates the even-index processes on odd steps and the
+// odd-index processes on even steps, a maximally interleaved two-phase
+// adversary.
+type Alternating struct{}
+
+// Name implements Scheduler.
+func (Alternating) Name() string { return "alternating" }
+
+// Next implements Scheduler.
+func (Alternating) Next(st State) []int {
+	parity := st.Time() % 2
+	var out []int
+	for i := 0; i < st.N(); i++ {
+		if i%2 == parity && st.Working(i) {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 {
+		// The opposite class may be all that remains.
+		for i := 0; i < st.N(); i++ {
+			if st.Working(i) {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+// Sleep delays a set of processes: members of Asleep are withheld until
+// WakeAt (a time step), while the Inner scheduler drives everyone else.
+// This is the building block for starvation adversaries — e.g. freezing a
+// neighbor so that a process stays blocked on Algorithm 3's green-light
+// gate, or modeling late risers whose registers stay ⊥.
+type Sleep struct {
+	Asleep map[int]bool
+	WakeAt int
+	Inner  Scheduler
+}
+
+// NewSleep returns a Sleep scheduler. A WakeAt beyond the step limit makes
+// the sleep permanent, i.e. an initial crash.
+func NewSleep(asleep []int, wakeAt int, inner Scheduler) *Sleep {
+	m := make(map[int]bool, len(asleep))
+	for _, i := range asleep {
+		m[i] = true
+	}
+	return &Sleep{Asleep: m, WakeAt: wakeAt, Inner: inner}
+}
+
+// Name implements Scheduler.
+func (s *Sleep) Name() string {
+	return fmt.Sprintf("sleep(%d until t=%d, then %s)", len(s.Asleep), s.WakeAt, s.Inner.Name())
+}
+
+// Next implements Scheduler.
+func (s *Sleep) Next(st State) []int {
+	chosen := s.Inner.Next(st)
+	if st.Time() >= s.WakeAt {
+		return chosen
+	}
+	out := chosen[:0:0]
+	for _, i := range chosen {
+		if !s.Asleep[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Burst activates a single process K times in a row before moving on
+// (round-robin order): the "one process races ahead" adversary from the
+// paper's discussion of asynchronous rounds.
+type Burst struct {
+	K       int
+	current int
+	fired   int
+}
+
+// NewBurst returns a Burst scheduler giving each process k ≥ 1 consecutive
+// solo steps.
+func NewBurst(k int) *Burst {
+	if k < 1 {
+		k = 1
+	}
+	return &Burst{K: k}
+}
+
+// Name implements Scheduler.
+func (b *Burst) Name() string { return fmt.Sprintf("burst(%d)", b.K) }
+
+// Next implements Scheduler.
+func (b *Burst) Next(st State) []int {
+	n := st.N()
+	for scanned := 0; scanned <= n; scanned++ {
+		i := (b.current + scanned) % n
+		if !st.Working(i) {
+			continue
+		}
+		if i != b.current {
+			b.current = i
+			b.fired = 0
+		}
+		b.fired++
+		if b.fired >= b.K {
+			b.current = (i + 1) % n
+			b.fired = 0
+		}
+		return []int{i}
+	}
+	return nil
+}

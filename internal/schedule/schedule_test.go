@@ -1,0 +1,257 @@
+package schedule
+
+import (
+	"testing"
+)
+
+// fakeState is a hand-controlled schedule.State.
+type fakeState struct {
+	n       int
+	time    int
+	stopped map[int]bool
+	acts    map[int]int
+}
+
+func newFakeState(n int) *fakeState {
+	return &fakeState{n: n, time: 1, stopped: map[int]bool{}, acts: map[int]int{}}
+}
+
+func (f *fakeState) N() int                { return f.n }
+func (f *fakeState) Time() int             { return f.time }
+func (f *fakeState) Working(i int) bool    { return !f.stopped[i] }
+func (f *fakeState) Activations(i int) int { return f.acts[i] }
+
+func TestSynchronous(t *testing.T) {
+	st := newFakeState(4)
+	st.stopped[2] = true
+	got := Synchronous{}.Next(st)
+	want := []int{0, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("Next = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Next = %v, want %v", got, want)
+		}
+	}
+	if (Synchronous{}).Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestRoundRobinWidthOne(t *testing.T) {
+	st := newFakeState(3)
+	rr := NewRoundRobin(1)
+	var order []int
+	for i := 0; i < 6; i++ {
+		chosen := rr.Next(st)
+		if len(chosen) != 1 {
+			t.Fatalf("width-1 chose %v", chosen)
+		}
+		order = append(order, chosen[0])
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsStopped(t *testing.T) {
+	st := newFakeState(3)
+	st.stopped[1] = true
+	rr := NewRoundRobin(1)
+	var order []int
+	for i := 0; i < 4; i++ {
+		order = append(order, rr.Next(st)[0])
+	}
+	for _, i := range order {
+		if i == 1 {
+			t.Fatalf("scheduled stopped process: %v", order)
+		}
+	}
+}
+
+func TestRoundRobinWidthClamped(t *testing.T) {
+	rr := NewRoundRobin(0)
+	if rr.Width != 1 {
+		t.Errorf("width = %d, want clamp to 1", rr.Width)
+	}
+}
+
+func TestRoundRobinWide(t *testing.T) {
+	st := newFakeState(5)
+	rr := NewRoundRobin(3)
+	first := rr.Next(st)
+	if len(first) != 3 {
+		t.Fatalf("chose %v, want 3 processes", first)
+	}
+	second := rr.Next(st)
+	if second[0] != (first[len(first)-1]+1)%5 {
+		t.Fatalf("second batch %v does not continue after %v", second, first)
+	}
+}
+
+func TestRandomSubsetAlwaysProgresses(t *testing.T) {
+	st := newFakeState(6)
+	s := NewRandomSubset(0.01, 7) // tiny p: relies on the at-least-one rule
+	for i := 0; i < 100; i++ {
+		if got := s.Next(st); len(got) == 0 {
+			t.Fatal("RandomSubset returned empty set with working processes")
+		}
+	}
+}
+
+func TestRandomSubsetEmptyWhenAllStopped(t *testing.T) {
+	st := newFakeState(3)
+	for i := 0; i < 3; i++ {
+		st.stopped[i] = true
+	}
+	if got := NewRandomSubset(0.5, 1).Next(st); len(got) != 0 {
+		t.Fatalf("chose %v from no working processes", got)
+	}
+}
+
+func TestRandomSubsetClampsP(t *testing.T) {
+	if s := NewRandomSubset(-1, 0); s.P <= 0 || s.P > 1 {
+		t.Errorf("p = %v not clamped", s.P)
+	}
+	if s := NewRandomSubset(7, 0); s.P != 1 {
+		t.Errorf("p = %v, want 1", s.P)
+	}
+}
+
+func TestRandomOne(t *testing.T) {
+	st := newFakeState(5)
+	st.stopped[0] = true
+	s := NewRandomOne(3)
+	seen := map[int]bool{}
+	for i := 0; i < 200; i++ {
+		got := s.Next(st)
+		if len(got) != 1 {
+			t.Fatalf("chose %v", got)
+		}
+		if got[0] == 0 {
+			t.Fatal("scheduled stopped process 0")
+		}
+		seen[got[0]] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("only ever chose %v; want all 4 working processes", seen)
+	}
+	st2 := newFakeState(1)
+	st2.stopped[0] = true
+	if got := s.Next(st2); got != nil {
+		t.Errorf("chose %v from empty working set", got)
+	}
+}
+
+func TestAlternating(t *testing.T) {
+	st := newFakeState(5)
+	st.time = 1 // odd step: odd parity
+	got := Alternating{}.Next(st)
+	for _, i := range got {
+		if i%2 != 1 {
+			t.Fatalf("odd step chose even process: %v", got)
+		}
+	}
+	st.time = 2
+	got = Alternating{}.Next(st)
+	for _, i := range got {
+		if i%2 != 0 {
+			t.Fatalf("even step chose odd process: %v", got)
+		}
+	}
+}
+
+func TestAlternatingFallsBackWhenClassEmpty(t *testing.T) {
+	st := newFakeState(4)
+	st.stopped[1] = true
+	st.stopped[3] = true // no odd processes left
+	st.time = 1          // odd step wants odd processes
+	got := Alternating{}.Next(st)
+	if len(got) == 0 {
+		t.Fatal("alternating starved the execution with working processes left")
+	}
+}
+
+func TestSleepWithholdsUntilWake(t *testing.T) {
+	st := newFakeState(4)
+	s := NewSleep([]int{0, 1}, 10, Synchronous{})
+	st.time = 5
+	for _, i := range s.Next(st) {
+		if i == 0 || i == 1 {
+			t.Fatal("sleeping process scheduled before wake time")
+		}
+	}
+	st.time = 10
+	got := s.Next(st)
+	found := false
+	for _, i := range got {
+		if i == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("sleeping process not scheduled at wake time")
+	}
+	if s.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestBurstGivesConsecutiveSoloSteps(t *testing.T) {
+	st := newFakeState(3)
+	b := NewBurst(3)
+	var order []int
+	for i := 0; i < 9; i++ {
+		got := b.Next(st)
+		if len(got) != 1 {
+			t.Fatalf("burst chose %v", got)
+		}
+		order = append(order, got[0])
+	}
+	want := []int{0, 0, 0, 1, 1, 1, 2, 2, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestBurstSkipsStopped(t *testing.T) {
+	st := newFakeState(3)
+	st.stopped[0] = true
+	b := NewBurst(2)
+	got := b.Next(st)
+	if len(got) != 1 || got[0] == 0 {
+		t.Fatalf("burst chose %v with process 0 stopped", got)
+	}
+	for i := 0; i < 3; i++ {
+		st.stopped[i] = true
+	}
+	if got := b.Next(st); got != nil {
+		t.Fatalf("burst chose %v from empty working set", got)
+	}
+}
+
+func TestBurstClampsK(t *testing.T) {
+	if b := NewBurst(0); b.K != 1 {
+		t.Errorf("k = %d, want 1", b.K)
+	}
+}
+
+func TestSchedulerNamesDistinct(t *testing.T) {
+	names := map[string]bool{}
+	for _, s := range []Scheduler{
+		Synchronous{}, NewRoundRobin(1), NewRoundRobin(2),
+		NewRandomSubset(0.5, 0), NewRandomOne(0), Alternating{},
+		NewBurst(2), NewSleep(nil, 5, Synchronous{}),
+	} {
+		if names[s.Name()] {
+			t.Errorf("duplicate scheduler name %q", s.Name())
+		}
+		names[s.Name()] = true
+	}
+}

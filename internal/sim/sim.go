@@ -1,0 +1,412 @@
+// Package sim implements the paper's operational model (§2.1–2.2) as a
+// deterministic discrete-time simulation: single-writer/multi-reader
+// registers initialized to ⊥, and atomic rounds in which an activated
+// process writes its register, reads the registers of its graph neighbors
+// (a *local immediate snapshot*), and updates its state, possibly
+// terminating with an output.
+//
+// When several processes are activated at the same time step, two
+// semantics are supported (see Mode): the default ModeInterleaved executes
+// them one after another within the step, realizing the standard
+// asynchronous shared-memory adversary (every execution is equivalent to a
+// sequence of singleton activations); ModeSimultaneous performs all writes
+// first and all reads second, the paper's literal simultaneous-round
+// semantics. The two differ observably: repository finding F1 (see
+// EXPERIMENTS.md) shows Algorithm 2 admits livelock under ModeSimultaneous
+// lockstep schedules while being wait-free under ModeInterleaved.
+//
+// Crashes are modeled exactly as in the paper: a crashed process is simply
+// never activated again, and its register retains its last written value
+// (or ⊥ if it never woke).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"asynccycle/internal/graph"
+	"asynccycle/internal/schedule"
+)
+
+// Cell is one register value as seen by a reader: Present is false for the
+// initial value ⊥ (the owner has never been activated).
+type Cell[V any] struct {
+	Present bool
+	Val     V
+}
+
+// Decision is the outcome of one round of a process: either continue, or
+// terminate returning Output.
+type Decision struct {
+	Return bool
+	Output int
+}
+
+// Node is a process: a deterministic state machine driven by rounds.
+//
+// A round calls Publish to obtain the value written to the node's register,
+// then Observe with the registers of its neighbors (in the graph's fixed,
+// arbitrary neighbor order). Observe updates internal state and decides
+// whether to terminate. After a Decision with Return == true the node is
+// never activated again.
+type Node[V any] interface {
+	// Publish returns the register value this node writes at the start of
+	// its round.
+	Publish() V
+	// Observe consumes the local immediate snapshot of neighbor registers
+	// and returns the node's decision for this round. The view slice is
+	// reused by the engine and is only valid during the call.
+	Observe(view []Cell[V]) Decision
+	// Clone returns a deep copy, used by the bounded model checker to
+	// branch executions.
+	Clone() Node[V]
+}
+
+// Result summarizes a finished (or aborted) execution.
+type Result struct {
+	// Outputs[i] is the color output by process i, or -1 if it never
+	// terminated (crashed or starved).
+	Outputs []int
+	// Done[i] reports whether process i terminated.
+	Done []bool
+	// Crashed[i] reports whether process i was crashed by the adversary.
+	Crashed []bool
+	// Activations[i] counts the rounds process i performed.
+	Activations []int
+	// Steps is the number of time steps the execution took.
+	Steps int
+}
+
+// MaxActivations returns the largest per-process activation count — the
+// round complexity of the execution as defined in §2.2.
+func (r Result) MaxActivations() int {
+	max := 0
+	for _, a := range r.Activations {
+		if a > max {
+			max = a
+		}
+	}
+	return max
+}
+
+// TerminatedCount returns how many processes terminated with an output.
+func (r Result) TerminatedCount() int {
+	n := 0
+	for _, d := range r.Done {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// Mode selects how a multi-process activation set executes within one time
+// step.
+type Mode int
+
+const (
+	// ModeInterleaved (the default) executes the activated processes one
+	// after another in ascending index order: each process's write is
+	// visible to later processes in the same step. Every execution under
+	// this mode is equivalent to a schedule of singleton activations — the
+	// standard asynchronous read/write adversary.
+	ModeInterleaved Mode = iota
+	// ModeSimultaneous performs all writes of the activated set before any
+	// read, the paper's §2.1 simultaneous-round semantics ("the system
+	// behaves as if each of these processes first wrote a value in its own
+	// register, then all processes read all registers").
+	ModeSimultaneous
+)
+
+// String returns "interleaved" or "simultaneous".
+func (m Mode) String() string {
+	if m == ModeSimultaneous {
+		return "simultaneous"
+	}
+	return "interleaved"
+}
+
+// Hook observes the engine after each executed step; t is the step index
+// and activated lists the processes that actually performed a round.
+type Hook[V any] func(e *Engine[V], t int, activated []int)
+
+// ErrStepLimit is returned by Run when the step budget is exhausted before
+// the execution terminates — in tests this flags a liveness bug, since all
+// the paper's algorithms are wait-free.
+var ErrStepLimit = errors.New("sim: step limit exceeded")
+
+// emptyStreak is how many consecutive no-op steps (scheduler choices that
+// activate nobody) Run tolerates before declaring the remaining processes
+// crashed. Idle steps change no state, so an adversary idling forever is
+// indistinguishable from one that crashed everyone; the tolerance is large
+// enough for deliberate idling phases (e.g. Sleep schedulers parking the
+// execution until a wake time) to pass through.
+const emptyStreak = 2048
+
+// Engine executes one distributed algorithm instance over a graph.
+type Engine[V any] struct {
+	g       graph.Graph
+	nodes   []Node[V]
+	regs    []Cell[V]
+	done    []bool
+	crashed []bool
+	outputs []int
+	acts    []int
+	limits  []int // crash after this many activations; <0 = never
+	t       int
+	mode    Mode
+	hooks   []Hook[V]
+
+	viewBuf []Cell[V] // scratch, reused across rounds
+}
+
+// NewEngine creates an engine for the given topology and per-node state
+// machines. len(nodes) must equal g.N().
+func NewEngine[V any](g graph.Graph, nodes []Node[V]) (*Engine[V], error) {
+	if len(nodes) != g.N() {
+		return nil, fmt.Errorf("sim: %d nodes for graph %s with %d vertices", len(nodes), g.Name(), g.N())
+	}
+	n := g.N()
+	e := &Engine[V]{
+		g:       g,
+		nodes:   nodes,
+		regs:    make([]Cell[V], n),
+		done:    make([]bool, n),
+		crashed: make([]bool, n),
+		outputs: make([]int, n),
+		acts:    make([]int, n),
+		limits:  make([]int, n),
+	}
+	for i := range e.outputs {
+		e.outputs[i] = -1
+		e.limits[i] = -1
+	}
+	return e, nil
+}
+
+// AddHook registers a post-step observer (e.g. a tracer or invariant
+// checker).
+func (e *Engine[V]) AddHook(h Hook[V]) { e.hooks = append(e.hooks, h) }
+
+// SetMode selects the activation semantics; call before the first Step.
+func (e *Engine[V]) SetMode(m Mode) { e.mode = m }
+
+// Mode returns the engine's activation semantics.
+func (e *Engine[V]) Mode() Mode { return e.mode }
+
+// CrashAfter arranges for process i to crash once it has performed k
+// rounds (k == 0 means it never wakes). It overrides any previous limit.
+func (e *Engine[V]) CrashAfter(i, k int) {
+	e.limits[i] = k
+	if k <= e.acts[i] {
+		e.crashed[i] = true
+	}
+}
+
+// Crash immediately crashes process i.
+func (e *Engine[V]) Crash(i int) { e.crashed[i] = true }
+
+// Graph returns the topology.
+func (e *Engine[V]) Graph() graph.Graph { return e.g }
+
+// N implements schedule.State.
+func (e *Engine[V]) N() int { return len(e.nodes) }
+
+// Time implements schedule.State: the index of the next step.
+func (e *Engine[V]) Time() int { return e.t + 1 }
+
+// Working implements schedule.State.
+func (e *Engine[V]) Working(i int) bool { return !e.done[i] && !e.crashed[i] }
+
+// Activations implements schedule.State.
+func (e *Engine[V]) Activations(i int) int { return e.acts[i] }
+
+// Done reports whether process i terminated.
+func (e *Engine[V]) Done(i int) bool { return e.done[i] }
+
+// Crashed reports whether process i crashed.
+func (e *Engine[V]) Crashed(i int) bool { return e.crashed[i] }
+
+// Output returns process i's output, or -1 if it has not terminated.
+func (e *Engine[V]) Output(i int) int { return e.outputs[i] }
+
+// Register returns the current content of process i's register.
+func (e *Engine[V]) Register(i int) Cell[V] { return e.regs[i] }
+
+// NodeState returns process i's state machine (read-only use only).
+func (e *Engine[V]) NodeState(i int) Node[V] { return e.nodes[i] }
+
+// AllDone reports whether every process has terminated.
+func (e *Engine[V]) AllDone() bool {
+	for i := range e.done {
+		if !e.done[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllSettled reports whether every process has terminated or crashed, i.e.
+// the execution cannot evolve further.
+func (e *Engine[V]) AllSettled() bool {
+	for i := range e.done {
+		if e.Working(i) {
+			return false
+		}
+	}
+	return true
+}
+
+var _ schedule.State = (*Engine[int])(nil)
+
+// Step executes one time step activating the given set of processes.
+// Non-working processes in the set are skipped, duplicates collapse, and
+// all writes happen before any read, per the model. It returns the
+// processes that actually performed a round.
+func (e *Engine[V]) Step(active []int) []int {
+	e.t++
+
+	// Deduplicate and filter to working processes.
+	performed := make([]int, 0, len(active))
+	inSet := make(map[int]bool, len(active))
+	for _, i := range active {
+		if i < 0 || i >= len(e.nodes) || inSet[i] || !e.Working(i) {
+			continue
+		}
+		inSet[i] = true
+		performed = append(performed, i)
+	}
+	sort.Ints(performed)
+
+	if e.mode == ModeSimultaneous {
+		// Phase 1: all activated processes write; phase 2: all read.
+		for _, i := range performed {
+			e.regs[i] = Cell[V]{Present: true, Val: e.nodes[i].Publish()}
+		}
+		for _, i := range performed {
+			e.observe(i)
+		}
+	} else {
+		// Interleaved: each process's atomic write+read round completes
+		// before the next process in the set runs.
+		for _, i := range performed {
+			e.regs[i] = Cell[V]{Present: true, Val: e.nodes[i].Publish()}
+			e.observe(i)
+		}
+	}
+
+	for _, h := range e.hooks {
+		h(e, e.t, performed)
+	}
+	return performed
+}
+
+// observe performs the read-and-update half of process i's round: gather
+// the local immediate snapshot, let the node decide, and account for
+// termination and crash limits. The view buffer is only valid during the
+// Observe call.
+func (e *Engine[V]) observe(i int) {
+	nbrs := e.g.Neighbors(i)
+	if cap(e.viewBuf) < len(nbrs) {
+		e.viewBuf = make([]Cell[V], len(nbrs))
+	}
+	view := e.viewBuf[:len(nbrs)]
+	for j, q := range nbrs {
+		view[j] = e.regs[q]
+	}
+	dec := e.nodes[i].Observe(view)
+	e.acts[i]++
+	if dec.Return {
+		e.done[i] = true
+		e.outputs[i] = dec.Output
+	} else if e.limits[i] >= 0 && e.acts[i] >= e.limits[i] {
+		e.crashed[i] = true
+	}
+}
+
+// Run drives the engine with the scheduler until every process terminates
+// or crashes, or until maxSteps is exceeded (returning ErrStepLimit along
+// with the partial result). The scheduler returning empty sets for several
+// consecutive steps crashes all remaining processes, modeling an adversary
+// that abandons them.
+func (e *Engine[V]) Run(s schedule.Scheduler, maxSteps int) (Result, error) {
+	empties := 0
+	for !e.AllSettled() {
+		if e.t >= maxSteps {
+			return e.result(), fmt.Errorf("%w: %d steps, scheduler %s", ErrStepLimit, e.t, s.Name())
+		}
+		performed := e.Step(s.Next(e))
+		if len(performed) == 0 {
+			empties++
+			if empties >= emptyStreak {
+				for i := range e.crashed {
+					if e.Working(i) {
+						e.crashed[i] = true
+					}
+				}
+			}
+		} else {
+			empties = 0
+		}
+	}
+	return e.result(), nil
+}
+
+func (e *Engine[V]) result() Result {
+	r := Result{
+		Outputs:     append([]int(nil), e.outputs...),
+		Done:        append([]bool(nil), e.done...),
+		Crashed:     append([]bool(nil), e.crashed...),
+		Activations: append([]int(nil), e.acts...),
+		Steps:       e.t,
+	}
+	return r
+}
+
+// Result snapshots the current execution state as a Result, even if the
+// execution has not settled.
+func (e *Engine[V]) Result() Result { return e.result() }
+
+// Clone deep-copies the engine (including node states via Node.Clone), for
+// use by the bounded model checker.
+func (e *Engine[V]) Clone() *Engine[V] {
+	n := len(e.nodes)
+	c := &Engine[V]{
+		g:       e.g,
+		nodes:   make([]Node[V], n),
+		regs:    append([]Cell[V](nil), e.regs...),
+		done:    append([]bool(nil), e.done...),
+		crashed: append([]bool(nil), e.crashed...),
+		outputs: append([]int(nil), e.outputs...),
+		acts:    append([]int(nil), e.acts...),
+		limits:  append([]int(nil), e.limits...),
+		t:       e.t,
+		mode:    e.mode,
+		// hooks deliberately not copied: checker branches are silent.
+	}
+	for i, nd := range e.nodes {
+		c.nodes[i] = nd.Clone()
+	}
+	return c
+}
+
+// Fingerprint returns a canonical string encoding of the configuration:
+// register contents, node states, and termination/crash flags. Two engines
+// with equal fingerprints behave identically under identical future
+// schedules (activation counts and time are excluded on purpose, since the
+// transition function does not depend on them).
+func (e *Engine[V]) Fingerprint() string {
+	var b strings.Builder
+	for i := range e.nodes {
+		fmt.Fprintf(&b, "%d[", i)
+		if e.regs[i].Present {
+			fmt.Fprintf(&b, "r=%v", e.regs[i].Val)
+		} else {
+			b.WriteString("r=⊥")
+		}
+		fmt.Fprintf(&b, " s=%v d=%t c=%t o=%d]", e.nodes[i], e.done[i], e.crashed[i], e.outputs[i])
+	}
+	return b.String()
+}

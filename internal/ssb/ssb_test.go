@@ -1,0 +1,150 @@
+package ssb_test
+
+import (
+	"fmt"
+	"testing"
+
+	"asynccycle/internal/check"
+	"asynccycle/internal/core"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/mis"
+	"asynccycle/internal/model"
+	"asynccycle/internal/schedule"
+	"asynccycle/internal/sim"
+	"asynccycle/internal/ssb"
+)
+
+func TestCheck(t *testing.T) {
+	tests := []struct {
+		name    string
+		outputs []int
+		done    []bool
+		wantHit bool
+	}{
+		{"both values, all done", []int{0, 1, 0}, []bool{true, true, true}, false},
+		{"all ones, all done", []int{1, 1, 1}, []bool{true, true, true}, true},
+		{"all zeros, all done", []int{0, 0, 0}, []bool{true, true, true}, true},
+		{"partial with a one", []int{1, 0, 0}, []bool{true, true, false}, false},
+		{"partial all zeros", []int{0, 0, 0}, []bool{true, false, false}, true},
+		{"nobody terminated", []int{0, 0, 0}, []bool{false, false, false}, false},
+		{"out of range", []int{2, 1, 0}, []bool{true, true, true}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := ssb.Check(tt.outputs, tt.done)
+			if (got != "") != tt.wantHit {
+				t.Errorf("Check = %q, wantHit=%t", got, tt.wantHit)
+			}
+		})
+	}
+}
+
+func TestWrapCyclePanicsBelowC3(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WrapCycle accepted 2 nodes")
+		}
+	}()
+	ssb.WrapCycle(core.NewFiveNodes([]int{1, 2}))
+}
+
+// TestWrapCycleSimulatesFaithfully runs Algorithm 2 both natively on C_n
+// and wrapped on K_n under the same deterministic schedule: the simulated
+// processes must behave identically, because each wrapped process reads
+// exactly its two cycle neighbors.
+func TestWrapCycleSimulatesFaithfully(t *testing.T) {
+	for _, n := range []int{3, 5, 8} {
+		xs := ids.MustGenerate(ids.Random, n, int64(n))
+
+		gC := graph.MustCycle(n)
+		eC, err := sim.NewEngine(gC, core.NewFiveNodes(xs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resC, err := eC.Run(schedule.NewRoundRobin(1), 100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		gK, err := graph.Complete(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eK, err := sim.NewEngine(gK, ssb.WrapCycle(core.NewFiveNodes(xs)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resK, err := eK.Run(schedule.NewRoundRobin(1), 100_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		for i := 0; i < n; i++ {
+			if resC.Outputs[i] != resK.Outputs[i] {
+				t.Fatalf("n=%d node %d: cycle output %d, shared-memory simulation %d",
+					n, i, resC.Outputs[i], resK.Outputs[i])
+			}
+			if resC.Activations[i] != resK.Activations[i] {
+				t.Fatalf("n=%d node %d: activation counts differ (%d vs %d)",
+					n, i, resC.Activations[i], resK.Activations[i])
+			}
+		}
+		if err := check.ProperColoring(gC, resK); err != nil {
+			t.Errorf("n=%d: simulated outputs no longer color the cycle: %v", n, err)
+		}
+	}
+}
+
+func ssbInvariant() model.Invariant[mis.Val] {
+	return func(e *sim.Engine[mis.Val]) error {
+		r := e.Result()
+		if v := ssb.Check(r.Outputs, r.Done); v != "" {
+			return fmt.Errorf("%s", v)
+		}
+		return nil
+	}
+}
+
+// TestReductionDichotomy reproduces the Property 2.1 proof on bounded
+// instances: wrapping each MIS candidate as a shared-memory SSB algorithm,
+// the safe candidate is not wait-free and the wait-free candidate violates
+// the SSB conditions — no candidate yields the wait-free SSB solution
+// whose existence would contradict Attiya & Paz.
+func TestReductionDichotomy(t *testing.T) {
+	for _, n := range []int{3, 4} {
+		gK, err := graph.Complete(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xs := ids.MustGenerate(ids.Increasing, n, 0)
+
+		eg, _ := sim.NewEngine(gK, ssb.WrapCycle(mis.NewGreedyNodes(xs)))
+		repG := model.Explore(eg, model.Options{SingletonsOnly: true}, ssbInvariant())
+		if !repG.CycleFound {
+			t.Errorf("K%d: wrapped greedy should not be wait-free", n)
+		}
+
+		ei, _ := sim.NewEngine(gK, ssb.WrapCycle(mis.NewImpatientNodes(xs, 2)))
+		repI := model.Explore(ei, model.Options{SingletonsOnly: true}, ssbInvariant())
+		if repI.CycleFound {
+			t.Errorf("K%d: wrapped impatient should be wait-free", n)
+		}
+		if len(repI.Violations) == 0 {
+			t.Errorf("K%d: wrapped impatient should violate the SSB conditions", n)
+		}
+	}
+}
+
+func TestWrappedCloneIndependence(t *testing.T) {
+	nodes := ssb.WrapCycle(core.NewFiveNodes([]int{1, 2, 3}))
+	c := nodes[0].Clone()
+	view := make([]sim.Cell[core.FiveVal], 2)
+	view[0] = sim.Cell[core.FiveVal]{Present: true, Val: core.FiveVal{X: 3, A: 0, B: 0}}
+	view[1] = sim.Cell[core.FiveVal]{Present: true, Val: core.FiveVal{X: 2, A: 0, B: 0}}
+	c.Observe(view)
+	// The original node still publishes its initial colors.
+	if v := nodes[0].Publish(); v.A != 0 || v.B != 0 {
+		t.Fatal("observing the clone mutated the original")
+	}
+}

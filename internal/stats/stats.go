@@ -1,0 +1,187 @@
+// Package stats provides small summary-statistics helpers used by the
+// experiment harness: means, percentiles, extrema, histograms, and a simple
+// least-squares linear fit for checking growth shapes (e.g. that Algorithm 2
+// scales linearly in n while Algorithm 3 does not).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary condenses a sample of non-negative measurements.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Stddev float64
+	P50    float64
+	P90    float64
+	P99    float64
+}
+
+// Summarize computes a Summary over xs. An empty sample yields a zero
+// Summary with N == 0.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	var sum, sumSq float64
+	for _, x := range sorted {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // guard against rounding
+	}
+	return Summary{
+		N:      len(sorted),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		Stddev: math.Sqrt(variance),
+		P50:    Percentile(sorted, 0.50),
+		P90:    Percentile(sorted, 0.90),
+		P99:    Percentile(sorted, 0.99),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d min=%.1f mean=%.1f p50=%.1f p90=%.1f p99=%.1f max=%.1f",
+		s.N, s.Min, s.Mean, s.P50, s.P90, s.P99, s.Max)
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 1) of an already sorted
+// sample using nearest-rank interpolation. It returns 0 for empty input.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MaxInt returns the maximum of xs, or 0 if xs is empty.
+func MaxInt(xs []int) int {
+	max := 0
+	for i, x := range xs {
+		if i == 0 || x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// MeanInt returns the arithmetic mean of xs, or 0 if xs is empty.
+func MeanInt(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// Floats converts an int sample to float64 for Summarize.
+func Floats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Fit is a least-squares line y = Slope*x + Intercept with the coefficient
+// of determination R2.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit fits a least-squares line through the points (xs[i], ys[i]).
+// It returns a zero Fit when fewer than two points are supplied or when all
+// xs coincide.
+func LinearFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return Fit{}
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+		syy += ys[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return Fit{}
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+
+	// R² = 1 - SSres/SStot.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range xs {
+		pred := slope*xs[i] + intercept
+		ssRes += (ys[i] - pred) * (ys[i] - pred)
+		ssTot += (ys[i] - meanY) * (ys[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// Histogram counts xs into width-1 integer buckets keyed by value.
+func Histogram(xs []int) map[int]int {
+	h := make(map[int]int, len(xs))
+	for _, x := range xs {
+		h[x]++
+	}
+	return h
+}
+
+// HistogramString renders a histogram in ascending key order, e.g.
+// "0:3 1:5 4:1".
+func HistogramString(h map[int]int) string {
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%d:%d", k, h[k])
+	}
+	return strings.Join(parts, " ")
+}

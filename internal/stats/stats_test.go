@@ -1,0 +1,203 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Max != 0 {
+		t.Errorf("Summarize(nil) = %+v, want zero", s)
+	}
+}
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 {
+		t.Errorf("N = %d, want 5", s.N)
+	}
+	if s.Min != 1 || s.Max != 5 {
+		t.Errorf("min/max = %g/%g, want 1/5", s.Min, s.Max)
+	}
+	if s.Mean != 3 {
+		t.Errorf("mean = %g, want 3", s.Mean)
+	}
+	if s.P50 != 3 {
+		t.Errorf("p50 = %g, want 3", s.P50)
+	}
+	wantStd := math.Sqrt(2)
+	if math.Abs(s.Stddev-wantStd) > 1e-9 {
+		t.Errorf("stddev = %g, want %g", s.Stddev, wantStd)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	s := Summarize([]float64{1, 2})
+	str := s.String()
+	if !strings.Contains(str, "n=2") || !strings.Contains(str, "mean=1.5") {
+		t.Errorf("unexpected summary string %q", str)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10},
+		{1, 40},
+		{-0.5, 10},
+		{1.5, 40},
+		{0.5, 25}, // interpolated between 20 and 30
+		{1.0 / 3, 20},
+	}
+	for _, tt := range tests {
+		if got := Percentile(sorted, tt.p); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("Percentile(%v, %g) = %g, want %g", sorted, tt.p, got, tt.want)
+		}
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("Percentile(nil) = %g, want 0", got)
+	}
+}
+
+// TestPercentileMonotoneQuick: p1 ≤ p2 implies percentile(p1) ≤
+// percentile(p2).
+func TestPercentileMonotoneQuick(t *testing.T) {
+	prop := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		p1 := math.Mod(math.Abs(a), 1)
+		p2 := math.Mod(math.Abs(b), 1)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Percentile(sorted, p1) <= Percentile(sorted, p2)+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxInt(t *testing.T) {
+	tests := []struct {
+		in   []int
+		want int
+	}{
+		{nil, 0},
+		{[]int{5}, 5},
+		{[]int{-3, -7}, -3},
+		{[]int{1, 9, 2}, 9},
+	}
+	for _, tt := range tests {
+		if got := MaxInt(tt.in); got != tt.want {
+			t.Errorf("MaxInt(%v) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestMeanInt(t *testing.T) {
+	if got := MeanInt(nil); got != 0 {
+		t.Errorf("MeanInt(nil) = %g, want 0", got)
+	}
+	if got := MeanInt([]int{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("MeanInt = %g, want 2.5", got)
+	}
+}
+
+func TestFloats(t *testing.T) {
+	fs := Floats([]int{1, 2})
+	if len(fs) != 2 || fs[0] != 1.0 || fs[1] != 2.0 {
+		t.Errorf("Floats = %v", fs)
+	}
+}
+
+func TestLinearFitExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3*x + 7
+	}
+	fit := LinearFit(xs, ys)
+	if math.Abs(fit.Slope-3) > 1e-9 || math.Abs(fit.Intercept-7) > 1e-9 {
+		t.Errorf("fit = %+v, want slope 3 intercept 7", fit)
+	}
+	if fit.R2 < 0.999999 {
+		t.Errorf("R² = %g, want ≈1", fit.R2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if fit := LinearFit([]float64{1}, []float64{2}); fit != (Fit{}) {
+		t.Errorf("single-point fit = %+v, want zero", fit)
+	}
+	if fit := LinearFit([]float64{1, 2}, []float64{3}); fit != (Fit{}) {
+		t.Errorf("mismatched-length fit = %+v, want zero", fit)
+	}
+	if fit := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); fit != (Fit{}) {
+		t.Errorf("vertical-line fit = %+v, want zero", fit)
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	fit := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if math.Abs(fit.Slope) > 1e-9 {
+		t.Errorf("slope = %g, want 0", fit.Slope)
+	}
+	if fit.R2 != 1 {
+		t.Errorf("R² = %g, want 1 for perfectly explained constant", fit.R2)
+	}
+}
+
+// TestLinearFitRecoversLineQuick: fitting points generated from any
+// non-degenerate line recovers its parameters.
+func TestLinearFitRecoversLineQuick(t *testing.T) {
+	prop := func(slopeRaw, interceptRaw int8) bool {
+		slope := float64(slopeRaw)
+		intercept := float64(interceptRaw)
+		xs := []float64{0, 1, 2, 5, 10}
+		ys := make([]float64, len(xs))
+		for i, x := range xs {
+			ys[i] = slope*x + intercept
+		}
+		fit := LinearFit(xs, ys)
+		return math.Abs(fit.Slope-slope) < 1e-6 && math.Abs(fit.Intercept-intercept) < 1e-6
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]int{1, 1, 3, 0})
+	if h[1] != 2 || h[3] != 1 || h[0] != 1 || len(h) != 3 {
+		t.Errorf("Histogram = %v", h)
+	}
+	if s := HistogramString(h); s != "0:1 1:2 3:1" {
+		t.Errorf("HistogramString = %q", s)
+	}
+	if s := HistogramString(nil); s != "" {
+		t.Errorf("HistogramString(nil) = %q", s)
+	}
+}

@@ -1,0 +1,103 @@
+// Package trace records executions of the simulation engine as sequences
+// of per-round events, for debugging, for invariant checking over entire
+// histories (e.g. E12), and for export as human-readable text or JSONL.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"asynccycle/internal/sim"
+)
+
+// Event is one process round.
+type Event struct {
+	// T is the time step.
+	T int `json:"t"`
+	// Node is the process that performed the round.
+	Node int `json:"node"`
+	// Wrote is the register value the process published, rendered with %v.
+	Wrote string `json:"wrote"`
+	// Returned reports whether the process terminated in this round.
+	Returned bool `json:"returned,omitempty"`
+	// Output is the color output if Returned.
+	Output int `json:"output,omitempty"`
+}
+
+// Recorder accumulates events via an engine hook. The zero value records
+// everything; set Limit to bound memory on long executions (older events
+// are dropped, keeping the most recent Limit).
+type Recorder[V any] struct {
+	// Limit bounds the number of retained events; 0 means unlimited.
+	Limit  int
+	events []Event
+}
+
+// Hook returns the engine hook that feeds this recorder.
+func (r *Recorder[V]) Hook() sim.Hook[V] {
+	return func(e *sim.Engine[V], t int, activated []int) {
+		for _, i := range activated {
+			ev := Event{
+				T:     t,
+				Node:  i,
+				Wrote: fmt.Sprintf("%v", e.Register(i).Val),
+			}
+			if e.Done(i) {
+				ev.Returned = true
+				ev.Output = e.Output(i)
+			}
+			r.append(ev)
+		}
+	}
+}
+
+func (r *Recorder[V]) append(ev Event) {
+	r.events = append(r.events, ev)
+	if r.Limit > 0 && len(r.events) > r.Limit {
+		// Drop the oldest surplus; amortize by copying at 2× overflow.
+		if len(r.events) >= 2*r.Limit {
+			keep := r.events[len(r.events)-r.Limit:]
+			r.events = append(r.events[:0:0], keep...)
+		}
+	}
+}
+
+// Events returns the recorded events, oldest first (trimmed to Limit if
+// set).
+func (r *Recorder[V]) Events() []Event {
+	if r.Limit > 0 && len(r.events) > r.Limit {
+		return r.events[len(r.events)-r.Limit:]
+	}
+	return r.events
+}
+
+// Len returns the number of retained events.
+func (r *Recorder[V]) Len() int { return len(r.Events()) }
+
+// WriteText renders the trace one event per line.
+func (r *Recorder[V]) WriteText(w io.Writer) error {
+	for _, ev := range r.Events() {
+		var err error
+		if ev.Returned {
+			_, err = fmt.Fprintf(w, "t=%-5d node=%-4d wrote=%s return(%d)\n", ev.T, ev.Node, ev.Wrote, ev.Output)
+		} else {
+			_, err = fmt.Fprintf(w, "t=%-5d node=%-4d wrote=%s\n", ev.T, ev.Node, ev.Wrote)
+		}
+		if err != nil {
+			return fmt.Errorf("trace: write text: %w", err)
+		}
+	}
+	return nil
+}
+
+// WriteJSONL renders the trace as one JSON object per line.
+func (r *Recorder[V]) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range r.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("trace: write jsonl: %w", err)
+		}
+	}
+	return nil
+}

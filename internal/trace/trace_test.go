@@ -1,0 +1,144 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"asynccycle/internal/core"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/schedule"
+	"asynccycle/internal/sim"
+	"asynccycle/internal/trace"
+)
+
+func tracedRun(t *testing.T, limit int) *trace.Recorder[core.FiveVal] {
+	t.Helper()
+	g := graph.MustCycle(5)
+	e, err := sim.NewEngine(g, core.NewFiveNodes([]int{1, 2, 3, 4, 5}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &trace.Recorder[core.FiveVal]{Limit: limit}
+	e.AddHook(rec.Hook())
+	if _, err := e.Run(schedule.NewRoundRobin(1), 10_000); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestRecorderCapturesEveryRound(t *testing.T) {
+	g := graph.MustCycle(5)
+	e, _ := sim.NewEngine(g, core.NewFiveNodes([]int{1, 2, 3, 4, 5}))
+	rec := &trace.Recorder[core.FiveVal]{}
+	e.AddHook(rec.Hook())
+	res, err := e.Run(schedule.NewRoundRobin(1), 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, a := range res.Activations {
+		total += a
+	}
+	if rec.Len() != total {
+		t.Errorf("recorded %d events, want %d (one per activation)", rec.Len(), total)
+	}
+	// Returned events exactly match terminated processes.
+	returns := 0
+	for _, ev := range rec.Events() {
+		if ev.Returned {
+			returns++
+		}
+	}
+	if returns != res.TerminatedCount() {
+		t.Errorf("recorded %d returns, want %d", returns, res.TerminatedCount())
+	}
+}
+
+func TestRecorderEventsOrdered(t *testing.T) {
+	rec := tracedRun(t, 0)
+	last := 0
+	for _, ev := range rec.Events() {
+		if ev.T < last {
+			t.Fatalf("events out of order: %d after %d", ev.T, last)
+		}
+		last = ev.T
+	}
+}
+
+func TestRecorderLimitTrims(t *testing.T) {
+	full := tracedRun(t, 0)
+	limited := tracedRun(t, 4)
+	if limited.Len() != 4 {
+		t.Fatalf("limited recorder kept %d events, want 4", limited.Len())
+	}
+	fullEvents := full.Events()
+	tail := fullEvents[len(fullEvents)-4:]
+	for i, ev := range limited.Events() {
+		if ev != tail[i] {
+			t.Fatalf("limited events do not match the tail: %+v vs %+v", ev, tail[i])
+		}
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	rec := tracedRun(t, 0)
+	var buf bytes.Buffer
+	if err := rec.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "node=0") {
+		t.Error("text trace missing node 0")
+	}
+	if !strings.Contains(out, "return(") {
+		t.Error("text trace missing returns")
+	}
+	if got := strings.Count(out, "\n"); got != rec.Len() {
+		t.Errorf("text trace has %d lines, want %d", got, rec.Len())
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	rec := tracedRun(t, 0)
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != rec.Len() {
+		t.Fatalf("jsonl has %d lines, want %d", len(lines), rec.Len())
+	}
+	var ev trace.Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v", err)
+	}
+	if ev.T != 1 {
+		t.Errorf("first event t = %d, want 1", ev.T)
+	}
+	if ev.Wrote == "" {
+		t.Error("first event has empty register value")
+	}
+}
+
+// failWriter fails after a byte budget to exercise error paths.
+type failWriter struct{ budget int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.budget <= 0 {
+		return 0, bytes.ErrTooLarge
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+func TestWriteErrorsPropagate(t *testing.T) {
+	rec := tracedRun(t, 0)
+	if err := rec.WriteText(&failWriter{budget: 10}); err == nil {
+		t.Error("WriteText swallowed writer error")
+	}
+	if err := rec.WriteJSONL(&failWriter{budget: 10}); err == nil {
+		t.Error("WriteJSONL swallowed writer error")
+	}
+}

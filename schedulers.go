@@ -1,0 +1,68 @@
+package asynccycle
+
+import (
+	"time"
+
+	"asynccycle/internal/schedule"
+)
+
+// Synchronous returns the lock-step scheduler: every working process is
+// activated at every step.
+func Synchronous() Scheduler { return schedule.Synchronous{} }
+
+// RoundRobin returns a scheduler activating width working processes per
+// step, cycling through process indices.
+func RoundRobin(width int) Scheduler { return schedule.NewRoundRobin(width) }
+
+// RandomSubset returns a scheduler that independently activates each
+// working process with probability p at each step (at least one always
+// moves).
+func RandomSubset(p float64, seed int64) Scheduler { return schedule.NewRandomSubset(p, seed) }
+
+// RandomOne returns a scheduler activating a single uniformly random
+// working process per step.
+func RandomOne(seed int64) Scheduler { return schedule.NewRandomOne(seed) }
+
+// Alternating returns the two-phase scheduler: even-index processes on odd
+// steps, odd-index processes on even steps.
+func Alternating() Scheduler { return schedule.Alternating{} }
+
+// Burst returns a scheduler giving each process k consecutive solo steps
+// before moving on.
+func Burst(k int) Scheduler { return schedule.NewBurst(k) }
+
+// Sleep wraps inner so that the given processes are withheld until step
+// wakeAt (modeling late risers; combine with Config.CrashAfter for
+// permanent crashes).
+func Sleep(asleep []int, wakeAt int, inner Scheduler) Scheduler {
+	return schedule.NewSleep(asleep, wakeAt, inner)
+}
+
+// RecordingScheduler wraps another scheduler and captures the schedule it
+// produces, so an interesting execution can be serialized (MarshalSchedule)
+// and replayed exactly (Replay) — e.g. to pin a bug reproduction in a
+// regression test.
+type RecordingScheduler = schedule.Recording
+
+// Record wraps inner in a RecordingScheduler.
+func Record(inner Scheduler) *RecordingScheduler { return schedule.NewRecording(inner) }
+
+// Replay returns a scheduler that plays back a recorded schedule verbatim;
+// after the steps are exhausted, remaining processes are treated as
+// crashed.
+func Replay(steps [][]int) Scheduler { return schedule.NewReplay(steps) }
+
+// MarshalSchedule serializes a recorded schedule as JSON.
+func MarshalSchedule(steps [][]int) ([]byte, error) { return schedule.MarshalSteps(steps) }
+
+// UnmarshalSchedule deserializes a schedule produced by MarshalSchedule.
+func UnmarshalSchedule(data []byte) ([][]int, error) { return schedule.UnmarshalSteps(data) }
+
+// durationFromNanos converts a nanosecond count to a time.Duration,
+// clamping negatives to zero.
+func durationFromNanos(ns int64) time.Duration {
+	if ns < 0 {
+		return 0
+	}
+	return time.Duration(ns)
+}

@@ -1,0 +1,45 @@
+package asynccycle
+
+import (
+	"asynccycle/internal/check"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
+)
+
+// VerifyCycleColoring checks that a Result from one of the cycle-coloring
+// runs properly colors the cycle C_n induced by its terminated processes.
+// It returns nil on success.
+func VerifyCycleColoring(n int, r Result) error {
+	g, err := graph.Cycle(n)
+	if err != nil {
+		return err
+	}
+	return check.ProperColoring(g, r)
+}
+
+// VerifyGraphColoring checks that a Result from ColorGraph properly colors
+// the subgraph induced by its terminated processes.
+func VerifyGraphColoring(adj [][]int, r Result) error {
+	g, err := graph.New("user", adj)
+	if err != nil {
+		return err
+	}
+	return check.ProperColoring(g, r)
+}
+
+// VerifyPalette checks that every terminated process output a color in
+// {0, …, k−1} (use k = 5 for FiveColorCycle and FastColorCycle).
+func VerifyPalette(r Result, k int) error { return check.PaletteRange(r, k) }
+
+// VerifyPairPalette checks that every terminated process of SixColorCycle
+// or ColorGraph output an encoded pair (a, b) with a+b ≤ maxDeg (use 2 for
+// the cycle).
+func VerifyPairPalette(r Result, maxDeg int) error { return check.PairPalette(r, maxDeg) }
+
+// VerifySurvivorsTerminated checks that every non-crashed process
+// terminated with an output — the fault-tolerance guarantee.
+func VerifySurvivorsTerminated(r Result) error { return check.SurvivorsTerminated(r) }
+
+// GenerateIDs produces n distinct identifiers from [0, n²) using the given
+// seed — a convenient poly(n)-range input for the coloring runs.
+func GenerateIDs(n int, seed int64) []int { return ids.RandomIDs(n, seed) }
