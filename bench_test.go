@@ -56,6 +56,17 @@ func BenchmarkE16ProgressClasses(b *testing.B) { benchTable(b, expt.E16ProgressC
 func BenchmarkE17Ablations(b *testing.B)       { benchTable(b, expt.E17Ablations) }
 func BenchmarkF1Livelock(b *testing.B)         { benchTable(b, expt.F1Livelock) }
 
+// BenchmarkE2Alg2LinearSerial pins Parallelism to 1 — the baseline for the
+// default BenchmarkE2Alg2Linear, which fans sweep cells across GOMAXPROCS
+// workers. The two produce byte-identical tables; only wall-clock differs.
+func BenchmarkE2Alg2LinearSerial(b *testing.B) {
+	var once sync.Once
+	for i := 0; i < b.N; i++ {
+		t := expt.E2Alg2Linear(expt.Options{Quick: true, Seed: int64(i + 1), Parallelism: 1})
+		once.Do(func() { b.Log("\n" + t.String()) })
+	}
+}
+
 // --- micro-benchmarks of the primitives the experiments are built on ----
 
 // BenchmarkEngineRound measures one engine time step (write + local
@@ -160,6 +171,60 @@ func BenchmarkModelCheckC4(b *testing.B) {
 		if !rep.Ok() {
 			b.Fatal("verification failed")
 		}
+	}
+}
+
+// BenchmarkModelCheckC4StringFP is BenchmarkModelCheckC4 with the exact
+// string-fingerprint state tables the checker used before compact hashing —
+// the allocs/op gap between the two is the win of the 128-bit tables.
+func BenchmarkModelCheckC4StringFP(b *testing.B) {
+	g := graph.MustCycle(4)
+	xs := ids.MustGenerate(ids.Increasing, 4, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
+		rep := model.Explore(e, model.Options{SingletonsOnly: true, StringFingerprints: true}, nil)
+		if !rep.Ok() {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+// BenchmarkModelCheckC4Workers measures the parallel first-level frontier
+// on the same instance (identical States/Terminal counts as the serial
+// exploration; workers duplicate shared substates by design).
+func BenchmarkModelCheckC4Workers(b *testing.B) {
+	g := graph.MustCycle(4)
+	xs := ids.MustGenerate(ids.Increasing, 4, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
+		rep := model.Explore(e, model.Options{SingletonsOnly: true, Workers: 4}, nil)
+		if !rep.Ok() {
+			b.Fatal("verification failed")
+		}
+	}
+}
+
+// BenchmarkFingerprintString and BenchmarkFingerprintHash compare the two
+// configuration-identity encodings on a warmed n=1024 Algorithm 3 engine.
+func BenchmarkFingerprintString(b *testing.B) {
+	n := 1024
+	e, _ := sim.NewEngine(graph.MustCycle(n), core.NewFastNodes(ids.MustGenerate(ids.Random, n, 1)))
+	e.Step([]int{0, 1, 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Fingerprint()
+	}
+}
+
+func BenchmarkFingerprintHash(b *testing.B) {
+	n := 1024
+	e, _ := sim.NewEngine(graph.MustCycle(n), core.NewFastNodes(ids.MustGenerate(ids.Random, n, 1)))
+	e.Step([]int{0, 1, 2})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = e.FingerprintHash128()
 	}
 }
 

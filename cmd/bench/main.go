@@ -1,0 +1,157 @@
+// Command bench runs the repository's core benchmarks in-process and
+// writes the results as JSON (BENCH_core.json), so perf baselines can be
+// recorded and diffed without parsing `go test -bench` text output.
+//
+// Usage:
+//
+//	bench [-out BENCH_core.json] [-quick]
+//
+// The suite pairs each optimized path with its baseline so the file
+// documents the speedups directly: the parallel experiment harness vs its
+// serial setting, and the compact-fingerprint model checker vs the exact
+// string-fingerprint tables.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"asynccycle/internal/core"
+	"asynccycle/internal/expt"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/model"
+	"asynccycle/internal/sim"
+)
+
+type entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+type report struct {
+	GoVersion  string  `json:"go_version"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Quick      bool    `json:"quick"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_core.json", "output file")
+	quick := flag.Bool("quick", false, "shrink workloads for a smoke run")
+	flag.Parse()
+	if err := run(*out, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out string, quick bool) error {
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+
+	n := 4096
+	if quick {
+		n = 512
+	}
+	g := graph.MustCycle(n)
+	xs := ids.MustGenerate(ids.Random, n, 1)
+
+	add := func(name string, f func(b *testing.B)) {
+		r := testing.Benchmark(f)
+		rep.Benchmarks = append(rep.Benchmarks, entry{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Printf("%-28s %12.0f ns/op %8d allocs/op\n", name, rep.Benchmarks[len(rep.Benchmarks)-1].NsPerOp, r.AllocsPerOp())
+	}
+
+	// The tentpole pair #1: the experiment harness, serial vs parallel.
+	// Tables are byte-identical between the two; only wall-clock differs.
+	for _, c := range []struct {
+		name    string
+		workers int
+	}{{"e2_table_serial", 1}, {"e2_table_parallel", 0}} {
+		c := c
+		add(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				expt.E2Alg2Linear(expt.Options{Quick: true, Seed: 1, Parallelism: c.workers})
+			}
+		})
+	}
+
+	// The tentpole pair #2: the model checker, exact string fingerprints vs
+	// compact 128-bit hashes (identical state counts, fewer allocations).
+	for _, c := range []struct {
+		name string
+		str  bool
+	}{{"modelcheck_c4_string", true}, {"modelcheck_c4_hash", false}} {
+		c := c
+		add(c.name, func(b *testing.B) {
+			b.ReportAllocs()
+			cg := graph.MustCycle(4)
+			cxs := ids.MustGenerate(ids.Increasing, 4, 0)
+			for i := 0; i < b.N; i++ {
+				e, _ := sim.NewEngine(cg, core.NewFiveNodes(cxs))
+				r := model.Explore(e, model.Options{SingletonsOnly: true, StringFingerprints: c.str}, nil)
+				if !r.Ok() {
+					b.Fatal("verification failed")
+				}
+			}
+		})
+	}
+
+	// The fingerprint primitives themselves.
+	add("fingerprint_string", func(b *testing.B) {
+		b.ReportAllocs()
+		e, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+		e.Step([]int{0, 1, 2})
+		for i := 0; i < b.N; i++ {
+			_ = e.Fingerprint()
+		}
+	})
+	add("fingerprint_hash", func(b *testing.B) {
+		b.ReportAllocs()
+		e, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+		e.Step([]int{0, 1, 2})
+		for i := 0; i < b.N; i++ {
+			_, _ = e.FingerprintHash128()
+		}
+	})
+
+	// The engine hot path (warm Step, singleton activations).
+	add("engine_step", func(b *testing.B) {
+		b.ReportAllocs()
+		e, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+		subset := make([]int, 1)
+		e.Step(subset)
+		for i := 0; i < b.N; i++ {
+			subset[0] = i % n
+			e.Step(subset)
+		}
+	})
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("wrote", out)
+	return nil
+}

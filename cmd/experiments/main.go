@@ -5,6 +5,7 @@
 // Usage:
 //
 //	experiments [-quick] [-seed N] [-only E3,E4] [-format text|markdown|csv]
+//	            [-parallel N]
 package main
 
 import (
@@ -30,6 +31,7 @@ func run(args []string, w io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed for workloads and schedulers")
 	only := fs.String("only", "", "comma-separated experiment IDs to run (e.g. E3,E4,F1)")
 	format := fs.String("format", "text", "output format: text, markdown, or csv")
+	parallel := fs.Int("parallel", 0, "sweep-cell workers per experiment (0 = GOMAXPROCS, 1 = serial); tables are byte-identical at every setting")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,7 +58,7 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	opt := expt.Options{Quick: *quick, Seed: *seed}
+	opt := expt.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel}
 	ran := 0
 	for _, r := range expt.Runners() {
 		if len(want) > 0 && !want[r.ID] {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	modelcheck [-alg fast|five|six|mis-greedy|mis-impatient|renaming]
-//	           [-n 3] [-mode interleaved|simultaneous] [-worst]
+//	           [-n 3] [-mode interleaved|simultaneous] [-worst] [-workers N]
 package main
 
 import (
@@ -41,6 +41,7 @@ func run(args []string, w io.Writer) error {
 	modeStr := fs.String("mode", "interleaved", "activation semantics: interleaved|simultaneous")
 	worst := fs.Bool("worst", false, "also compute exact worst-case per-process rounds")
 	maxStates := fs.Int("max-states", 5_000_000, "state budget")
+	workers := fs.Int("workers", 1, "frontier-parallel exploration workers (1 = serial DFS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,7 +58,7 @@ func run(args []string, w io.Writer) error {
 	// Under interleaved semantics, subset schedules are equivalent to
 	// sequences of singleton activations; explore singletons only.
 	single := mode == sim.ModeInterleaved
-	opt := model.Options{SingletonsOnly: single, MaxStates: *maxStates}
+	opt := model.Options{SingletonsOnly: single, MaxStates: *maxStates, Workers: *workers}
 	xs := ids.MustGenerate(ids.Increasing, *n, 0)
 
 	switch *alg {

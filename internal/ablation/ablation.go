@@ -222,6 +222,16 @@ func (n *Node) Clone() sim.Node[core.FastVal] {
 	return &cp
 }
 
+// HashFingerprint implements sim.Hashable.
+func (n *Node) HashFingerprint(h *sim.FPHasher) {
+	h.HashInt(int(n.variant))
+	h.HashInt(n.x)
+	h.HashBool(n.rInf)
+	h.HashInt(n.r)
+	h.HashInt(n.a)
+	h.HashInt(n.b)
+}
+
 var _ sim.Node[core.FastVal] = (*Node)(nil)
 
 func mex(used []int) int {

@@ -1,0 +1,93 @@
+package core_test
+
+// Allocation regressions on the real algorithm payloads: the engine's hot
+// path (Step) and the model checker's fingerprint hashing must not allocate
+// once warmed up, for every algorithm of the paper. These pin the scratch-
+// buffer reuse in sim.Engine and the Hashable implementations here.
+
+import (
+	"testing"
+
+	"asynccycle/internal/core"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/sim"
+)
+
+func warmEngine[V any](t *testing.T, nodes []sim.Node[V], n int) *sim.Engine[V] {
+	t.Helper()
+	e, err := sim.NewEngine(graph.MustCycle(n), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Step([]int{0, 1, 2})
+	return e
+}
+
+func assertStepZeroAllocs[V any](t *testing.T, e *sim.Engine[V], n int) {
+	t.Helper()
+	subset := make([]int, 1)
+	step := 0
+	if a := testing.AllocsPerRun(200, func() {
+		subset[0] = step % n
+		e.Step(subset)
+		step++
+	}); a != 0 {
+		t.Errorf("warm Step allocates %v/op, want 0", a)
+	}
+}
+
+func assertHashZeroAllocs[V any](t *testing.T, e *sim.Engine[V]) {
+	t.Helper()
+	if a := testing.AllocsPerRun(200, func() { e.FingerprintHash128() }); a != 0 {
+		t.Errorf("FingerprintHash128 allocates %v/op, want 0", a)
+	}
+}
+
+func TestStepAndHashZeroAllocs(t *testing.T) {
+	// n large enough that 200 singleton activations terminate nobody's
+	// whole neighborhood-dependent progress prematurely; even if some
+	// processes finish, Step on a done process is a cheap no-op and the
+	// zero-alloc assertion only gets easier.
+	const n = 256
+	xs := ids.MustGenerate(ids.Random, n, 5)
+	t.Run("alg1-pair", func(t *testing.T) {
+		e := warmEngine(t, core.NewPairNodes(xs), n)
+		assertStepZeroAllocs(t, e, n)
+		assertHashZeroAllocs(t, e)
+	})
+	t.Run("alg2-five", func(t *testing.T) {
+		e := warmEngine(t, core.NewFiveNodes(xs), n)
+		assertStepZeroAllocs(t, e, n)
+		assertHashZeroAllocs(t, e)
+	})
+	t.Run("alg3-fast", func(t *testing.T) {
+		e := warmEngine(t, core.NewFastNodes(xs), n)
+		assertStepZeroAllocs(t, e, n)
+		assertHashZeroAllocs(t, e)
+	})
+}
+
+// TestHashMatchesFingerprintEquality spot-checks the Hashable contract on
+// the real payloads: along an execution, configurations with equal string
+// fingerprints hash equal, and distinct strings never collide on both
+// lanes (a 128-bit collision within a few hundred states would mean an
+// encoding that drops state).
+func TestHashMatchesFingerprintEquality(t *testing.T) {
+	const n = 8
+	xs := ids.MustGenerate(ids.Increasing, n, 0)
+	e, err := sim.NewEngine(graph.MustCycle(n), core.NewFastNodes(xs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]uint64]string{}
+	for step := 0; step < 300 && !e.AllSettled(); step++ {
+		e.Step([]int{step % n, (step * 5) % n})
+		h1, h2 := e.FingerprintHash128()
+		s := e.Fingerprint()
+		if prev, ok := seen[[2]uint64{h1, h2}]; ok && prev != s {
+			t.Fatalf("128-bit collision between distinct configurations:\n%s\n%s", prev, s)
+		}
+		seen[[2]uint64{h1, h2}] = s
+	}
+}

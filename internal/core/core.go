@@ -87,6 +87,13 @@ type PairVal struct {
 	X, A, B int
 }
 
+// HashFingerprint implements sim.Hashable.
+func (v *PairVal) HashFingerprint(h *sim.FPHasher) {
+	h.HashInt(v.X)
+	h.HashInt(v.A)
+	h.HashInt(v.B)
+}
+
 // Pair is the Algorithm 1 / Algorithm 4 state machine: color pair
 // c = (a, b), initially (0, 0). Each non-returning round sets
 //
@@ -126,7 +133,10 @@ func (p *Pair) Observe(view []sim.Cell[PairVal]) sim.Decision {
 	if !conflict {
 		return sim.Decision{Return: true, Output: EncodePair(p.a, p.b)}
 	}
-	var aUsed, bUsed []int
+	// Conflict sets live in stack buffers up to degree 8 (every cycle, and
+	// the bounded-degree graphs of E9); larger degrees spill to the heap.
+	var aBuf, bBuf [8]int
+	aUsed, bUsed := aBuf[:0], bBuf[:0]
 	for _, c := range view {
 		if !c.Present {
 			continue
@@ -149,6 +159,13 @@ func (p *Pair) Clone() sim.Node[PairVal] {
 	return &cp
 }
 
+// HashFingerprint implements sim.Hashable.
+func (p *Pair) HashFingerprint(h *sim.FPHasher) {
+	h.HashInt(p.x)
+	h.HashInt(p.a)
+	h.HashInt(p.b)
+}
+
 var _ sim.Node[PairVal] = (*Pair)(nil)
 
 // NewPairNodes builds one Pair process per identifier, as engine-ready
@@ -168,6 +185,13 @@ func NewPairNodes(xs []int) []sim.Node[PairVal] {
 // FiveVal is the register content of the Five algorithm.
 type FiveVal struct {
 	X, A, B int
+}
+
+// HashFingerprint implements sim.Hashable.
+func (v *FiveVal) HashFingerprint(h *sim.FPHasher) {
+	h.HashInt(v.X)
+	h.HashInt(v.A)
+	h.HashInt(v.B)
 }
 
 // Five is the Algorithm 2 state machine. Each round computes
@@ -197,7 +221,10 @@ func (f *Five) Publish() FiveVal { return FiveVal{X: f.x, A: f.a, B: f.b} }
 
 // Observe implements sim.Node.
 func (f *Five) Observe(view []sim.Cell[FiveVal]) sim.Decision {
-	var all, higher []int
+	// On the cycle (degree ≤ 2) the conflict sets hold ≤ 4 colors; stack
+	// buffers keep the hot path allocation-free.
+	var allBuf, higherBuf [4]int
+	all, higher := allBuf[:0], higherBuf[:0]
 	for _, c := range view {
 		if !c.Present {
 			continue
@@ -224,6 +251,13 @@ func (f *Five) Clone() sim.Node[FiveVal] {
 	return &cp
 }
 
+// HashFingerprint implements sim.Hashable.
+func (f *Five) HashFingerprint(h *sim.FPHasher) {
+	h.HashInt(f.x)
+	h.HashInt(f.a)
+	h.HashInt(f.b)
+}
+
 var _ sim.Node[FiveVal] = (*Five)(nil)
 
 // NewFiveNodes builds one Five process per identifier, as engine-ready
@@ -248,6 +282,15 @@ type FastVal struct {
 	RInf bool
 	R    int
 	A, B int
+}
+
+// HashFingerprint implements sim.Hashable.
+func (v *FastVal) HashFingerprint(h *sim.FPHasher) {
+	h.HashInt(v.X)
+	h.HashBool(v.RInf)
+	h.HashInt(v.R)
+	h.HashInt(v.A)
+	h.HashInt(v.B)
 }
 
 // Fast is the Algorithm 3 state machine: Algorithm 2's coloring component
@@ -285,9 +328,13 @@ func (f *Fast) Publish() FastVal {
 
 // Observe implements sim.Node.
 func (f *Fast) Observe(view []sim.Cell[FastVal]) sim.Decision {
-	// Coloring component (Algorithm 2, lines 6–10 of Algorithm 3).
-	var all, higher []int
-	present := view[:0:0]
+	// Coloring component (Algorithm 2, lines 6–10 of Algorithm 3). Fast
+	// requires degree ≤ 2, so fixed-size stack buffers cover every input
+	// and the per-round path does not allocate.
+	var allBuf, higherBuf [4]int
+	var presentBuf [2]sim.Cell[FastVal]
+	all, higher := allBuf[:0], higherBuf[:0]
+	present := presentBuf[:0]
 	for _, c := range view {
 		if !c.Present {
 			continue
@@ -342,7 +389,8 @@ func (f *Fast) Observe(view []sim.Cell[FastVal]) sim.Decision {
 		// (line 19).
 		f.rInf = true
 		if f.x < lo {
-			evade := make([]int, 0, len(present))
+			var evadeBuf [2]int
+			evade := evadeBuf[:0]
 			for _, c := range present {
 				evade = append(evade, cv.F(c.Val.X, f.x))
 			}
@@ -369,6 +417,15 @@ func (f *Fast) greenLight(present []sim.Cell[FastVal]) bool {
 func (f *Fast) Clone() sim.Node[FastVal] {
 	cp := *f
 	return &cp
+}
+
+// HashFingerprint implements sim.Hashable.
+func (f *Fast) HashFingerprint(h *sim.FPHasher) {
+	h.HashInt(f.x)
+	h.HashBool(f.rInf)
+	h.HashInt(f.r)
+	h.HashInt(f.a)
+	h.HashInt(f.b)
 }
 
 var _ sim.Node[FastVal] = (*Fast)(nil)

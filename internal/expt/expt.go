@@ -143,6 +143,12 @@ func (t *Table) WriteCSV(w io.Writer) error {
 type Options struct {
 	Quick bool
 	Seed  int64
+	// Parallelism is the worker count for the sweep cells each runner fans
+	// out (0 = GOMAXPROCS, 1 = serial). Every table is byte-identical at
+	// every parallelism level: cells are enumerated up front, each derives
+	// its seeds from its own coordinates (see cellSeed), and results merge
+	// in enumeration order.
+	Parallelism int
 }
 
 func (o Options) seed() int64 {
@@ -151,6 +157,8 @@ func (o Options) seed() int64 {
 	}
 	return o.Seed
 }
+
+func (o Options) workers() int { return o.Parallelism }
 
 // Runner names one experiment and how to produce its table.
 type Runner struct {

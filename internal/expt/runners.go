@@ -13,6 +13,7 @@ import (
 	"asynccycle/internal/locale"
 	"asynccycle/internal/mis"
 	"asynccycle/internal/model"
+	"asynccycle/internal/par"
 	"asynccycle/internal/renaming"
 	"asynccycle/internal/schedule"
 	"asynccycle/internal/sim"
@@ -30,20 +31,6 @@ func run[V any](g graph.Graph, nodes []sim.Node[V], s schedule.Scheduler, mode s
 	return e.Run(s, maxSteps)
 }
 
-// schedulerSet returns fresh scheduler instances for a sweep (stateful
-// schedulers cannot be shared across runs).
-func schedulerSet(seed int64) []schedule.Scheduler {
-	return []schedule.Scheduler{
-		schedule.Synchronous{},
-		schedule.NewRoundRobin(1),
-		schedule.NewRoundRobin(3),
-		schedule.NewRandomSubset(0.3, seed),
-		schedule.NewRandomOne(seed + 1),
-		schedule.Alternating{},
-		schedule.NewBurst(4),
-	}
-}
-
 // E1Alg1Termination measures Algorithm 1 against Theorem 3.1: every
 // process terminates within ⌊3n/2⌋+4 activations, outputs lie in the
 // 6-pair palette, and the coloring is proper; for the smallest cycles the
@@ -59,38 +46,70 @@ func E1Alg1Termination(o Options) *Table {
 	if o.Quick {
 		sizes = []int{3, 4, 5, 16, 64}
 	}
+	type cell struct {
+		n     int
+		a     ids.Assignment
+		spec  schedSpec
+		exact bool
+	}
+	type result struct {
+		maxActs               int
+		properBad, paletteBad bool
+		note, exact           string
+	}
+	var cells []cell
 	for _, n := range sizes {
-		g := graph.MustCycle(n)
-		bound := 3*n/2 + 4
+		for _, a := range ids.All() {
+			for _, sp := range schedSpecs() {
+				cells = append(cells, cell{n: n, a: a, spec: sp})
+			}
+		}
+		if n <= 4 {
+			cells = append(cells, cell{n: n, exact: true})
+		}
+	}
+	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+		g := graph.MustCycle(c.n)
+		if c.exact {
+			e, _ := sim.NewEngine(g, core.NewPairNodes(ids.MustGenerate(ids.Increasing, c.n, 0)))
+			if vec, ok, _ := model.WorstActivations(e, model.Options{SingletonsOnly: true}); ok {
+				return result{exact: fmt.Sprintf("%d", stats.MaxInt(vec))}
+			}
+			return result{exact: "-"}
+		}
+		xs := ids.MustGenerate(c.a, c.n, cellSeed(o.seed(), "E1", c.n, c.a))
+		seed := cellSeed(o.seed(), "E1", c.n, c.a, c.spec.name)
+		res, err := run(g, core.NewPairNodes(xs), c.spec.mk(seed), sim.ModeInterleaved, 100*c.n*c.n+10_000)
+		if err != nil {
+			return result{note: fmt.Sprintf("n=%d %s/%s: %v", c.n, c.a, c.spec.name, err)}
+		}
+		r := result{maxActs: res.MaxActivations()}
+		r.properBad = check.ProperColoring(g, res) != nil
+		r.paletteBad = check.PairPalette(res, 2) != nil
+		return r
+	})
+	i := 0
+	for _, n := range sizes {
 		maxActs := 0
 		proper, palette := true, true
-		for _, a := range ids.All() {
-			xs := ids.MustGenerate(a, n, o.seed())
-			for _, s := range schedulerSet(o.seed()) {
-				res, err := run(g, core.NewPairNodes(xs), s, sim.ModeInterleaved, 100*n*n+10_000)
-				if err != nil {
-					t.AddNote("n=%d %s/%s: %v", n, a, s.Name(), err)
-					continue
-				}
-				if m := res.MaxActivations(); m > maxActs {
-					maxActs = m
-				}
-				if check.ProperColoring(g, res) != nil {
-					proper = false
-				}
-				if check.PairPalette(res, 2) != nil {
-					palette = false
-				}
-			}
-		}
 		exact := "-"
-		if n <= 4 {
-			e, _ := sim.NewEngine(g, core.NewPairNodes(ids.MustGenerate(ids.Increasing, n, 0)))
-			if vec, ok, _ := model.WorstActivations(e, model.Options{SingletonsOnly: true}); ok {
-				exact = fmt.Sprintf("%d", stats.MaxInt(vec))
+		for ; i < len(cells) && cells[i].n == n; i++ {
+			r := results[i]
+			if cells[i].exact {
+				exact = r.exact
+				continue
 			}
+			if r.note != "" {
+				t.AddNote("%s", r.note)
+				continue
+			}
+			if r.maxActs > maxActs {
+				maxActs = r.maxActs
+			}
+			proper = proper && !r.properBad
+			palette = palette && !r.paletteBad
 		}
-		t.AddRow(n, bound, maxActs, exact, proper, palette)
+		t.AddRow(n, 3*n/2+4, maxActs, exact, proper, palette)
 	}
 	t.AddNote("paper: Theorem 3.1 — termination ≤ ⌊3n/2⌋+4 activations, palette {(a,b): a+b≤2}, proper coloring")
 	return t
@@ -110,33 +129,56 @@ func E2Alg2Linear(o Options) *Table {
 	if o.Quick {
 		sizes = []int{8, 16, 32, 64, 128, 256}
 	}
-	var xsF, ysF []float64
+	type cell struct {
+		n    int
+		a    ids.Assignment
+		spec schedSpec
+	}
+	type result struct {
+		maxActs               int
+		properBad, paletteBad bool
+		note                  string
+	}
+	var cells []cell
 	for _, n := range sizes {
-		g := graph.MustCycle(n)
+		for _, a := range []ids.Assignment{ids.Increasing, ids.Random} {
+			for _, sp := range schedSpecs() {
+				cells = append(cells, cell{n: n, a: a, spec: sp})
+			}
+		}
+	}
+	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+		g := graph.MustCycle(c.n)
+		xs := ids.MustGenerate(c.a, c.n, cellSeed(o.seed(), "E2", c.n, c.a))
+		seed := cellSeed(o.seed(), "E2", c.n, c.a, c.spec.name)
+		res, err := run(g, core.NewFiveNodes(xs), c.spec.mk(seed), sim.ModeInterleaved, 500*c.n+20_000)
+		if err != nil {
+			return result{note: fmt.Sprintf("n=%d %s/%s: %v", c.n, c.a, c.spec.name, err)}
+		}
+		r := result{maxActs: res.MaxActivations()}
+		r.properBad = check.ProperColoring(g, res) != nil
+		r.paletteBad = check.PaletteRange(res, 5) != nil
+		return r
+	})
+	var xsF, ysF []float64
+	i := 0
+	for _, n := range sizes {
 		worstIncr, worstRand := 0, 0
 		proper, palette := true, true
-		for _, a := range []ids.Assignment{ids.Increasing, ids.Random} {
-			xs := ids.MustGenerate(a, n, o.seed())
-			for _, s := range schedulerSet(o.seed()) {
-				res, err := run(g, core.NewFiveNodes(xs), s, sim.ModeInterleaved, 500*n+20_000)
-				if err != nil {
-					t.AddNote("n=%d %s/%s: %v", n, a, s.Name(), err)
-					continue
-				}
-				m := res.MaxActivations()
-				if a == ids.Increasing && m > worstIncr {
-					worstIncr = m
-				}
-				if a == ids.Random && m > worstRand {
-					worstRand = m
-				}
-				if check.ProperColoring(g, res) != nil {
-					proper = false
-				}
-				if check.PaletteRange(res, 5) != nil {
-					palette = false
-				}
+		for ; i < len(cells) && cells[i].n == n; i++ {
+			c, r := cells[i], results[i]
+			if r.note != "" {
+				t.AddNote("%s", r.note)
+				continue
 			}
+			if c.a == ids.Increasing && r.maxActs > worstIncr {
+				worstIncr = r.maxActs
+			}
+			if c.a == ids.Random && r.maxActs > worstRand {
+				worstRand = r.maxActs
+			}
+			proper = proper && !r.properBad
+			palette = palette && !r.paletteBad
 		}
 		chain := ids.LongestMonotoneChain(ids.MustGenerate(ids.Increasing, n, 0))
 		t.AddRow(n, chain, worstIncr, worstRand, proper, palette)
@@ -161,56 +203,84 @@ func E3Alg3LogStar(o Options) *Table {
 	if !o.Quick {
 		sizes = append(sizes, 262_144, 1_048_576)
 	}
+	e3Specs := func(n int) []schedSpec {
+		if n > 10_000 {
+			// Sequential schedulers cost Θ(n) steps per sweep of the ring;
+			// cap to the parallel ones for the largest sizes.
+			return parallelSchedSpecs()
+		}
+		return schedSpecs()
+	}
+	type cell struct {
+		n     int
+		a     ids.Assignment
+		spec  schedSpec
+		probe bool // the max-r measurement cell
+	}
+	type result struct {
+		maxActs, maxR         int
+		properBad, paletteBad bool
+		note                  string
+	}
+	assignments := []ids.Assignment{ids.Increasing, ids.SpacedIncreasing, ids.Random}
+	var cells []cell
 	for _, n := range sizes {
-		g := graph.MustCycle(n)
-		worst := map[ids.Assignment]int{}
-		proper, palette := true, true
-		assignments := []ids.Assignment{ids.Increasing, ids.SpacedIncreasing, ids.Random}
-		scheds := func() []schedule.Scheduler {
-			if n > 10_000 {
-				// Sequential schedulers cost Θ(n) steps per sweep of the
-				// ring; cap to the parallel ones for the largest sizes.
-				return []schedule.Scheduler{
-					schedule.Synchronous{},
-					schedule.NewRandomSubset(0.5, o.seed()),
-					schedule.Alternating{},
-				}
-			}
-			return schedulerSet(o.seed())
-		}
 		for _, a := range assignments {
-			xs := ids.MustGenerate(a, n, o.seed())
-			for _, s := range scheds() {
-				res, err := run(g, core.NewFastNodes(xs), s, sim.ModeInterleaved, 500*n+100_000)
-				if err != nil {
-					t.AddNote("n=%d %s/%s: %v", n, a, s.Name(), err)
-					continue
-				}
-				if m := res.MaxActivations(); m > worst[a] {
-					worst[a] = m
-				}
-				if check.ProperColoring(g, res) != nil {
-					proper = false
-				}
-				if check.PaletteRange(res, 5) != nil {
-					palette = false
-				}
+			for _, sp := range e3Specs(n) {
+				cells = append(cells, cell{n: n, a: a, spec: sp})
 			}
 		}
-		// Measure the reduction effort directly: the r counter counts the
-		// Cole–Vishkin attempts a process performed (O(log* n) by
-		// Lemma 4.1). Measured on the spaced-increasing input under the
-		// synchronous schedule, where reductions are most numerous.
-		maxR := 0
-		{
-			e, _ := sim.NewEngine(g, core.NewFastNodes(ids.MustGenerate(ids.SpacedIncreasing, n, 0)))
-			if _, err := e.Run(schedule.Synchronous{}, 500*n+100_000); err == nil {
-				for i := 0; i < n; i++ {
-					if r, _ := e.NodeState(i).(*core.Fast).R(); r > maxR {
-						maxR = r
+		cells = append(cells, cell{n: n, probe: true})
+	}
+	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+		g := graph.MustCycle(c.n)
+		if c.probe {
+			// Measure the reduction effort directly: the r counter counts
+			// the Cole–Vishkin attempts a process performed (O(log* n) by
+			// Lemma 4.1). Measured on the spaced-increasing input under the
+			// synchronous schedule, where reductions are most numerous.
+			r := result{}
+			e, _ := sim.NewEngine(g, core.NewFastNodes(ids.MustGenerate(ids.SpacedIncreasing, c.n, 0)))
+			if _, err := e.Run(schedule.Synchronous{}, 500*c.n+100_000); err == nil {
+				for i := 0; i < c.n; i++ {
+					if rr, _ := e.NodeState(i).(*core.Fast).R(); rr > r.maxR {
+						r.maxR = rr
 					}
 				}
 			}
+			return r
+		}
+		xs := ids.MustGenerate(c.a, c.n, cellSeed(o.seed(), "E3", c.n, c.a))
+		seed := cellSeed(o.seed(), "E3", c.n, c.a, c.spec.name)
+		res, err := run(g, core.NewFastNodes(xs), c.spec.mk(seed), sim.ModeInterleaved, 500*c.n+100_000)
+		if err != nil {
+			return result{note: fmt.Sprintf("n=%d %s/%s: %v", c.n, c.a, c.spec.name, err)}
+		}
+		r := result{maxActs: res.MaxActivations()}
+		r.properBad = check.ProperColoring(g, res) != nil
+		r.paletteBad = check.PaletteRange(res, 5) != nil
+		return r
+	})
+	i := 0
+	for _, n := range sizes {
+		worst := map[ids.Assignment]int{}
+		maxR := 0
+		proper, palette := true, true
+		for ; i < len(cells) && cells[i].n == n; i++ {
+			c, r := cells[i], results[i]
+			if c.probe {
+				maxR = r.maxR
+				continue
+			}
+			if r.note != "" {
+				t.AddNote("%s", r.note)
+				continue
+			}
+			if r.maxActs > worst[c.a] {
+				worst[c.a] = r.maxActs
+			}
+			proper = proper && !r.properBad
+			palette = palette && !r.paletteBad
 		}
 		t.AddRow(n, cv.LogStar(float64(n)), worst[ids.Increasing], worst[ids.SpacedIncreasing], worst[ids.Random], maxR, proper, palette)
 	}
@@ -233,17 +303,40 @@ func E4Crossover(o Options) *Table {
 	if !o.Quick {
 		sizes = append(sizes, 2048, 4096)
 	}
+	type cell struct {
+		n    int
+		fast bool
+	}
+	type result struct {
+		maxActs int
+		err     error
+	}
+	var cells []cell
 	for _, n := range sizes {
-		g := graph.MustCycle(n)
-		xs := ids.MustGenerate(ids.Increasing, n, 0)
-		res2, err2 := run(g, core.NewFiveNodes(xs), schedule.Synchronous{}, sim.ModeInterleaved, 100*n+10_000)
-		res3, err3 := run(g, core.NewFastNodes(xs), schedule.Synchronous{}, sim.ModeInterleaved, 100*n+10_000)
-		if err2 != nil || err3 != nil {
-			t.AddNote("n=%d: alg2 err=%v alg3 err=%v", n, err2, err3)
+		cells = append(cells, cell{n: n}, cell{n: n, fast: true})
+	}
+	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+		g := graph.MustCycle(c.n)
+		xs := ids.MustGenerate(ids.Increasing, c.n, 0)
+		var res sim.Result
+		var err error
+		if c.fast {
+			res, err = run(g, core.NewFastNodes(xs), schedule.Synchronous{}, sim.ModeInterleaved, 100*c.n+10_000)
+		} else {
+			res, err = run(g, core.NewFiveNodes(xs), schedule.Synchronous{}, sim.ModeInterleaved, 100*c.n+10_000)
+		}
+		if err != nil {
+			return result{err: err}
+		}
+		return result{maxActs: res.MaxActivations()}
+	})
+	for i, n := range sizes {
+		r2, r3 := results[2*i], results[2*i+1]
+		if r2.err != nil || r3.err != nil {
+			t.AddNote("n=%d: alg2 err=%v alg3 err=%v", n, r2.err, r3.err)
 			continue
 		}
-		m2, m3 := res2.MaxActivations(), res3.MaxActivations()
-		t.AddRow(n, m2, m3, float64(m2)/float64(m3))
+		t.AddRow(n, r2.maxActs, r3.maxActs, float64(r2.maxActs)/float64(r3.maxActs))
 	}
 	t.AddNote("paper: §4 — the identifier-reduction component turns Θ(n) convergence into O(log* n)")
 	return t
@@ -251,7 +344,7 @@ func E4Crossover(o Options) *Table {
 
 // E5ColeVishkin measures the identifier-reduction machinery of §4.1:
 // Lemma 4.1's bound-function iterations and the adversarial single-chain
-// iterations both track log* x.
+// iterations both track log* x. (Pure arithmetic: no parallel fan-out.)
 func E5ColeVishkin(o Options) *Table {
 	t := &Table{
 		ID:      "E5",
@@ -281,34 +374,55 @@ func E6CrashTolerance(o Options) *Table {
 	if o.Quick {
 		n = 100
 	}
-	g := graph.MustCycle(n)
-	fractions := []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9}
-	for _, frac := range fractions {
+	type cell struct {
+		frac float64
+		alg  string
+	}
+	type result struct {
+		survivors, maxActs int
+		surOK, proper      bool
+		note               string
+	}
+	var cells []cell
+	for _, frac := range []float64{0, 0.1, 0.3, 0.5, 0.7, 0.9} {
 		for _, alg := range []string{"five", "fast"} {
-			crashes := crashPlan(n, frac, o.seed())
-			xs := ids.MustGenerate(ids.Random, n, o.seed())
-			var res sim.Result
-			var err error
-			s := schedule.NewRandomSubset(0.4, o.seed()+int64(frac*100))
-			switch alg {
-			case "five":
-				e, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
-				applyCrashes(e, crashes)
-				res, err = e.Run(s, 500*n+20_000)
-			case "fast":
-				e, _ := sim.NewEngine(g, core.NewFastNodes(xs))
-				applyCrashes(e, crashes)
-				res, err = e.Run(s, 500*n+20_000)
-			}
-			if err != nil {
-				t.AddNote("crash=%.0f%% %s: %v", frac*100, alg, err)
-				continue
-			}
-			survivors := n - len(crashes)
-			surOK := check.SurvivorsTerminated(res) == nil
-			proper := check.ProperColoring(g, res) == nil
-			t.AddRow(fmt.Sprintf("%.0f", frac*100), alg, survivors, surOK, res.MaxActivations(), proper)
+			cells = append(cells, cell{frac: frac, alg: alg})
 		}
+	}
+	g := graph.MustCycle(n)
+	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+		seed := cellSeed(o.seed(), "E6", n, c.frac, c.alg)
+		crashes := crashPlan(n, c.frac, seed)
+		xs := ids.MustGenerate(ids.Random, n, seed)
+		s := schedule.NewRandomSubset(0.4, seed+1)
+		var res sim.Result
+		var err error
+		if c.alg == "five" {
+			e, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
+			applyCrashes(e, crashes)
+			res, err = e.Run(s, 500*n+20_000)
+		} else {
+			e, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+			applyCrashes(e, crashes)
+			res, err = e.Run(s, 500*n+20_000)
+		}
+		if err != nil {
+			return result{note: fmt.Sprintf("crash=%.0f%% %s: %v", c.frac*100, c.alg, err)}
+		}
+		return result{
+			survivors: n - len(crashes),
+			maxActs:   res.MaxActivations(),
+			surOK:     check.SurvivorsTerminated(res) == nil,
+			proper:    check.ProperColoring(g, res) == nil,
+		}
+	})
+	for i, c := range cells {
+		r := results[i]
+		if r.note != "" {
+			t.AddNote("%s", r.note)
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%.0f", c.frac*100), c.alg, r.survivors, r.surOK, r.maxActs, r.proper)
 	}
 	t.AddNote("paper: wait-freedom (§2.1) — crashes at arbitrary times never block correct processes")
 	return t
@@ -356,17 +470,33 @@ func E7MISImpossibility(o Options) *Table {
 	if !o.Quick {
 		sizes = append(sizes, 5)
 	}
+	type cell struct {
+		n      int
+		greedy bool
+	}
+	var cells []cell
 	for _, n := range sizes {
-		g := graph.MustCycle(n)
-		xs := ids.MustGenerate(ids.Increasing, n, 0)
-
-		eg, _ := sim.NewEngine(g, mis.NewGreedyNodes(xs))
-		repG := model.Explore(eg, model.Options{SingletonsOnly: true}, misInvariant(g))
-		t.AddRow("greedy", n, repG.States, repG.CycleFound, len(repG.Violations) > 0)
-
-		ei, _ := sim.NewEngine(g, mis.NewImpatientNodes(xs, 2))
-		repI := model.Explore(ei, model.Options{SingletonsOnly: true}, misInvariant(g))
-		t.AddRow("impatient(2)", n, repI.States, repI.CycleFound, len(repI.Violations) > 0)
+		cells = append(cells, cell{n: n, greedy: true}, cell{n: n})
+	}
+	results := par.Map(o.workers(), cells, func(_ int, c cell) model.Report {
+		g := graph.MustCycle(c.n)
+		xs := ids.MustGenerate(ids.Increasing, c.n, 0)
+		var nodes []sim.Node[mis.Val]
+		if c.greedy {
+			nodes = mis.NewGreedyNodes(xs)
+		} else {
+			nodes = mis.NewImpatientNodes(xs, 2)
+		}
+		e, _ := sim.NewEngine(g, nodes)
+		return model.Explore(e, model.Options{SingletonsOnly: true}, misInvariant(g))
+	})
+	for i, c := range cells {
+		rep := results[i]
+		label := "impatient(2)"
+		if c.greedy {
+			label = "greedy"
+		}
+		t.AddRow(label, c.n, rep.States, rep.CycleFound, len(rep.Violations) > 0)
 	}
 	t.AddNote("paper: Property 2.1 — MIS cannot be solved wait-free (reduction to strong symmetry breaking)")
 	t.AddNote("greedy waits for higher neighbors: safe but not wait-free; impatient presumes crashes: wait-free but unsafe")
@@ -396,7 +526,12 @@ func E8PaletteTightness(o Options) *Table {
 		Title:   "Palette tightness (Property 2.3): the largest reachable color grows to 4, never beyond",
 		Columns: []string{"cycle C_n", "states", "terminal", "max reachable color", "violations"},
 	}
-	for _, n := range []int{3, 4, 5} {
+	type result struct {
+		rep      model.Report
+		maxColor int
+	}
+	sizes := []int{3, 4, 5}
+	results := par.Map(o.workers(), sizes, func(_ int, n int) result {
 		g := graph.MustCycle(n)
 		xs := ids.MustGenerate(ids.Increasing, n, 0)
 		maxColor := 0
@@ -414,7 +549,11 @@ func E8PaletteTightness(o Options) *Table {
 		}
 		e, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
 		rep := model.Explore(e, model.Options{SingletonsOnly: true}, inv)
-		t.AddRow(n, rep.States, rep.Terminal, maxColor, len(rep.Violations))
+		return result{rep: rep, maxColor: maxColor}
+	})
+	for i, n := range sizes {
+		r := results[i]
+		t.AddRow(n, r.rep.States, r.rep.Terminal, r.maxColor, len(r.rep.Violations))
 	}
 	t.AddNote("paper: Property 2.3 — wait-free coloring of all cycles needs ≥ 5 colors; color 4 is reached on C5, color 5 never")
 	return t
@@ -433,80 +572,111 @@ func E9GeneralGraphs(o Options) *Table {
 	if !o.Quick {
 		sizes = append(sizes, 512)
 	}
+	type cell struct {
+		n, maxDeg int    // random bounded-degree rows
+		dims      [2]int // torus rows (n == 0 then)
+		spec      schedSpec
+	}
+	type result struct {
+		delta, maxActs, maxSum int
+		properBad, paletteBad  bool
+		note, graphErr         string
+	}
+	var cells []cell
 	for _, n := range sizes {
 		for _, maxDeg := range []int{3, 4, 6, 8} {
-			g, err := graph.RandomBoundedDegree(n, maxDeg, o.seed())
-			if err != nil {
-				t.AddNote("n=%d Δ=%d: %v", n, maxDeg, err)
-				continue
+			for _, sp := range schedSpecs() {
+				cells = append(cells, cell{n: n, maxDeg: maxDeg, spec: sp})
 			}
-			delta := g.MaxDegree()
-			xs := ids.MustGenerate(ids.Random, n, o.seed())
-			worstActs, maxSum := 0, 0
-			proper, palette := true, true
-			for _, s := range schedulerSet(o.seed()) {
-				res, err := run(g, core.NewPairNodes(xs), s, sim.ModeInterleaved, 500*n+20_000)
-				if err != nil {
-					t.AddNote("n=%d Δ=%d %s: %v", n, maxDeg, s.Name(), err)
-					continue
-				}
-				if m := res.MaxActivations(); m > worstActs {
-					worstActs = m
-				}
-				for i, out := range res.Outputs {
-					if res.Done[i] {
-						a, b := core.DecodePair(out)
-						if a+b > maxSum {
-							maxSum = a + b
-						}
-					}
-				}
-				if check.ProperColoring(g, res) != nil {
-					proper = false
-				}
-				if check.PairPalette(res, delta) != nil {
-					palette = false
-				}
-			}
-			t.AddRow(n, delta, core.PairPaletteSize(delta), maxSum, worstActs, proper, palette)
 		}
 	}
-	// The canonical 4-regular instance: a torus grid.
-	for _, dims := range [][2]int{{8, 8}, {16, 16}} {
-		g, err := graph.Torus(dims[0], dims[1])
-		if err != nil {
-			t.AddNote("torus %v: %v", dims, err)
-			continue
+	toruses := [][2]int{{8, 8}, {16, 16}}
+	for _, dims := range toruses {
+		for _, sp := range schedSpecs() {
+			cells = append(cells, cell{dims: dims, spec: sp})
 		}
-		n := g.N()
-		xs := ids.MustGenerate(ids.Random, n, o.seed())
-		worstActs, maxSum := 0, 0
-		proper, palette := true, true
-		for _, s := range schedulerSet(o.seed()) {
-			res, err := run(g, core.NewPairNodes(xs), s, sim.ModeInterleaved, 500*n+20_000)
+	}
+	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+		var g graph.Graph
+		var xs []int
+		delta := 0
+		if c.n > 0 {
+			// The graph and identifiers are row-level inputs, derived from
+			// row coordinates only so every scheduler cell of the row sees
+			// the same instance.
+			rowSeed := cellSeed(o.seed(), "E9", c.n, c.maxDeg)
+			var err error
+			g, err = graph.RandomBoundedDegree(c.n, c.maxDeg, rowSeed)
 			if err != nil {
-				t.AddNote("torus %v %s: %v", dims, s.Name(), err)
-				continue
+				return result{graphErr: fmt.Sprintf("n=%d Δ=%d: %v", c.n, c.maxDeg, err)}
 			}
-			if m := res.MaxActivations(); m > worstActs {
-				worstActs = m
+			delta = g.MaxDegree()
+			xs = ids.MustGenerate(ids.Random, c.n, rowSeed)
+		} else {
+			rowSeed := cellSeed(o.seed(), "E9", "torus", c.dims[0], c.dims[1])
+			var err error
+			g, err = graph.Torus(c.dims[0], c.dims[1])
+			if err != nil {
+				return result{graphErr: fmt.Sprintf("torus %v: %v", c.dims, err)}
 			}
-			for i, out := range res.Outputs {
-				if res.Done[i] {
-					a, b := core.DecodePair(out)
-					if a+b > maxSum {
-						maxSum = a + b
-					}
+			delta = 4
+			xs = ids.MustGenerate(ids.Random, g.N(), rowSeed)
+		}
+		seed := cellSeed(o.seed(), "E9", c.n, c.maxDeg, c.dims, c.spec.name)
+		res, err := run(g, core.NewPairNodes(xs), c.spec.mk(seed), sim.ModeInterleaved, 500*g.N()+20_000)
+		if err != nil {
+			return result{delta: delta, note: fmt.Sprintf("n=%d Δ=%d %s: %v", g.N(), delta, c.spec.name, err)}
+		}
+		r := result{delta: delta, maxActs: res.MaxActivations()}
+		for i, out := range res.Outputs {
+			if res.Done[i] {
+				a, b := core.DecodePair(out)
+				if a+b > r.maxSum {
+					r.maxSum = a + b
 				}
 			}
-			if check.ProperColoring(g, res) != nil {
-				proper = false
-			}
-			if check.PairPalette(res, 4) != nil {
-				palette = false
-			}
 		}
-		t.AddRow(fmt.Sprintf("%d (torus)", n), 4, core.PairPaletteSize(4), maxSum, worstActs, proper, palette)
+		r.properBad = check.ProperColoring(g, res) != nil
+		r.paletteBad = check.PairPalette(res, delta) != nil
+		return r
+	})
+	// Merge scheduler cells row by row (rows are contiguous runs of cells).
+	nspecs := len(schedSpecs())
+	for base := 0; base < len(cells); base += nspecs {
+		c := cells[base]
+		delta, maxActs, maxSum := 0, 0, 0
+		proper, palette := true, true
+		graphErr := ""
+		for i := base; i < base+nspecs; i++ {
+			r := results[i]
+			if r.graphErr != "" {
+				graphErr = r.graphErr
+				continue
+			}
+			if r.note != "" {
+				t.AddNote("%s", r.note)
+				delta = r.delta
+				continue
+			}
+			delta = r.delta
+			if r.maxActs > maxActs {
+				maxActs = r.maxActs
+			}
+			if r.maxSum > maxSum {
+				maxSum = r.maxSum
+			}
+			proper = proper && !r.properBad
+			palette = palette && !r.paletteBad
+		}
+		if graphErr != "" {
+			t.AddNote("%s", graphErr)
+			continue
+		}
+		label := fmt.Sprintf("%d", c.n)
+		if c.n == 0 {
+			label = fmt.Sprintf("%d (torus)", c.dims[0]*c.dims[1])
+		}
+		t.AddRow(label, delta, core.PairPaletteSize(delta), maxSum, maxActs, proper, palette)
 	}
 	t.AddNote("paper: Appendix A — every output pair satisfies a+b ≤ Δ, i.e. (Δ+1)(Δ+2)/2 = O(Δ²) colors")
 	return t
@@ -525,22 +695,37 @@ func E10SyncBaseline(o Options) *Table {
 	if !o.Quick {
 		sizes = append(sizes, 1_048_576)
 	}
-	for _, n := range sizes {
-		xs := ids.MustGenerate(ids.Random, n, o.seed())
+	type result struct {
+		rounds int
+		alg3   string
+		proper bool
+		note   string
+	}
+	results := par.Map(o.workers(), sizes, func(_ int, n int) result {
+		xs := ids.MustGenerate(ids.Random, n, cellSeed(o.seed(), "E10", n))
 		colors, rounds, err := locale.ThreeColorCycle(xs)
 		if err != nil {
-			t.AddNote("n=%d: %v", n, err)
-			continue
+			return result{note: fmt.Sprintf("n=%d: %v", n, err)}
 		}
-		proper := locale.ProperCycleColoring(colors) && stats.MaxInt(colors) <= 2
-
+		r := result{
+			rounds: rounds,
+			proper: locale.ProperCycleColoring(colors) && stats.MaxInt(colors) <= 2,
+			alg3:   "-",
+		}
 		g := graph.MustCycle(n)
 		res, err := run(g, core.NewFastNodes(xs), schedule.Synchronous{}, sim.ModeInterleaved, 100*n+100_000)
-		alg3 := "-"
 		if err == nil {
-			alg3 = fmt.Sprintf("%d", res.MaxActivations())
+			r.alg3 = fmt.Sprintf("%d", res.MaxActivations())
 		}
-		t.AddRow(n, cv.LogStar(float64(n)), rounds, alg3, proper)
+		return r
+	})
+	for i, n := range sizes {
+		r := results[i]
+		if r.note != "" {
+			t.AddNote("%s", r.note)
+			continue
+		}
+		t.AddRow(n, cv.LogStar(float64(n)), r.rounds, r.alg3, r.proper)
 	}
 	t.AddNote("paper: §1.1 — synchronous 3-coloring takes ½log* n + O(1) rounds [17]; both columns track log* n")
 	return t
@@ -560,43 +745,80 @@ func E11Renaming(o Options) *Table {
 	if !o.Quick {
 		sizes = append(sizes, 32, 64)
 	}
+	type cell struct {
+		n     int
+		spec  schedSpec
+		exact bool
+	}
+	type result struct {
+		maxName, maxActs int
+		uniqueBad        bool
+		note, exhaustive string
+	}
+	var cells []cell
 	for _, n := range sizes {
-		g, err := graph.Complete(n)
-		if err != nil {
-			t.AddNote("n=%d: %v", n, err)
-			continue
+		for _, sp := range schedSpecs() {
+			cells = append(cells, cell{n: n, spec: sp})
 		}
-		xs := ids.MustGenerate(ids.Random, n, o.seed())
-		maxName, worstActs := 0, 0
-		unique := true
-		for _, s := range schedulerSet(o.seed()) {
-			res, err := run(g, renaming.NewNodes(xs), s, sim.ModeInterleaved, 2000*n+50_000)
-			if err != nil {
-				t.AddNote("n=%d %s: %v", n, s.Name(), err)
+		if n <= 3 {
+			cells = append(cells, cell{n: n, exact: true})
+		}
+	}
+	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+		g, err := graph.Complete(c.n)
+		if err != nil {
+			return result{note: fmt.Sprintf("n=%d: %v", c.n, err)}
+		}
+		xs := ids.MustGenerate(ids.Random, c.n, cellSeed(o.seed(), "E11", c.n))
+		if c.exact {
+			e, _ := sim.NewEngine(g, renaming.NewNodes(xs))
+			rep := model.Explore(e, model.Options{SingletonsOnly: true}, renamingInvariant(c.n))
+			return result{exhaustive: fmt.Sprintf("ok=%t states=%d", rep.Ok(), rep.States)}
+		}
+		seed := cellSeed(o.seed(), "E11", c.n, c.spec.name)
+		res, err := run(g, renaming.NewNodes(xs), c.spec.mk(seed), sim.ModeInterleaved, 2000*c.n+50_000)
+		if err != nil {
+			return result{note: fmt.Sprintf("n=%d %s: %v", c.n, c.spec.name, err)}
+		}
+		r := result{}
+		seen := map[int]bool{}
+		for i, out := range res.Outputs {
+			if !res.Done[i] {
 				continue
 			}
-			seen := map[int]bool{}
-			for i, out := range res.Outputs {
-				if !res.Done[i] {
-					continue
-				}
-				if out > maxName {
-					maxName = out
-				}
-				if seen[out] {
-					unique = false
-				}
-				seen[out] = true
+			if out > r.maxName {
+				r.maxName = out
 			}
-			if m := res.MaxActivations(); m > worstActs {
-				worstActs = m
+			if seen[out] {
+				r.uniqueBad = true
 			}
+			seen[out] = true
 		}
+		r.maxActs = res.MaxActivations()
+		return r
+	})
+	i := 0
+	for _, n := range sizes {
+		maxName, worstActs := 0, 0
+		unique := true
 		exhaustive := "-"
-		if n <= 3 {
-			e, _ := sim.NewEngine(g, renaming.NewNodes(xs))
-			rep := model.Explore(e, model.Options{SingletonsOnly: true}, renamingInvariant(n))
-			exhaustive = fmt.Sprintf("ok=%t states=%d", rep.Ok(), rep.States)
+		for ; i < len(cells) && cells[i].n == n; i++ {
+			r := results[i]
+			if cells[i].exact {
+				exhaustive = r.exhaustive
+				continue
+			}
+			if r.note != "" {
+				t.AddNote("%s", r.note)
+				continue
+			}
+			if r.maxName > maxName {
+				maxName = r.maxName
+			}
+			if r.maxActs > worstActs {
+				worstActs = r.maxActs
+			}
+			unique = unique && !r.uniqueBad
 		}
 		t.AddRow(n, renaming.MaxName(n), maxName, worstActs, unique, exhaustive)
 	}
@@ -634,22 +856,49 @@ func E12IdentifierInvariant(o Options) *Table {
 		Columns: []string{"n", "assignment", "schedulers", "steps checked", "violations"},
 	}
 	sizes := []int{5, 33, 128}
+	assignments := []ids.Assignment{ids.Increasing, ids.Random, ids.Zigzag}
+	type cell struct {
+		n    int
+		a    ids.Assignment
+		spec schedSpec
+	}
+	type result struct {
+		steps, violations int
+		note              string
+	}
+	var cells []cell
 	for _, n := range sizes {
-		g := graph.MustCycle(n)
-		for _, a := range []ids.Assignment{ids.Increasing, ids.Random, ids.Zigzag} {
-			xs := ids.MustGenerate(a, n, o.seed())
+		for _, a := range assignments {
+			for _, sp := range schedSpecs() {
+				cells = append(cells, cell{n: n, a: a, spec: sp})
+			}
+		}
+	}
+	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+		g := graph.MustCycle(c.n)
+		xs := ids.MustGenerate(c.a, c.n, cellSeed(o.seed(), "E12", c.n, c.a))
+		seed := cellSeed(o.seed(), "E12", c.n, c.a, c.spec.name)
+		e, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+		rec := &check.FastInvariantRecorder{}
+		e.AddHook(rec.Hook())
+		res, err := e.Run(c.spec.mk(seed), 500*c.n+20_000)
+		if err != nil {
+			return result{note: fmt.Sprintf("n=%d %s/%s: %v", c.n, c.a, c.spec.name, err)}
+		}
+		return result{steps: res.Steps, violations: len(rec.Violations)}
+	})
+	i := 0
+	for _, n := range sizes {
+		for _, a := range assignments {
 			totalSteps, violations, nscheds := 0, 0, 0
-			for _, s := range schedulerSet(o.seed()) {
-				e, _ := sim.NewEngine(g, core.NewFastNodes(xs))
-				rec := &check.FastInvariantRecorder{}
-				e.AddHook(rec.Hook())
-				res, err := e.Run(s, 500*n+20_000)
-				if err != nil {
-					t.AddNote("n=%d %s/%s: %v", n, a, s.Name(), err)
+			for ; i < len(cells) && cells[i].n == n && cells[i].a == a; i++ {
+				r := results[i]
+				if r.note != "" {
+					t.AddNote("%s", r.note)
 					continue
 				}
-				totalSteps += res.Steps
-				violations += len(rec.Violations)
+				totalSteps += r.steps
+				violations += r.violations
 				nscheds++
 			}
 			t.AddRow(n, a.String(), nscheds, totalSteps, violations)
@@ -661,7 +910,9 @@ func E12IdentifierInvariant(o Options) *Table {
 
 // E13Concurrent exercises the goroutine runtime end to end: real
 // concurrency, crash injection, and jitter, with the same correctness
-// checks as the deterministic engine.
+// checks as the deterministic engine. Its cells run real goroutine
+// executions, so (unlike every other experiment) the measured round
+// statistics are inherently nondeterministic run to run.
 func E13Concurrent(o Options) *Table {
 	t := &Table{
 		ID:      "E13",
@@ -672,38 +923,65 @@ func E13Concurrent(o Options) *Table {
 	if !o.Quick {
 		sizes = append(sizes, 1000)
 	}
+	type cell struct {
+		n   int
+		alg string
+	}
+	type result struct {
+		crashed       int
+		surOK, proper bool
+		mean, p90     float64
+		maxRounds     int
+		note          string
+	}
+	var cells []cell
 	for _, n := range sizes {
-		g := graph.MustCycle(n)
-		xs := ids.MustGenerate(ids.Random, n, o.seed())
-		crashes := crashPlan(n, 0.2, o.seed())
 		for _, alg := range []string{"five", "fast", "pair"} {
-			var res sim.Result
-			var err error
-			opt := conc.Options{CrashAfter: crashes, Yield: true, Jitter: 50 * time.Microsecond, Seed: o.seed()}
-			switch alg {
-			case "five":
-				res, err = conc.Run(g, core.NewFiveNodes(xs), opt)
-			case "fast":
-				res, err = conc.Run(g, core.NewFastNodes(xs), opt)
-			case "pair":
-				res, err = conc.Run(g, core.NewPairNodes(xs), opt)
-			}
-			if err != nil {
-				t.AddNote("n=%d %s: %v", n, alg, err)
-				continue
-			}
-			surOK := check.SurvivorsTerminated(res) == nil
-			proper := check.ProperColoring(g, res) == nil
-			// Round distribution across surviving processes.
-			var rounds []int
-			for i, a := range res.Activations {
-				if !res.Crashed[i] {
-					rounds = append(rounds, a)
-				}
-			}
-			sum := stats.Summarize(stats.Floats(rounds))
-			t.AddRow(n, alg, len(crashes), surOK, sum.Mean, sum.P90, res.MaxActivations(), proper)
+			cells = append(cells, cell{n: n, alg: alg})
 		}
+	}
+	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+		g := graph.MustCycle(c.n)
+		seed := cellSeed(o.seed(), "E13", c.n, c.alg)
+		xs := ids.MustGenerate(ids.Random, c.n, seed)
+		crashes := crashPlan(c.n, 0.2, seed)
+		opt := conc.Options{CrashAfter: crashes, Yield: true, Jitter: 50 * time.Microsecond, Seed: seed}
+		var res sim.Result
+		var err error
+		switch c.alg {
+		case "five":
+			res, err = conc.Run(g, core.NewFiveNodes(xs), opt)
+		case "fast":
+			res, err = conc.Run(g, core.NewFastNodes(xs), opt)
+		case "pair":
+			res, err = conc.Run(g, core.NewPairNodes(xs), opt)
+		}
+		if err != nil {
+			return result{note: fmt.Sprintf("n=%d %s: %v", c.n, c.alg, err)}
+		}
+		var rounds []int
+		for i, a := range res.Activations {
+			if !res.Crashed[i] {
+				rounds = append(rounds, a)
+			}
+		}
+		sum := stats.Summarize(stats.Floats(rounds))
+		return result{
+			crashed:   len(crashes),
+			surOK:     check.SurvivorsTerminated(res) == nil,
+			proper:    check.ProperColoring(g, res) == nil,
+			mean:      sum.Mean,
+			p90:       sum.P90,
+			maxRounds: res.MaxActivations(),
+		}
+	})
+	for i, c := range cells {
+		r := results[i]
+		if r.note != "" {
+			t.AddNote("%s", r.note)
+			continue
+		}
+		t.AddRow(c.n, c.alg, r.crashed, r.surOK, r.mean, r.p90, r.maxRounds, r.proper)
 	}
 	t.AddNote("each node is a goroutine; rounds are atomic local immediate snapshots via ordered neighborhood locking")
 	return t
@@ -722,38 +1000,50 @@ func F1Livelock(o Options) *Table {
 		Title:   "Finding: simultaneous-round semantics break wait-freedom of Algorithms 2/3",
 		Columns: []string{"alg", "cycle C_n", "mode", "schedules", "livelock cycle found"},
 	}
-	sizes := []int{3, 4}
-	for _, n := range sizes {
-		g := graph.MustCycle(n)
-		xs := ids.MustGenerate(ids.Increasing, n, 0)
-		configs := []struct {
-			mode   sim.Mode
-			single bool
-			label  string
-		}{
-			{sim.ModeInterleaved, true, "all interleavings"},
-			{sim.ModeSimultaneous, false, "all subset schedules"},
-		}
+	type config struct {
+		mode   sim.Mode
+		single bool
+		label  string
+	}
+	configs := []config{
+		{sim.ModeInterleaved, true, "all interleavings"},
+		{sim.ModeSimultaneous, false, "all subset schedules"},
+	}
+	algs := []string{"pair", "five", "fast"}
+	type cell struct {
+		n   int
+		cfg config
+		alg string
+	}
+	var cells []cell
+	for _, n := range []int{3, 4} {
 		for _, cfg := range configs {
-			for _, alg := range []string{"pair", "five", "fast"} {
-				var rep model.Report
-				switch alg {
-				case "pair":
-					e, _ := sim.NewEngine(g, core.NewPairNodes(xs))
-					e.SetMode(cfg.mode)
-					rep = model.Explore(e, model.Options{SingletonsOnly: cfg.single}, nil)
-				case "five":
-					e, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
-					e.SetMode(cfg.mode)
-					rep = model.Explore(e, model.Options{SingletonsOnly: cfg.single}, nil)
-				case "fast":
-					e, _ := sim.NewEngine(g, core.NewFastNodes(xs))
-					e.SetMode(cfg.mode)
-					rep = model.Explore(e, model.Options{SingletonsOnly: cfg.single}, nil)
-				}
-				t.AddRow(alg, n, cfg.mode.String(), cfg.label, rep.CycleFound)
+			for _, alg := range algs {
+				cells = append(cells, cell{n: n, cfg: cfg, alg: alg})
 			}
 		}
+	}
+	results := par.Map(o.workers(), cells, func(_ int, c cell) model.Report {
+		g := graph.MustCycle(c.n)
+		xs := ids.MustGenerate(ids.Increasing, c.n, 0)
+		mopt := model.Options{SingletonsOnly: c.cfg.single}
+		switch c.alg {
+		case "pair":
+			e, _ := sim.NewEngine(g, core.NewPairNodes(xs))
+			e.SetMode(c.cfg.mode)
+			return model.Explore(e, mopt, nil)
+		case "five":
+			e, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
+			e.SetMode(c.cfg.mode)
+			return model.Explore(e, mopt, nil)
+		default:
+			e, _ := sim.NewEngine(g, core.NewFastNodes(xs))
+			e.SetMode(c.cfg.mode)
+			return model.Explore(e, mopt, nil)
+		}
+	})
+	for i, c := range cells {
+		t.AddRow(c.alg, c.n, c.cfg.mode.String(), c.cfg.label, results[i].CycleFound)
 	}
 	t.AddNote("safety (proper coloring, palette) holds in BOTH modes for all three algorithms — only liveness differs")
 	t.AddNote("the concrete witness: C5, alternating lockstep schedule, Algorithm 2 oscillates with period 2 (see TestF1 in the root test suite)")

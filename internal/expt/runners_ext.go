@@ -11,6 +11,7 @@ import (
 	"asynccycle/internal/ids"
 	"asynccycle/internal/mis"
 	"asynccycle/internal/model"
+	"asynccycle/internal/par"
 	"asynccycle/internal/schedule"
 	"asynccycle/internal/sim"
 	"asynccycle/internal/ssb"
@@ -31,49 +32,72 @@ func E14Decoupled(o Options) *Table {
 	if !o.Quick {
 		sizes = append(sizes, 512)
 	}
+	specs := []schedSpec{
+		{"synchronous", func(int64) schedule.Scheduler { return schedule.Synchronous{} }},
+		{"random-subset(p=0.40)", func(s int64) schedule.Scheduler { return schedule.NewRandomSubset(0.4, s) }},
+		{"round-robin(1)", func(int64) schedule.Scheduler { return schedule.NewRoundRobin(1) }},
+	}
+	type cell struct {
+		n    int
+		spec schedSpec
+	}
+	type result struct {
+		crashes, colors, rounds int
+		allSurvivors, proper    bool
+		note                    string
+	}
+	var cells []cell
 	for _, n := range sizes {
+		for _, sp := range specs {
+			cells = append(cells, cell{n: n, spec: sp})
+		}
+	}
+	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+		n := c.n
 		g := graph.MustCycle(n)
-		xs := ids.MustGenerate(ids.Random, n, o.seed())
-		scheds := []schedule.Scheduler{
-			schedule.Synchronous{},
-			schedule.NewRandomSubset(0.4, o.seed()),
-			schedule.NewRoundRobin(1),
+		xs := ids.MustGenerate(ids.Random, n, cellSeed(o.seed(), "E14", n))
+		e, err := decoupled.NewEngine(g, decoupled.NewThreeColorNodes(xs))
+		if err != nil {
+			return result{note: fmt.Sprintf("n=%d: %v", n, err)}
 		}
-		for _, s := range scheds {
-			e, err := decoupled.NewEngine(g, decoupled.NewThreeColorNodes(xs))
-			if err != nil {
-				t.AddNote("n=%d: %v", n, err)
+		r := result{}
+		for i := 0; i < n; i += 5 {
+			e.CrashAfter(i, 0) // never wakes
+			r.crashes++
+		}
+		seed := cellSeed(o.seed(), "E14", n, c.spec.name)
+		res, err := e.Run(c.spec.mk(seed), 1000*n+10_000)
+		if err != nil {
+			return result{note: fmt.Sprintf("n=%d %s: %v", n, c.spec.name, err)}
+		}
+		used := map[int]bool{}
+		r.proper = true
+		r.allSurvivors = true
+		for i := 0; i < n; i++ {
+			if res.Crashed[i] {
 				continue
 			}
-			crashes := 0
-			for i := 0; i < n; i += 5 {
-				e.CrashAfter(i, 0) // never wakes
-				crashes++
-			}
-			res, err := e.Run(s, 1000*n+10_000)
-			if err != nil {
-				t.AddNote("n=%d %s: %v", n, s.Name(), err)
+			if !res.Done[i] {
+				r.allSurvivors = false
 				continue
 			}
-			used := map[int]bool{}
-			proper := true
-			allSurvivors := true
-			for i := 0; i < n; i++ {
-				if res.Crashed[i] {
-					continue
-				}
-				if !res.Done[i] {
-					allSurvivors = false
-					continue
-				}
-				used[res.Outputs[i]] = true
-				j := (i + 1) % n
-				if res.Done[j] && res.Outputs[i] == res.Outputs[j] {
-					proper = false
-				}
+			used[res.Outputs[i]] = true
+			j := (i + 1) % n
+			if res.Done[j] && res.Outputs[i] == res.Outputs[j] {
+				r.proper = false
 			}
-			t.AddRow(n, s.Name(), crashes, allSurvivors, len(used), res.CommRounds, proper)
 		}
+		r.colors = len(used)
+		r.rounds = res.CommRounds
+		return r
+	})
+	for i, c := range cells {
+		r := results[i]
+		if r.note != "" {
+			t.AddNote("%s", r.note)
+			continue
+		}
+		t.AddRow(c.n, c.spec.name, r.crashes, r.allSurvivors, r.colors, r.rounds, r.proper)
 	}
 	t.AddNote("paper §1.4: DECOUPLED is strictly stronger — 3-coloring C3 is trivial there, impossible in the state model")
 	t.AddNote("mid-protocol crash tolerance at 3 colors is the contribution of [13] and out of scope; initial crashes and committed crashes are handled")
@@ -92,13 +116,24 @@ func E15SSBReduction(o Options) *Table {
 		Columns: []string{"candidate", "K_n", "states", "wait-free", "SSB conditions hold"},
 	}
 	sizes := []int{3, 4}
+	type cell struct {
+		n      int
+		greedy bool
+	}
+	type result struct {
+		rep  model.Report
+		note string
+	}
+	var cells []cell
 	for _, n := range sizes {
-		gK, err := graph.Complete(n)
+		cells = append(cells, cell{n: n, greedy: true}, cell{n: n})
+	}
+	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+		gK, err := graph.Complete(c.n)
 		if err != nil {
-			t.AddNote("n=%d: %v", n, err)
-			continue
+			return result{note: fmt.Sprintf("n=%d: %v", c.n, err)}
 		}
-		xs := ids.MustGenerate(ids.Increasing, n, 0)
+		xs := ids.MustGenerate(ids.Increasing, c.n, 0)
 		inv := func(e *sim.Engine[mis.Val]) error {
 			r := e.Result()
 			if v := ssb.Check(r.Outputs, r.Done); v != "" {
@@ -106,13 +141,26 @@ func E15SSBReduction(o Options) *Table {
 			}
 			return nil
 		}
-		eg, _ := sim.NewEngine(gK, ssb.WrapCycle(mis.NewGreedyNodes(xs)))
-		repG := model.Explore(eg, model.Options{SingletonsOnly: true}, inv)
-		t.AddRow("greedy", n, repG.States, !repG.CycleFound, len(repG.Violations) == 0)
-
-		ei, _ := sim.NewEngine(gK, ssb.WrapCycle(mis.NewImpatientNodes(xs, 2)))
-		repI := model.Explore(ei, model.Options{SingletonsOnly: true}, inv)
-		t.AddRow("impatient(2)", n, repI.States, !repI.CycleFound, len(repI.Violations) == 0)
+		var nodes []sim.Node[mis.Val]
+		if c.greedy {
+			nodes = mis.NewGreedyNodes(xs)
+		} else {
+			nodes = mis.NewImpatientNodes(xs, 2)
+		}
+		e, _ := sim.NewEngine(gK, ssb.WrapCycle(nodes))
+		return result{rep: model.Explore(e, model.Options{SingletonsOnly: true}, inv)}
+	})
+	for i, c := range cells {
+		r := results[i]
+		if r.note != "" {
+			t.AddNote("%s", r.note)
+			continue
+		}
+		label := "impatient(2)"
+		if c.greedy {
+			label = "greedy"
+		}
+		t.AddRow(label, c.n, r.rep.States, !r.rep.CycleFound, len(r.rep.Violations) == 0)
 	}
 	t.AddNote("no candidate is simultaneously wait-free and SSB-correct — exactly what the impossibility [6] mandates")
 	return t
@@ -134,30 +182,60 @@ func E16ProgressClasses(o Options) *Table {
 	g := graph.MustCycle(3)
 	opt := model.Options{SingletonsOnly: true, MaxStates: 500_000}
 
-	classify := func(label string, mk func() []sim.Node[core.FastVal]) {
-		e1, _ := sim.NewEngine(g, mk())
-		rep := model.Explore(e1, opt, nil)
-		e2, _ := sim.NewEngine(g, mk())
-		counter, _ := model.ObstructionFree(e2, opt, 25)
-		e3, _ := sim.NewEngine(g, mk())
-		fair, _ := model.FairlyTerminates(e3, opt)
-		t.AddRow(label, !rep.CycleFound, counter == "", fair == "")
+	algs := []struct {
+		label string
+		mk    func() []sim.Node[core.FastVal]
+	}{
+		{"reduction component only", func() []sim.Node[core.FastVal] { return ablation.NewNodes(xs, ablation.ReducerOnly) }},
+		{"full Algorithm 3", func() []sim.Node[core.FastVal] { return core.NewFastNodes(xs) }},
 	}
-	classify("reduction component only", func() []sim.Node[core.FastVal] {
-		return ablation.NewNodes(xs, ablation.ReducerOnly)
+	type cell struct {
+		alg   int    // index into algs, or -1 for greedy MIS
+		check string // "explore" | "obstruction" | "fair"
+	}
+	checks := []string{"explore", "obstruction", "fair"}
+	var cells []cell
+	for ai := range algs {
+		for _, ck := range checks {
+			cells = append(cells, cell{alg: ai, check: ck})
+		}
+	}
+	for _, ck := range checks {
+		cells = append(cells, cell{alg: -1, check: ck})
+	}
+	results := par.Map(o.workers(), cells, func(_ int, c cell) bool {
+		if c.alg >= 0 {
+			e, _ := sim.NewEngine(g, algs[c.alg].mk())
+			switch c.check {
+			case "explore":
+				return !model.Explore(e, opt, nil).CycleFound
+			case "obstruction":
+				counter, _ := model.ObstructionFree(e, opt, 25)
+				return counter == ""
+			default:
+				fair, _ := model.FairlyTerminates(e, opt)
+				return fair == ""
+			}
+		}
+		e, _ := sim.NewEngine(g, mis.NewGreedyNodes(xs))
+		switch c.check {
+		case "explore":
+			return !model.Explore(e, opt, nil).CycleFound
+		case "obstruction":
+			counter, _ := model.ObstructionFree(e, opt, 25)
+			return counter == ""
+		default:
+			fair, _ := model.FairlyTerminates(e, opt)
+			return fair == ""
+		}
 	})
-	classify("full Algorithm 3", func() []sim.Node[core.FastVal] {
-		return core.NewFastNodes(xs)
-	})
-	// The MIS candidates slot into the same hierarchy.
-	eMis, _ := sim.NewEngine(g, mis.NewGreedyNodes(xs))
-	repMis := model.Explore(eMis, opt, nil)
-	eMis2, _ := sim.NewEngine(g, mis.NewGreedyNodes(xs))
-	counterMis, _ := model.ObstructionFree(eMis2, opt, 25)
-	eMis3, _ := sim.NewEngine(g, mis.NewGreedyNodes(xs))
-	fairMis, _ := model.FairlyTerminates(eMis3, opt)
-	t.AddRow("greedy MIS", !repMis.CycleFound, counterMis == "", fairMis == "")
-
+	for i := 0; i < len(cells); i += len(checks) {
+		label := "greedy MIS"
+		if cells[i].alg >= 0 {
+			label = algs[cells[i].alg].label
+		}
+		t.AddRow(label, results[i], results[i+1], results[i+2])
+	}
 	t.AddNote("paper §1.3: the second component is not wait-free by itself but offers starvation-free progress;")
 	t.AddNote("the composition is wait-free — of independent interest. All three cells verified exhaustively on C3.")
 	return t
@@ -195,48 +273,76 @@ func E17Ablations(o Options) *Table {
 		}
 	}
 
-	// Exhaustive invariant verdicts on a 4-cycle with structured ids, plus
-	// a performance probe on a 512-cycle.
-	probe := func(label string, mk4 func() []sim.Node[core.FastVal], mk512 func() []sim.Node[core.FastVal]) {
-		g4 := graph.MustCycle(4)
-		e4, _ := sim.NewEngine(g4, mk4())
-		inv := invFor(g4)
-		properViolated := false
-		combined := func(e *sim.Engine[core.FastVal]) error {
-			r := e.Result()
-			if err := check.ProperColoring(g4, r); err != nil {
-				properViolated = true
-				return err
-			}
-			return inv(e)
-		}
-		rep := model.Explore(e4, model.Options{SingletonsOnly: true, MaxStates: 1_000_000}, combined)
-		lemma45 := len(rep.Violations) == 0
-
-		g512 := graph.MustCycle(512)
-		e512, _ := sim.NewEngine(g512, mk512())
-		res, err := e512.Run(schedule.NewRoundRobin(1), 1_000_000)
-		acts := "-"
-		if err == nil {
-			acts = fmt.Sprintf("%d", res.MaxActivations())
-			if check.ProperColoring(g512, res) != nil {
-				properViolated = true
-			}
-		}
-		t.AddRow(label, lemma45, !properViolated, acts)
-	}
-
 	// One long monotone run with spread bit patterns: the instance on which
 	// the weakened variants' violations are reachable within C4's state
 	// space (found by exhaustive search; see ablation tests).
 	xs4 := []int{5, 12, 20, 30}
 	xs512 := ids.MustGenerate(ids.Increasing, 512, 0)
-	probe("full Algorithm 3", func() []sim.Node[core.FastVal] { return core.NewFastNodes(xs4) },
-		func() []sim.Node[core.FastVal] { return core.NewFastNodes(xs512) })
+
+	type variant struct {
+		label      string
+		mk4, mk512 func() []sim.Node[core.FastVal]
+	}
+	variants := []variant{{
+		label: "full Algorithm 3",
+		mk4:   func() []sim.Node[core.FastVal] { return core.NewFastNodes(xs4) },
+		mk512: func() []sim.Node[core.FastVal] { return core.NewFastNodes(xs512) },
+	}}
 	for _, v := range []ablation.Variant{ablation.NoGreenLight, ablation.NoEvade, ablation.EagerEvade, ablation.EagerInf} {
 		v := v
-		probe(v.String(), func() []sim.Node[core.FastVal] { return ablation.NewNodes(xs4, v) },
-			func() []sim.Node[core.FastVal] { return ablation.NewNodes(xs512, v) })
+		variants = append(variants, variant{
+			label: v.String(),
+			mk4:   func() []sim.Node[core.FastVal] { return ablation.NewNodes(xs4, v) },
+			mk512: func() []sim.Node[core.FastVal] { return ablation.NewNodes(xs512, v) },
+		})
+	}
+
+	// Each variant contributes two cells: an exhaustive invariant verdict on
+	// a 4-cycle with structured ids, and a performance probe on a 512-cycle.
+	type cell struct {
+		vi      int
+		explore bool
+	}
+	type result struct {
+		lemma45, properViolated bool
+		acts                    string
+	}
+	var cells []cell
+	for vi := range variants {
+		cells = append(cells, cell{vi: vi, explore: true}, cell{vi: vi})
+	}
+	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+		v := variants[c.vi]
+		if c.explore {
+			g4 := graph.MustCycle(4)
+			e4, _ := sim.NewEngine(g4, v.mk4())
+			inv := invFor(g4)
+			r := result{}
+			combined := func(e *sim.Engine[core.FastVal]) error {
+				res := e.Result()
+				if err := check.ProperColoring(g4, res); err != nil {
+					r.properViolated = true
+					return err
+				}
+				return inv(e)
+			}
+			rep := model.Explore(e4, model.Options{SingletonsOnly: true, MaxStates: 1_000_000}, combined)
+			r.lemma45 = len(rep.Violations) == 0
+			return r
+		}
+		g512 := graph.MustCycle(512)
+		e512, _ := sim.NewEngine(g512, v.mk512())
+		res, err := e512.Run(schedule.NewRoundRobin(1), 1_000_000)
+		r := result{acts: "-"}
+		if err == nil {
+			r.acts = fmt.Sprintf("%d", res.MaxActivations())
+			r.properViolated = check.ProperColoring(g512, res) != nil
+		}
+		return r
+	})
+	for i := 0; i < len(cells); i += 2 {
+		exp, run := results[i], results[i+1]
+		t.AddRow(variants[cells[i].vi].label, exp.lemma45, !(exp.properViolated || run.properViolated), run.acts)
 	}
 	t.AddNote("no-green-light and eager-evade break Lemma 4.5 (coloring safety is guarded separately and survives);")
 	t.AddNote("eager-inf keeps all safety but degenerates to Θ(n); no-evade keeps everything — the evasion is a")

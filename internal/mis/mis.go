@@ -35,6 +35,13 @@ type Val struct {
 	Member  bool // valid only if Decided
 }
 
+// HashFingerprint implements sim.Hashable.
+func (v *Val) HashFingerprint(h *sim.FPHasher) {
+	h.HashInt(v.X)
+	h.HashBool(v.Decided)
+	h.HashBool(v.Member)
+}
+
 // Greedy is the classic sequential-greedy MIS adapted naively: wait until
 // every higher-identifier neighbor has decided; join the MIS if none of
 // them joined, else stay out. It is correct in the synchronous failure-free
@@ -98,6 +105,13 @@ func (g *Greedy) ret() sim.Decision {
 func (g *Greedy) Clone() sim.Node[Val] {
 	cp := *g
 	return &cp
+}
+
+// HashFingerprint implements sim.Hashable.
+func (g *Greedy) HashFingerprint(h *sim.FPHasher) {
+	h.HashInt(g.x)
+	h.HashBool(g.decided)
+	h.HashBool(g.member)
 }
 
 var _ sim.Node[Val] = (*Greedy)(nil)
@@ -184,6 +198,15 @@ func (m *Impatient) ret() sim.Decision {
 func (m *Impatient) Clone() sim.Node[Val] {
 	cp := *m
 	return &cp
+}
+
+// HashFingerprint implements sim.Hashable.
+func (m *Impatient) HashFingerprint(h *sim.FPHasher) {
+	h.HashInt(m.Patience)
+	h.HashInt(m.x)
+	h.HashInt(m.waited)
+	h.HashBool(m.decided)
+	h.HashBool(m.member)
 }
 
 var _ sim.Node[Val] = (*Impatient)(nil)

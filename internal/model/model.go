@@ -40,6 +40,18 @@ type Options struct {
 	SingletonsOnly bool
 	// MaxViolations caps recorded invariant-violation messages.
 	MaxViolations int
+	// Workers > 1 makes Explore shard the root's first-level activation
+	// subsets across that many workers, each running an independent DFS
+	// with a private visited set; the per-worker reports are merged by
+	// uniting their state-key sets, so States and Terminal match the serial
+	// counts exactly. Workers <= 1 (the default) keeps the serial DFS.
+	// In parallel mode MaxStates bounds each worker separately, and the
+	// order of recorded Violations may differ from the serial order.
+	Workers int
+	// StringFingerprints forces the exact string-fingerprint state tables
+	// used before compact hashing — slower and allocation-heavy, kept for
+	// differential testing against the compact 128-bit tables.
+	StringFingerprints bool
 }
 
 // DefaultMaxDepth and DefaultMaxStates are generous bounds for n ≤ 5.
@@ -89,6 +101,11 @@ type Report struct {
 	ViolationWitness [][]int
 	// DeepestPath is the longest schedule explored (in steps).
 	DeepestPath int
+	// HashCollisions counts lane-A collisions of the compact-fingerprint
+	// tables, each detected by the second hash lane and resolved exactly
+	// through the full-string fallback (see fpset.go). Expected to be 0 on
+	// every realistic instance; always 0 with Options.StringFingerprints.
+	HashCollisions int
 }
 
 // Ok reports whether the exploration was exhaustive and found neither
@@ -110,13 +127,52 @@ type Invariant[V any] func(e *sim.Engine[V]) error
 type explorer[V any] struct {
 	opt       Options
 	inv       Invariant[V]
-	visited   map[string]bool
-	onStack   map[string]bool
-	path      [][]int  // activation sets from the root to the current state
-	pathFPs   []string // fingerprints of the states along the path
+	visited   *stateTable[struct{}]
+	onStack   *stateTable[struct{}]
+	path      [][]int    // activation sets from the root to the current state
+	pathFPs   []stateKey // keys of the states along the path
 	report    Report
 	interrupt bool
+	free      []*sim.Engine[V] // discarded branch engines, recycled by CloneInto
+
+	// Key collection, enabled only by the parallel frontier so worker
+	// reports can be merged by set union (see parallel.go).
+	collectKeys  bool
+	keys         map[stateKey]struct{}
+	terminalKeys map[stateKey]struct{}
+	vioKeys      []stateKey // state key of each recorded violation, aligned with report.Violations
 }
+
+func newExplorer[V any](opt Options) *explorer[V] {
+	return &explorer[V]{
+		opt:     opt.withDefaults(),
+		visited: newStateTable[struct{}](opt.StringFingerprints),
+		onStack: newStateTable[struct{}](opt.StringFingerprints),
+	}
+}
+
+// key computes the configuration's identity under the chosen fingerprint
+// scheme. Note FingerprintHash128 uses engine-owned scratch: never key a
+// shared engine from concurrent workers.
+func (x *explorer[V]) key(e *sim.Engine[V]) stateKey {
+	if x.opt.StringFingerprints {
+		return stateKey{str: e.Fingerprint()}
+	}
+	h1, h2 := e.FingerprintHash128()
+	return stateKey{h1: h1, h2: h2}
+}
+
+// clone copies e, recycling a previously released engine when available.
+func (x *explorer[V]) clone(e *sim.Engine[V]) *sim.Engine[V] {
+	if n := len(x.free); n > 0 {
+		dst := x.free[n-1]
+		x.free = x.free[:n-1]
+		return e.CloneInto(dst)
+	}
+	return e.Clone()
+}
+
+func (x *explorer[V]) release(e *sim.Engine[V]) { x.free = append(x.free, e) }
 
 // copySteps deep-copies a schedule fragment.
 func copySteps(steps [][]int) [][]int {
@@ -131,13 +187,14 @@ func copySteps(steps [][]int) [][]int {
 // within the option bounds, checking inv (which may be nil) at every
 // reachable configuration, including the initial one.
 func Explore[V any](root *sim.Engine[V], opt Options, inv Invariant[V]) Report {
-	x := &explorer[V]{
-		opt:     opt.withDefaults(),
-		inv:     inv,
-		visited: make(map[string]bool),
-		onStack: make(map[string]bool),
+	opt = opt.withDefaults()
+	if opt.Workers > 1 {
+		return exploreParallel(root, opt, inv)
 	}
+	x := newExplorer[V](opt)
+	x.inv = inv
 	x.dfs(root, 0)
+	x.report.HashCollisions = x.visited.hashCollisions() + x.onStack.hashCollisions()
 	return x.report
 }
 
@@ -148,15 +205,16 @@ func (x *explorer[V]) dfs(e *sim.Engine[V], depth int) {
 	if depth > x.report.DeepestPath {
 		x.report.DeepestPath = depth
 	}
-	fp := e.Fingerprint()
-	if x.onStack[fp] {
+	k := x.key(e)
+	strFn := func() string { return e.Fingerprint() }
+	if _, on := x.onStack.get(k, strFn); on {
 		if !x.report.CycleFound {
 			x.report.CycleFound = true
 			// The repeated state sits somewhere along the current path;
 			// everything before it is the prefix, the rest is the loop.
 			start := 0
-			for i, pfp := range x.pathFPs {
-				if pfp == fp {
+			for i, pk := range x.pathFPs {
+				if pk == k {
 					start = i
 					break
 				}
@@ -166,11 +224,14 @@ func (x *explorer[V]) dfs(e *sim.Engine[V], depth int) {
 		}
 		return
 	}
-	if x.visited[fp] {
+	if _, seen := x.visited.get(k, strFn); seen {
 		return
 	}
-	x.visited[fp] = true // counted once, re-marked done below
+	x.visited.put(k, strFn, struct{}{})
 	x.report.States++
+	if x.collectKeys {
+		x.keys[k] = struct{}{}
+	}
 	if x.inv != nil {
 		if err := x.inv(e); err != nil {
 			if len(x.report.Violations) == 0 {
@@ -178,11 +239,17 @@ func (x *explorer[V]) dfs(e *sim.Engine[V], depth int) {
 			}
 			if len(x.report.Violations) < x.opt.MaxViolations {
 				x.report.Violations = append(x.report.Violations, err.Error())
+				if x.collectKeys {
+					x.vioKeys = append(x.vioKeys, k)
+				}
 			}
 		}
 	}
 	if e.AllDone() {
 		x.report.Terminal++
+		if x.collectKeys {
+			x.terminalKeys[k] = struct{}{}
+		}
 		return
 	}
 	if depth >= x.opt.MaxDepth || x.report.States >= x.opt.MaxStates {
@@ -195,20 +262,21 @@ func (x *explorer[V]) dfs(e *sim.Engine[V], depth int) {
 		// All remaining processes crashed: nothing can evolve.
 		return
 	}
-	x.onStack[fp] = true
-	x.pathFPs = append(x.pathFPs, fp)
+	x.onStack.put(k, strFn, struct{}{})
+	x.pathFPs = append(x.pathFPs, k)
 	for _, subset := range subsets(working, x.opt.SingletonsOnly) {
-		child := e.Clone()
+		child := x.clone(e)
 		child.Step(subset)
 		x.path = append(x.path, subset)
 		x.dfs(child, depth+1)
+		x.release(child)
 		x.path = x.path[:len(x.path)-1]
 		if x.interrupt {
 			break
 		}
 	}
 	x.pathFPs = x.pathFPs[:len(x.pathFPs)-1]
-	delete(x.onStack, fp)
+	x.onStack.del(k, strFn)
 }
 
 // WorstActivations computes, for each process, the exact maximum number of
@@ -220,53 +288,76 @@ func WorstActivations[V any](root *sim.Engine[V], opt Options) ([]int, bool, Rep
 	opt = opt.withDefaults()
 	w := &worst[V]{
 		opt:  opt,
-		memo: make(map[string][]int),
-		onSt: make(map[string]bool),
+		memo: newStateTable[[]int](opt.StringFingerprints),
+		onSt: newStateTable[struct{}](opt.StringFingerprints),
+		zero: make([]int, root.N()),
 	}
 	vec := w.dfs(root, 0)
+	w.report.HashCollisions = w.memo.hashCollisions() + w.onSt.hashCollisions()
 	ok := !w.report.CycleFound && !w.report.Truncated
 	return vec, ok, w.report
 }
 
 type worst[V any] struct {
 	opt    Options
-	memo   map[string][]int
-	onSt   map[string]bool
+	memo   *stateTable[[]int]
+	onSt   *stateTable[struct{}]
 	report Report
+	zero   []int // shared all-zeros vector; callers must not mutate results
+	free   []*sim.Engine[V]
+}
+
+func (w *worst[V]) key(e *sim.Engine[V]) stateKey {
+	if w.opt.StringFingerprints {
+		return stateKey{str: e.Fingerprint()}
+	}
+	h1, h2 := e.FingerprintHash128()
+	return stateKey{h1: h1, h2: h2}
+}
+
+func (w *worst[V]) clone(e *sim.Engine[V]) *sim.Engine[V] {
+	if n := len(w.free); n > 0 {
+		dst := w.free[n-1]
+		w.free = w.free[:n-1]
+		return e.CloneInto(dst)
+	}
+	return e.Clone()
 }
 
 func (w *worst[V]) dfs(e *sim.Engine[V], depth int) []int {
 	n := e.N()
-	zero := make([]int, n)
 	if depth > w.report.DeepestPath {
 		w.report.DeepestPath = depth
 	}
-	fp := e.Fingerprint()
-	if w.onSt[fp] {
+	k := w.key(e)
+	strFn := func() string { return e.Fingerprint() }
+	if _, on := w.onSt.get(k, strFn); on {
 		w.report.CycleFound = true
-		return zero
+		return w.zero
 	}
-	if v, ok := w.memo[fp]; ok {
+	if v, ok := w.memo.get(k, strFn); ok {
 		return v
 	}
 	if e.AllDone() {
 		w.report.Terminal++
-		w.memo[fp] = zero
-		return zero
+		w.memo.put(k, strFn, w.zero)
+		return w.zero
 	}
-	if depth >= w.opt.MaxDepth || len(w.memo) >= w.opt.MaxStates {
+	if depth >= w.opt.MaxDepth || w.memo.length() >= w.opt.MaxStates {
 		w.report.Truncated = true
-		return zero
+		return w.zero
 	}
 	working := workingSet(e)
 	if len(working) == 0 {
-		w.memo[fp] = zero
-		return zero
+		w.memo.put(k, strFn, w.zero)
+		return w.zero
 	}
-	w.onSt[fp] = true
+	w.onSt.put(k, strFn, struct{}{})
 	best := make([]int, n)
 	for _, subset := range subsets(working, w.opt.SingletonsOnly) {
-		child := e.Clone()
+		child := w.clone(e)
+		// performed is child's scratch, valid here because child takes no
+		// further step of its own (the recursion steps fresh clones).
 		performed := child.Step(subset)
 		sub := w.dfs(child, depth+1)
 		for p := 0; p < n; p++ {
@@ -281,10 +372,11 @@ func (w *worst[V]) dfs(e *sim.Engine[V], depth int) []int {
 				best[p] = total
 			}
 		}
+		w.free = append(w.free, child)
 	}
-	delete(w.onSt, fp)
-	w.memo[fp] = best
-	w.report.States = len(w.memo)
+	w.onSt.del(k, strFn)
+	w.memo.put(k, strFn, best)
+	w.report.States = w.memo.length()
 	return best
 }
 

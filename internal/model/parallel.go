@@ -1,0 +1,120 @@
+package model
+
+import (
+	"asynccycle/internal/par"
+	"asynccycle/internal/sim"
+)
+
+// exploreParallel is Explore's Workers > 1 strategy: the root configuration
+// is handled once here, then each of its first-level activation subsets is
+// explored by an independent worker DFS with a private visited set, fanned
+// out through par.Map (which preserves subset order in its results).
+//
+// Because workers do not share visited sets, states reachable from several
+// first-level subsets are explored once per worker — duplicated wall-clock
+// work traded for zero cross-worker synchronization. The merged report
+// stays exact: each worker records the key set of its visited (and
+// terminal) states, and States/Terminal are the sizes of the set unions,
+// so they match the serial DFS exactly. Cycle certificates and violation
+// witnesses are taken from the first worker (in subset enumeration order)
+// that found one, with violations deduplicated across workers by state
+// key. MaxStates bounds each worker separately.
+func exploreParallel[V any](root *sim.Engine[V], opt Options, inv Invariant[V]) Report {
+	rep := Report{States: 1}
+
+	// Key the root serially: FingerprintHash128 uses engine-owned scratch,
+	// and workers must not touch the shared root. The string form is also
+	// precomputed so collision fallbacks never race on root.Fingerprint.
+	var rootKey stateKey
+	if opt.StringFingerprints {
+		rootKey = stateKey{str: root.Fingerprint()}
+	} else {
+		h1, h2 := root.FingerprintHash128()
+		rootKey = stateKey{h1: h1, h2: h2}
+	}
+	rootStr := root.Fingerprint()
+	rootStrFn := func() string { return rootStr }
+
+	if inv != nil {
+		if err := inv(root); err != nil {
+			rep.ViolationWitness = copySteps(nil)
+			rep.Violations = append(rep.Violations, err.Error())
+		}
+	}
+	if root.AllDone() {
+		rep.Terminal = 1
+		return rep
+	}
+	working := workingSet(root)
+	if len(working) == 0 {
+		return rep
+	}
+	if opt.MaxDepth < 1 || opt.MaxStates <= 1 {
+		rep.Truncated = true
+		return rep
+	}
+
+	subs := subsets(working, opt.SingletonsOnly)
+	workers := par.Map(opt.Workers, subs, func(i int, subset []int) *explorer[V] {
+		x := newExplorer[V](opt)
+		x.inv = inv
+		x.collectKeys = true
+		x.keys = make(map[stateKey]struct{})
+		x.terminalKeys = make(map[stateKey]struct{})
+		// Pre-seed the path with the first-level step and keep the root on
+		// the stack for the whole worker: cycle prefixes and violation
+		// witnesses then come out rooted at the initial configuration, and
+		// cycles through the root itself are detected.
+		x.onStack.put(rootKey, rootStrFn, struct{}{})
+		x.path = append(x.path, subset)
+		x.pathFPs = append(x.pathFPs, rootKey)
+		child := root.Clone()
+		child.Step(subset)
+		x.dfs(child, 1)
+		return x
+	})
+
+	keys := map[stateKey]struct{}{rootKey: {}}
+	terminals := make(map[stateKey]struct{})
+	vioSeen := make(map[stateKey]bool)
+	for _, x := range workers {
+		if x == nil {
+			continue
+		}
+		r := &x.report
+		for k := range x.keys {
+			keys[k] = struct{}{}
+		}
+		for k := range x.terminalKeys {
+			terminals[k] = struct{}{}
+		}
+		if r.Truncated {
+			rep.Truncated = true
+		}
+		if r.DeepestPath > rep.DeepestPath {
+			rep.DeepestPath = r.DeepestPath
+		}
+		rep.HashCollisions += x.visited.hashCollisions() + x.onStack.hashCollisions()
+		if r.CycleFound && !rep.CycleFound {
+			rep.CycleFound = true
+			rep.CyclePrefix = r.CyclePrefix
+			rep.CycleLoop = r.CycleLoop
+		}
+		for i, msg := range r.Violations {
+			k := x.vioKeys[i]
+			if vioSeen[k] {
+				continue
+			}
+			vioSeen[k] = true
+			if len(rep.Violations) == 0 {
+				rep.ViolationWitness = r.ViolationWitness
+			}
+			if len(rep.Violations) < opt.MaxViolations {
+				rep.Violations = append(rep.Violations, msg)
+			}
+		}
+	}
+	rep.States = len(keys)
+	rep.Terminal = len(terminals)
+	return rep
+}

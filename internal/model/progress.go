@@ -21,11 +21,7 @@ import (
 // holds) and the exploration report.
 func ObstructionFree[V any](root *sim.Engine[V], opt Options, soloBound int) (string, Report) {
 	opt = opt.withDefaults()
-	x := &explorer[V]{
-		opt:     opt,
-		visited: make(map[string]bool),
-		onStack: make(map[string]bool),
-	}
+	x := newExplorer[V](opt)
 	counterexample := ""
 	x.inv = func(e *sim.Engine[V]) error {
 		if counterexample != "" {
@@ -53,13 +49,17 @@ func ObstructionFree[V any](root *sim.Engine[V], opt Options, soloBound int) (st
 		return nil
 	}
 	x.dfs(root, 0)
+	x.report.HashCollisions = x.visited.hashCollisions() + x.onStack.hashCollisions()
 	return counterexample, x.report
 }
 
 // stateGraph is the explicit reachable configuration graph used by the
-// fair-termination analysis.
+// fair-termination analysis. State identity uses the same compact-
+// fingerprint table as the explorer (exact string keys under
+// Options.StringFingerprints).
 type stateGraph struct {
-	ids       map[string]int
+	ids       *stateTable[int]
+	useStr    bool
 	edges     [][]edge // adjacency: edges[s] lists transitions out of s
 	working   [][]int  // working processes per state
 	terminal  []bool
@@ -84,10 +84,14 @@ type edge struct {
 // component, plus the exploration report.
 func FairlyTerminates[V any](root *sim.Engine[V], opt Options) (string, Report) {
 	opt = opt.withDefaults()
-	g := &stateGraph{ids: make(map[string]int)}
+	g := &stateGraph{
+		ids:    newStateTable[int](opt.StringFingerprints),
+		useStr: opt.StringFingerprints,
+	}
 	rep := Report{}
 	buildStateGraph(root, opt, g, &rep, 0)
 	rep.States = len(g.edges)
+	rep.HashCollisions = g.ids.hashCollisions()
 	if g.truncated {
 		rep.Truncated = true
 	}
@@ -102,12 +106,19 @@ func FairlyTerminates[V any](root *sim.Engine[V], opt Options) (string, Report) 
 }
 
 func buildStateGraph[V any](e *sim.Engine[V], opt Options, g *stateGraph, rep *Report, depth int) int {
-	fp := e.Fingerprint()
-	if id, ok := g.ids[fp]; ok {
+	var k stateKey
+	if g.useStr {
+		k = stateKey{str: e.Fingerprint()}
+	} else {
+		h1, h2 := e.FingerprintHash128()
+		k = stateKey{h1: h1, h2: h2}
+	}
+	strFn := func() string { return e.Fingerprint() }
+	if id, ok := g.ids.get(k, strFn); ok {
 		return id
 	}
 	id := len(g.edges)
-	g.ids[fp] = id
+	g.ids.put(k, strFn, id)
 	g.edges = append(g.edges, nil)
 	g.working = append(g.working, workingSet(e))
 	g.terminal = append(g.terminal, e.AllDone())
@@ -128,7 +139,9 @@ func buildStateGraph[V any](e *sim.Engine[V], opt Options, g *stateGraph, rep *R
 	}
 	for _, subset := range subsets(working, opt.SingletonsOnly) {
 		child := e.Clone()
-		performed := child.Step(subset)
+		// Step's result is child-owned scratch; the edge outlives the
+		// child, so it keeps a copy.
+		performed := append([]int(nil), child.Step(subset)...)
 		to := buildStateGraph(child, opt, g, rep, depth+1)
 		g.edges[id] = append(g.edges[id], edge{to: to, activated: performed})
 	}

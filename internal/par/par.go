@@ -1,0 +1,83 @@
+// Package par provides a bounded worker pool with deterministic result
+// merging, the execution layer under the experiment sweeps and the model
+// checker's parallel frontier.
+//
+// The contract is the one SPIN-style explicit-state checkers and
+// deterministic-replay harnesses rely on: work items are independent, each
+// item's result depends only on the item (never on execution order), and
+// results are delivered in input order. Under that contract Map is
+// observably identical to a serial loop — callers that derive their
+// randomness from item coordinates (rather than from shared mutable state)
+// therefore produce byte-identical output at any parallelism level.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map applies f to every item, fanning the calls out over at most workers
+// goroutines, and returns the results in input order: out[i] == f(i,
+// items[i]). workers <= 0 means runtime.GOMAXPROCS(0); workers == 1 (or a
+// single item) runs inline with no goroutines, so the serial path is the
+// parallel path with the pool removed.
+//
+// f must treat items as independent: it must not mutate shared state
+// without its own synchronization, and its result must not depend on the
+// completion order of other items. A panic in any call is re-raised in the
+// caller after the pool drains, so no goroutine is leaked.
+func Map[T, R any](workers int, items []T, f func(i int, item T) R) []R {
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i := range items {
+			out[i] = f(i, items[i])
+		}
+		return out
+	}
+
+	var (
+		next     atomic.Int64 // index of the next unclaimed item
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(items) || panicked.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							// Keep the first panic only; racing writers are
+							// excluded by the CompareAndSwap.
+							if panicked.CompareAndSwap(false, true) {
+								panicVal = r
+							}
+						}
+					}()
+					out[i] = f(i, items[i])
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package par
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderAndValues(t *testing.T) {
+	items := make([]int, 100)
+	for i := range items {
+		items[i] = i * 3
+	}
+	for _, workers := range []int{0, 1, 2, 4, 7, 100, 1000} {
+		out := Map(workers, items, func(i, item int) string {
+			return fmt.Sprintf("%d:%d", i, item)
+		})
+		if len(out) != len(items) {
+			t.Fatalf("workers=%d: %d results for %d items", workers, len(out), len(items))
+		}
+		for i, got := range out {
+			want := fmt.Sprintf("%d:%d", i, i*3)
+			if got != want {
+				t.Errorf("workers=%d: out[%d] = %q, want %q", workers, i, got, want)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out := Map(4, nil, func(i, item int) int { return item })
+	if len(out) != 0 {
+		t.Fatalf("got %d results for empty input", len(out))
+	}
+}
+
+// TestMapDeterministicMerge is the load-bearing property: the merged result
+// slice is identical at every parallelism level, even though execution
+// order differs.
+func TestMapDeterministicMerge(t *testing.T) {
+	items := make([]int, 257)
+	for i := range items {
+		items[i] = i
+	}
+	f := func(i, item int) uint64 {
+		// A result depending only on the item's coordinates.
+		h := uint64(item)*0x9E3779B97F4A7C15 + 1
+		return h ^ h>>29
+	}
+	serial := Map(1, items, f)
+	for _, workers := range []int{2, 3, 8, 64} {
+		got := Map(workers, items, f)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], serial[i])
+			}
+		}
+	}
+}
+
+func TestMapEachItemOnce(t *testing.T) {
+	counts := make([]atomic.Int32, 500)
+	Map(8, make([]struct{}, len(counts)), func(i int, _ struct{}) struct{} {
+		counts[i].Add(1)
+		return struct{}{}
+	})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Errorf("item %d executed %d times", i, c)
+		}
+	}
+}
+
+func TestMapPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic was swallowed")
+		}
+		if s, ok := r.(string); !ok || s != "boom" {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	Map(4, []int{0, 1, 2, 3, 4, 5, 6, 7}, func(i, item int) int {
+		if item == 3 {
+			panic("boom")
+		}
+		return item
+	})
+}

@@ -27,6 +27,13 @@ type Val struct {
 	Proposing bool
 }
 
+// HashFingerprint implements sim.Hashable.
+func (v *Val) HashFingerprint(h *sim.FPHasher) {
+	h.HashInt(v.ID)
+	h.HashInt(v.Name)
+	h.HashBool(v.Proposing)
+}
+
 // Proc is one renaming process.
 type Proc struct {
 	id        int
@@ -97,6 +104,13 @@ func nthFree(taken []int, r int) int {
 func (p *Proc) Clone() sim.Node[Val] {
 	cp := *p
 	return &cp
+}
+
+// HashFingerprint implements sim.Hashable.
+func (p *Proc) HashFingerprint(h *sim.FPHasher) {
+	h.HashInt(p.id)
+	h.HashInt(p.name)
+	h.HashBool(p.proposing)
 }
 
 var _ sim.Node[Val] = (*Proc)(nil)

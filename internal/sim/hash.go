@@ -1,0 +1,152 @@
+// Compact configuration fingerprints. Engine.Fingerprint builds a canonical
+// string; for the model checker's visited sets that string is pure overhead
+// — it is hashed by the map and thrown away. FingerprintHash streams the
+// same canonical information through a 128-bit hash without materializing
+// anything, the explicit-state-checker trick (cf. SPIN's state compression)
+// that makes exhaustive exploration allocation-lean.
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Hashable is optionally implemented by node state machines and register
+// value types to let FingerprintHash encode them without reflection or
+// allocation. Implement it on the pointer receiver — the engine hashes
+// register values through a pointer, so value receivers would force a
+// boxing allocation per register.
+//
+// HashFingerprint must feed every field that Engine.Fingerprint's "%v"
+// rendering exposes: two states must hash equal exactly when their string
+// fingerprints are equal. Types that do not implement Hashable are hashed
+// through fmt (correct, but allocating).
+type Hashable interface {
+	HashFingerprint(h *FPHasher)
+}
+
+// FPHasher streams bytes into two independent 64-bit accumulators: lane A
+// is standard FNV-1a, lane B a rotate-xor-multiply mix with a different
+// basis. The pair forms the 128-bit compact fingerprint; the model checker
+// uses lane A as the map key and lane B to detect (and then exactly
+// resolve) key collisions.
+type FPHasher struct {
+	a, b uint64
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	laneBOffset = 0x9E3779B97F4A7C15 // 2^64/φ, the usual odd mixing constant
+	laneBPrime  = 0xFF51AFD7ED558CCD // from the splitmix64 finalizer, odd
+)
+
+// Reset restores the initial state, allowing reuse across fingerprints.
+func (h *FPHasher) Reset() { h.a, h.b = fnvOffset64, laneBOffset }
+
+// HashByte absorbs one byte.
+func (h *FPHasher) HashByte(c byte) {
+	h.a = (h.a ^ uint64(c)) * fnvPrime64
+	h.b = (bits.RotateLeft64(h.b, 7) ^ uint64(c)) * laneBPrime
+}
+
+// HashUint64 absorbs v as eight little-endian bytes.
+func (h *FPHasher) HashUint64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.HashByte(byte(v))
+		v >>= 8
+	}
+}
+
+// HashInt absorbs an int.
+func (h *FPHasher) HashInt(v int) { h.HashUint64(uint64(v)) }
+
+// HashBool absorbs a bool as one byte.
+func (h *FPHasher) HashBool(v bool) {
+	if v {
+		h.HashByte(1)
+	} else {
+		h.HashByte(0)
+	}
+}
+
+// HashString absorbs a length-delimited string.
+func (h *FPHasher) HashString(s string) {
+	h.HashInt(len(s))
+	for i := 0; i < len(s); i++ {
+		h.HashByte(s[i])
+	}
+}
+
+// Write implements io.Writer so fmt can stream into the hasher — the
+// fallback path for types without a Hashable implementation.
+func (h *FPHasher) Write(p []byte) (int, error) {
+	for _, c := range p {
+		h.HashByte(c)
+	}
+	return len(p), nil
+}
+
+// Sum64 returns the primary (lane A) hash.
+func (h *FPHasher) Sum64() uint64 { return h.a }
+
+// Sum128 returns both lanes.
+func (h *FPHasher) Sum128() (uint64, uint64) { return h.a, h.b }
+
+// FingerprintHash returns a compact 64-bit fingerprint of the
+// configuration, covering exactly the state Fingerprint covers: register
+// contents, node states, and termination/crash flags (activation counts
+// and time excluded, since the transition function does not depend on
+// them). Two engines with equal string fingerprints always have equal
+// hashes; the converse holds up to hash collision, which the model
+// checker's visited sets detect via the second lane and resolve exactly
+// (see internal/model).
+//
+// The encoding is streamed through a scratch hasher owned by the engine:
+// zero allocations when every node and register type implements Hashable.
+func (e *Engine[V]) FingerprintHash() uint64 {
+	a, _ := e.FingerprintHash128()
+	return a
+}
+
+// FingerprintHash128 returns both lanes of the compact fingerprint.
+func (e *Engine[V]) FingerprintHash128() (uint64, uint64) {
+	h := &e.fph
+	h.Reset()
+	for i := range e.nodes {
+		h.HashInt(i)
+		if e.regs[i].Present {
+			h.HashByte(1)
+			hashValue(h, &e.regs[i].Val)
+		} else {
+			h.HashByte(0)
+		}
+		hashAny(h, any(e.nodes[i]))
+		h.HashBool(e.done[i])
+		h.HashBool(e.crashed[i])
+		h.HashInt(e.outputs[i])
+	}
+	return h.Sum128()
+}
+
+// hashAny encodes v through its Hashable implementation when present, and
+// through fmt otherwise. The fmt path allocates but keeps correctness for
+// node types that have not (yet) implemented Hashable.
+func hashAny(h *FPHasher, v any) {
+	if hv, ok := v.(Hashable); ok {
+		hv.HashFingerprint(h)
+		return
+	}
+	fmt.Fprintf(h, "%v", v)
+}
+
+// hashValue is hashAny for register values, addressed through a pointer so
+// Hashable implementations avoid boxing; the fmt fallback dereferences, so
+// even non-struct value types are encoded by content, never by address.
+func hashValue[V any](h *FPHasher, v *V) {
+	if hv, ok := any(v).(Hashable); ok {
+		hv.HashFingerprint(h)
+		return
+	}
+	fmt.Fprintf(h, "%v", *v)
+}

@@ -159,7 +159,13 @@ type Engine[V any] struct {
 	mode    Mode
 	hooks   []Hook[V]
 
-	viewBuf []Cell[V] // scratch, reused across rounds
+	// Scratch storage, reused across rounds so a warmed-up engine steps
+	// without allocating. Never shared between engines: Clone/CloneInto
+	// give every engine its own.
+	viewBuf      []Cell[V] // neighbor views handed to Observe
+	performedBuf []int     // Step's result slice
+	inSetBuf     []bool    // Step's dedup marks, cleared after use
+	fph          FPHasher  // FingerprintHash's streaming state
 }
 
 // NewEngine creates an engine for the given topology and per-node state
@@ -265,20 +271,29 @@ var _ schedule.State = (*Engine[int])(nil)
 // Non-working processes in the set are skipped, duplicates collapse, and
 // all writes happen before any read, per the model. It returns the
 // processes that actually performed a round.
+//
+// The returned slice is scratch storage owned by the engine, valid until
+// its next Step; callers that retain it across steps must copy it.
 func (e *Engine[V]) Step(active []int) []int {
 	e.t++
 
-	// Deduplicate and filter to working processes.
-	performed := make([]int, 0, len(active))
-	inSet := make(map[int]bool, len(active))
+	// Deduplicate and filter to working processes, in reused scratch.
+	if e.inSetBuf == nil {
+		e.inSetBuf = make([]bool, len(e.nodes))
+	}
+	performed := e.performedBuf[:0]
 	for _, i := range active {
-		if i < 0 || i >= len(e.nodes) || inSet[i] || !e.Working(i) {
+		if i < 0 || i >= len(e.nodes) || e.inSetBuf[i] || !e.Working(i) {
 			continue
 		}
-		inSet[i] = true
+		e.inSetBuf[i] = true
 		performed = append(performed, i)
 	}
+	for _, i := range performed {
+		e.inSetBuf[i] = false
+	}
 	sort.Ints(performed)
+	e.performedBuf = performed
 
 	if e.mode == ModeSimultaneous {
 		// Phase 1: all activated processes write; phase 2: all read.
@@ -371,25 +386,36 @@ func (e *Engine[V]) Result() Result { return e.result() }
 
 // Clone deep-copies the engine (including node states via Node.Clone), for
 // use by the bounded model checker.
-func (e *Engine[V]) Clone() *Engine[V] {
-	n := len(e.nodes)
-	c := &Engine[V]{
-		g:       e.g,
-		nodes:   make([]Node[V], n),
-		regs:    append([]Cell[V](nil), e.regs...),
-		done:    append([]bool(nil), e.done...),
-		crashed: append([]bool(nil), e.crashed...),
-		outputs: append([]int(nil), e.outputs...),
-		acts:    append([]int(nil), e.acts...),
-		limits:  append([]int(nil), e.limits...),
-		t:       e.t,
-		mode:    e.mode,
-		// hooks deliberately not copied: checker branches are silent.
+func (e *Engine[V]) Clone() *Engine[V] { return e.CloneInto(nil) }
+
+// CloneInto deep-copies e into dst, reusing dst's slice storage where its
+// capacities allow — the model checker recycles discarded branch engines
+// through a free list, cutting the steady-state allocations of exploration
+// to the per-node state clones. dst == nil (or a fresh engine) behaves
+// like Clone. dst's scratch buffers are kept as its own; hooks are
+// deliberately not copied, so checker branches stay silent. Returns dst.
+func (e *Engine[V]) CloneInto(dst *Engine[V]) *Engine[V] {
+	if dst == nil {
+		dst = &Engine[V]{}
 	}
+	dst.g = e.g
+	dst.nodes = append(dst.nodes[:0], e.nodes...)
 	for i, nd := range e.nodes {
-		c.nodes[i] = nd.Clone()
+		dst.nodes[i] = nd.Clone()
 	}
-	return c
+	dst.regs = append(dst.regs[:0], e.regs...)
+	dst.done = append(dst.done[:0], e.done...)
+	dst.crashed = append(dst.crashed[:0], e.crashed...)
+	dst.outputs = append(dst.outputs[:0], e.outputs...)
+	dst.acts = append(dst.acts[:0], e.acts...)
+	dst.limits = append(dst.limits[:0], e.limits...)
+	dst.t = e.t
+	dst.mode = e.mode
+	dst.hooks = nil
+	if dst.inSetBuf != nil && len(dst.inSetBuf) != len(e.nodes) {
+		dst.inSetBuf = nil // sized per instance; re-lazily allocated
+	}
+	return dst
 }
 
 // Fingerprint returns a canonical string encoding of the configuration:

@@ -91,6 +91,19 @@ func (c *cycleSim[V]) String() string {
 	return fmt.Sprintf("sim(%v|%d,%d)", c.inner, c.left, c.right)
 }
 
+// HashFingerprint implements sim.Hashable, delegating to the wrapped node
+// when it is itself Hashable and falling back to fmt otherwise — mirroring
+// String's by-value rendering so hashed and string fingerprints agree.
+func (c *cycleSim[V]) HashFingerprint(h *sim.FPHasher) {
+	h.HashInt(c.left)
+	h.HashInt(c.right)
+	if hn, ok := c.inner.(sim.Hashable); ok {
+		hn.HashFingerprint(h)
+		return
+	}
+	fmt.Fprintf(h, "%v", c.inner)
+}
+
 // Check verifies the SSB conditions on an outcome; it returns a
 // description of the first violation, or "".
 func Check(outputs []int, done []bool) string {
