@@ -35,6 +35,7 @@
 package asynccycle
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -42,6 +43,7 @@ import (
 	"asynccycle/internal/core"
 	"asynccycle/internal/graph"
 	"asynccycle/internal/ids"
+	"asynccycle/internal/runctl"
 	"asynccycle/internal/schedule"
 	"asynccycle/internal/sim"
 )
@@ -83,7 +85,25 @@ type Config struct {
 	// MaxSteps bounds the execution length; exceeding it returns an error
 	// wrapping ErrStepLimit. 0 means a limit proportional to n².
 	MaxSteps int
+	// Context, when non-nil, cancels the run: the engine stops between
+	// steps once it is done and returns the partial Result so far together
+	// with an error wrapping ErrBudget. A nil Context (the default) leaves
+	// the un-budgeted path untouched.
+	Context context.Context
+	// Budget bounds the run along explicit axes (wall-clock, steps,
+	// activations). A tripped budget likewise returns the partial Result
+	// with an error wrapping ErrBudget. The zero value imposes no bounds.
+	Budget Budget
 }
+
+// Budget bounds a run along independent axes: wall-clock Timeout, MaxSteps,
+// and MaxActivations (MaxStates applies to model checking, not executions).
+// The zero value imposes no bounds.
+type Budget = runctl.Budget
+
+// StopReason labels why a budgeted run stopped early; it is the string
+// inside the ErrBudget-wrapping error a tripped budget produces.
+type StopReason = runctl.StopReason
 
 // ErrStepLimit is returned (wrapped) when an execution exceeds its step
 // budget without settling.
@@ -91,6 +111,11 @@ var ErrStepLimit = sim.ErrStepLimit
 
 // ErrBadInput reports invalid identifiers or topology.
 var ErrBadInput = errors.New("asynccycle: invalid input")
+
+// ErrBudget is the sentinel wrapped by the error returned when a run is
+// stopped by Config.Context or Config.Budget. The accompanying Result is
+// the valid partial execution up to the stopping point.
+var ErrBudget = runctl.ErrBudget
 
 func (c *Config) scheduler() Scheduler {
 	if c == nil || c.Scheduler == nil {
@@ -121,6 +146,15 @@ func runOn[V any](g graph.Graph, nodes []sim.Node[V], cfg *Config) (Result, erro
 			}
 			e.CrashAfter(i, k)
 		}
+	}
+	if cfg != nil && (cfg.Context != nil || !cfg.Budget.IsZero()) {
+		b := cfg.Budget
+		b.MaxSteps = runctl.Min(cfg.maxSteps(g.N()), b.MaxSteps)
+		res, reason := e.RunBudget(cfg.Context, cfg.scheduler(), b)
+		if reason != runctl.StopNone {
+			return res, fmt.Errorf("%w: %s", ErrBudget, reason)
+		}
+		return res, nil
 	}
 	return e.Run(cfg.scheduler(), cfg.maxSteps(g.N()))
 }
@@ -225,6 +259,20 @@ type ConcurrentConfig struct {
 	Seed int64
 	// Yield makes each process yield the scheduler between rounds.
 	Yield bool
+	// Context, when non-nil, cancels the run: node goroutines stop between
+	// rounds once it is done and the call returns the partial Result with
+	// an error wrapping ErrBudget.
+	Context context.Context
+}
+
+// concRun executes the goroutine runtime and normalizes a cancellation
+// into the facade's ErrBudget sentinel.
+func concRun[V any](g graph.Graph, nodes []sim.Node[V], cfg *ConcurrentConfig) (Result, error) {
+	res, err := conc.Run(g, nodes, cfg.options())
+	if errors.Is(err, conc.ErrCancelled) {
+		return res, fmt.Errorf("%w: %v", ErrBudget, err)
+	}
+	return res, err
 }
 
 func (c *ConcurrentConfig) options() conc.Options {
@@ -236,6 +284,7 @@ func (c *ConcurrentConfig) options() conc.Options {
 		Jitter:     durationFromNanos(c.Jitter),
 		Seed:       c.Seed,
 		Yield:      c.Yield,
+		Context:    c.Context,
 	}
 }
 
@@ -248,7 +297,7 @@ func FiveColorCycleConcurrent(xs []int, cfg *ConcurrentConfig) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return conc.Run(g, core.NewFiveNodes(xs), cfg.options())
+	return concRun(g, core.NewFiveNodes(xs), cfg)
 }
 
 // FastColorCycleConcurrent runs Algorithm 3 with one goroutine per process.
@@ -260,7 +309,7 @@ func FastColorCycleConcurrent(xs []int, cfg *ConcurrentConfig) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return conc.Run(g, core.NewFastNodes(xs), cfg.options())
+	return concRun(g, core.NewFastNodes(xs), cfg)
 }
 
 // SixColorCycleConcurrent runs Algorithm 1 with one goroutine per process.
@@ -272,5 +321,5 @@ func SixColorCycleConcurrent(xs []int, cfg *ConcurrentConfig) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	return conc.Run(g, core.NewPairNodes(xs), cfg.options())
+	return concRun(g, core.NewPairNodes(xs), cfg)
 }

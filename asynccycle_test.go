@@ -202,29 +202,37 @@ func TestConcurrentValidation(t *testing.T) {
 }
 
 // TestF1LivelockWitness is the regression test for repository finding F1:
-// under the paper-literal simultaneous-round semantics, the alternating
+// under the paper-literal simultaneous-round semantics, a two-phase
 // lockstep schedule drives Algorithm 2 on C5 into a period-2 livelock
 // (step limit exceeded), while the same schedule under the standard
 // interleaved semantics terminates quickly.
+//
+// The livelock needs the odd-index class to move first. Alternating now
+// (correctly, per its documentation) starts with the even class, so the
+// witness phase-shifts it by one step: a Sleep wrapper withholds the even
+// class on step 1.
 func TestF1LivelockWitness(t *testing.T) {
 	ids := incIDs(5)
+	oddFirst := func() asynccycle.Scheduler {
+		return asynccycle.Sleep([]int{0, 2, 4}, 2, asynccycle.Alternating())
+	}
 
 	_, err := asynccycle.FiveColorCycle(ids, &asynccycle.Config{
-		Scheduler: asynccycle.Alternating(),
+		Scheduler: oddFirst(),
 		Mode:      asynccycle.ModeSimultaneous,
 		MaxSteps:  5_000,
 	})
 	if !errors.Is(err, asynccycle.ErrStepLimit) {
-		t.Errorf("simultaneous alternating on C5: err = %v, want ErrStepLimit (livelock)", err)
+		t.Errorf("simultaneous odd-first alternation on C5: err = %v, want ErrStepLimit (livelock)", err)
 	}
 
 	res, err := asynccycle.FiveColorCycle(ids, &asynccycle.Config{
-		Scheduler: asynccycle.Alternating(),
+		Scheduler: oddFirst(),
 		Mode:      asynccycle.ModeInterleaved,
 		MaxSteps:  5_000,
 	})
 	if err != nil {
-		t.Fatalf("interleaved alternating on C5: %v", err)
+		t.Fatalf("interleaved odd-first alternation on C5: %v", err)
 	}
 	if res.TerminatedCount() != 5 {
 		t.Errorf("interleaved: %d/5 terminated", res.TerminatedCount())

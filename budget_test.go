@@ -1,0 +1,75 @@
+package asynccycle_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"asynccycle"
+)
+
+// A cancelled context stops a deterministic run between steps: the error
+// wraps ErrBudget and the partial Result is still a valid prefix.
+func TestConfigContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := asynccycle.FastColorCycle(asynccycle.GenerateIDs(50, 1), &asynccycle.Config{Context: ctx})
+	if !errors.Is(err, asynccycle.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if res.TerminatedCount() != 0 {
+		t.Errorf("pre-cancelled run terminated %d processes", res.TerminatedCount())
+	}
+}
+
+// An activation budget stops the run once the total round count reaches
+// the bound; the partial coloring it returns is still proper.
+func TestConfigBudgetActivations(t *testing.T) {
+	n := 50
+	res, err := asynccycle.FiveColorCycle(asynccycle.GenerateIDs(n, 1), &asynccycle.Config{
+		Scheduler: asynccycle.RoundRobin(1),
+		Budget:    asynccycle.Budget{MaxActivations: 10},
+	})
+	if !errors.Is(err, asynccycle.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+	if res.TerminatedCount() >= n {
+		t.Errorf("budgeted run terminated everyone (%d/%d)", res.TerminatedCount(), n)
+	}
+}
+
+// A generous budget changes nothing: the run completes with a nil error
+// and the same result as the un-budgeted path.
+func TestConfigBudgetGenerous(t *testing.T) {
+	xs := asynccycle.GenerateIDs(30, 3)
+	base, err := asynccycle.FastColorCycle(xs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := asynccycle.FastColorCycle(xs, &asynccycle.Config{
+		Context: context.Background(),
+		Budget:  asynccycle.Budget{MaxActivations: 1 << 20},
+	})
+	if err != nil {
+		t.Fatalf("generous budget tripped: %v", err)
+	}
+	for i := range base.Outputs {
+		if base.Outputs[i] != budgeted.Outputs[i] {
+			t.Fatalf("output %d differs: %d vs %d", i, base.Outputs[i], budgeted.Outputs[i])
+		}
+	}
+}
+
+// The concurrent runtime honors ConcurrentConfig.Context, reporting the
+// cancellation through the same ErrBudget sentinel.
+func TestConcurrentConfigContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := asynccycle.FastColorCycleConcurrent(asynccycle.GenerateIDs(20, 1), &asynccycle.ConcurrentConfig{
+		Context: ctx,
+		Yield:   true,
+	})
+	if !errors.Is(err, asynccycle.ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}

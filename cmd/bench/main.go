@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	bench [-out BENCH_core.json] [-quick]
+//	bench [-out BENCH_core.json] [-quick] [-cpuprofile FILE] [-memprofile FILE]
 //
 // The suite pairs each optimized path with its baseline so the file
 // documents the speedups directly: the parallel experiment harness vs its
@@ -25,6 +25,7 @@ import (
 	"asynccycle/internal/graph"
 	"asynccycle/internal/ids"
 	"asynccycle/internal/model"
+	"asynccycle/internal/prof"
 	"asynccycle/internal/sim"
 )
 
@@ -46,8 +47,19 @@ type report struct {
 func main() {
 	out := flag.String("out", "BENCH_core.json", "output file")
 	quick := flag.Bool("quick", false, "shrink workloads for a smoke run")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
-	if err := run(*out, *quick); err != nil {
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	err = run(*out, *quick)
+	if perr := stopProf(); err == nil {
+		err = perr
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}

@@ -7,6 +7,7 @@
 //	colorcycle [-alg fast|five|six] [-n 100] [-ids random|increasing|zigzag]
 //	           [-sched sync|rr|random|one|alt|burst] [-seed 1]
 //	           [-crash 0.2] [-trace] [-concurrent]
+//	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // With -concurrent the run uses one goroutine per node (the -sched and
 // -trace flags do not apply: scheduling comes from the Go runtime).
@@ -23,6 +24,7 @@ import (
 	"asynccycle/internal/core"
 	"asynccycle/internal/graph"
 	"asynccycle/internal/ids"
+	"asynccycle/internal/prof"
 	"asynccycle/internal/schedule"
 	"asynccycle/internal/sim"
 	"asynccycle/internal/trace"
@@ -45,9 +47,21 @@ func run(args []string, w io.Writer) error {
 	crash := fs.Float64("crash", 0, "fraction of processes to crash at adversarial times")
 	withTrace := fs.Bool("trace", false, "print the execution trace")
 	concurrent := fs.Bool("concurrent", false, "run with one goroutine per node instead of the deterministic engine")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "colorcycle: profile:", err)
+		}
+	}()
 
 	g, err := graph.Cycle(*n)
 	if err != nil {

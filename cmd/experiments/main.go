@@ -5,10 +5,17 @@
 // Usage:
 //
 //	experiments [-quick] [-seed N] [-only E3,E4] [-format text|markdown|csv]
-//	            [-parallel N]
+//	            [-parallel N] [-timeout 5m] [-progress 1s] [-metrics-json -]
+//	            [-cpuprofile FILE] [-memprofile FILE]
+//
+// A run stopped by -timeout still prints every requested table: sweeps cut
+// short come back marked [PARTIAL: reason] with only their completed cells
+// aggregated, and experiments that never started are stubbed, so truncation
+// is never silent.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,24 +23,76 @@ import (
 	"strings"
 
 	"asynccycle/internal/expt"
+	"asynccycle/internal/metrics"
+	"asynccycle/internal/prof"
+	"asynccycle/internal/runctl"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(args []string, w, ew io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "shrink parameter sweeps for a fast run")
 	seed := fs.Int64("seed", 1, "random seed for workloads and schedulers")
 	only := fs.String("only", "", "comma-separated experiment IDs to run (e.g. E3,E4,F1)")
 	format := fs.String("format", "text", "output format: text, markdown, or csv")
 	parallel := fs.Int("parallel", 0, "sweep-cell workers per experiment (0 = GOMAXPROCS, 1 = serial); tables are byte-identical at every setting")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); cut-short tables are marked PARTIAL")
+	progress := fs.Duration("progress", 0, "print a progress line to stderr every interval (0 = off)")
+	metricsJSON := fs.String("metrics-json", "", "write the final metrics snapshot as JSON to this file (\"-\" = stderr)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(ew, "experiments: profile:", err)
+		}
+	}()
+
+	var ctx context.Context
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+	}
+	var met *metrics.Run
+	if *progress > 0 || *metricsJSON != "" {
+		met = metrics.NewRun()
+	}
+	if *progress > 0 {
+		defer metrics.StartProgress(ew, *progress, met)()
+	}
+	if *metricsJSON != "" {
+		defer func() {
+			out := ew
+			var f *os.File
+			if *metricsJSON != "-" {
+				var err error
+				if f, err = os.Create(*metricsJSON); err != nil {
+					fmt.Fprintln(ew, "experiments: metrics:", err)
+					return
+				}
+				out = f
+			}
+			if err := met.Snapshot().WriteJSON(out); err != nil {
+				fmt.Fprintln(ew, "experiments: metrics:", err)
+			}
+			if f != nil {
+				f.Close()
+			}
+		}()
 	}
 
 	var render func(*expt.Table) error
@@ -58,13 +117,22 @@ func run(args []string, w io.Writer) error {
 		}
 	}
 
-	opt := expt.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel}
+	opt := expt.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel, Context: ctx, Metrics: met}
 	ran := 0
 	for _, r := range expt.Runners() {
 		if len(want) > 0 && !want[r.ID] {
 			continue
 		}
-		if err := render(r.Run(opt)); err != nil {
+		var tb *expt.Table
+		if ctx != nil && ctx.Err() != nil {
+			// Budget exhausted before this experiment started: stub it so the
+			// output still lists everything that was asked for.
+			tb = &expt.Table{ID: r.ID, Title: "not run"}
+			tb.MarkPartial(runctl.Reason(ctx), 0, 0)
+		} else {
+			tb = r.Run(opt)
+		}
+		if err := render(tb); err != nil {
 			return err
 		}
 		ran++

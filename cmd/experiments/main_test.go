@@ -1,13 +1,14 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
 
 func TestRunOnlyOneExperiment(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-quick", "-only", "E5"}, &b); err != nil {
+	if err := run([]string{"-quick", "-only", "E5"}, &b, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -21,7 +22,7 @@ func TestRunOnlyOneExperiment(t *testing.T) {
 
 func TestRunOnlyCaseInsensitive(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-quick", "-only", "e5, f1"}, &b); err != nil {
+	if err := run([]string{"-quick", "-only", "e5, f1"}, &b, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -32,14 +33,14 @@ func TestRunOnlyCaseInsensitive(t *testing.T) {
 
 func TestRunUnknownOnly(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-only", "E99"}, &b); err == nil {
+	if err := run([]string{"-only", "E99"}, &b, io.Discard); err == nil {
 		t.Fatal("expected error for unknown experiment id")
 	}
 }
 
 func TestRunMarkdownFormat(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-quick", "-only", "E5", "-format", "markdown"}, &b); err != nil {
+	if err := run([]string{"-quick", "-only", "E5", "-format", "markdown"}, &b, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	out := b.String()
@@ -50,7 +51,7 @@ func TestRunMarkdownFormat(t *testing.T) {
 
 func TestRunCSVFormat(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-quick", "-only", "E5", "-format", "csv"}, &b); err != nil {
+	if err := run([]string{"-quick", "-only", "E5", "-format", "csv"}, &b, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
@@ -67,7 +68,38 @@ func TestRunCSVFormat(t *testing.T) {
 
 func TestRunBadFormat(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-format", "xml"}, &b); err == nil {
+	if err := run([]string{"-format", "xml"}, &b, io.Discard); err == nil {
 		t.Fatal("expected error for unknown format")
+	}
+}
+
+// A wall-clock budget cuts the suite short but never silently: tables that
+// lost cells carry the [PARTIAL] marker, and the run still exits clean.
+func TestRunTimeoutMarksPartial(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-only", "E2", "-timeout", "1ms"}, &b, io.Discard); err != nil {
+		t.Fatalf("budgeted run should exit clean, got: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "E2 —") {
+		t.Errorf("E2 table missing:\n%s", out)
+	}
+	if !strings.Contains(out, "[PARTIAL: timeout]") {
+		t.Errorf("partial marker missing:\n%s", out)
+	}
+}
+
+// -progress and -metrics-json surface sweep-cell counters on stderr.
+func TestRunProgressAndMetricsJSON(t *testing.T) {
+	var b, e strings.Builder
+	if err := run([]string{"-quick", "-only", "E1", "-progress", "1ms", "-metrics-json", "-"}, &b, &e); err != nil {
+		t.Fatal(err)
+	}
+	errOut := e.String()
+	if !strings.Contains(errOut, "progress:") {
+		t.Errorf("no progress lines on stderr:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "\"cells_total\"") {
+		t.Errorf("metrics JSON snapshot missing cell counters:\n%s", errOut)
 	}
 }

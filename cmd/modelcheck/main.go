@@ -7,6 +7,12 @@
 //
 //	modelcheck [-alg fast|five|six|mis-greedy|mis-impatient|renaming]
 //	           [-n 3] [-mode interleaved|simultaneous] [-worst] [-workers N]
+//	           [-timeout 30s] [-max-states N] [-progress 1s] [-metrics-json -]
+//	           [-cpuprofile FILE] [-memprofile FILE]
+//
+// A run stopped by -timeout or -max-states exits 0 with a report explicitly
+// marked PARTIAL: the verdicts cover exactly the explored region. Safety
+// violations always exit 1, partial or not.
 package main
 
 import (
@@ -19,31 +25,77 @@ import (
 	"asynccycle/internal/core"
 	"asynccycle/internal/graph"
 	"asynccycle/internal/ids"
+	"asynccycle/internal/metrics"
 	"asynccycle/internal/mis"
 	"asynccycle/internal/model"
+	"asynccycle/internal/prof"
 	"asynccycle/internal/renaming"
+	"asynccycle/internal/runctl"
 	"asynccycle/internal/schedule"
 	"asynccycle/internal/sim"
 	"asynccycle/internal/stats"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "modelcheck:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, w io.Writer) error {
+func run(args []string, w, ew io.Writer) error {
 	fs := flag.NewFlagSet("modelcheck", flag.ContinueOnError)
 	alg := fs.String("alg", "fast", "algorithm: fast|five|six|mis-greedy|mis-impatient|renaming")
 	n := fs.Int("n", 3, "instance size (3–5 recommended)")
 	modeStr := fs.String("mode", "interleaved", "activation semantics: interleaved|simultaneous")
 	worst := fs.Bool("worst", false, "also compute exact worst-case per-process rounds")
-	maxStates := fs.Int("max-states", 5_000_000, "state budget")
+	maxStates := fs.Int("max-states", 5_000_000, "state budget; a tripped budget yields a PARTIAL report")
 	workers := fs.Int("workers", 1, "frontier-parallel exploration workers (1 = serial DFS)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = none); a tripped budget yields a PARTIAL report, exit 0")
+	progress := fs.Duration("progress", 0, "print a progress line to stderr every interval (0 = off)")
+	metricsJSON := fs.String("metrics-json", "", "write the final metrics snapshot as JSON to this file (\"-\" = stderr)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(ew, "modelcheck: profile:", err)
+		}
+	}()
+
+	var met *metrics.Run
+	if *progress > 0 || *metricsJSON != "" {
+		met = metrics.NewRun()
+	}
+	if *progress > 0 {
+		defer metrics.StartProgress(ew, *progress, met)()
+	}
+	if *metricsJSON != "" {
+		defer func() {
+			out := ew
+			var f *os.File
+			if *metricsJSON != "-" {
+				var err error
+				if f, err = os.Create(*metricsJSON); err != nil {
+					fmt.Fprintln(ew, "modelcheck: metrics:", err)
+					return
+				}
+				out = f
+			}
+			if err := met.Snapshot().WriteJSON(out); err != nil {
+				fmt.Fprintln(ew, "modelcheck: metrics:", err)
+			}
+			if f != nil {
+				f.Close()
+			}
+		}()
 	}
 
 	var mode sim.Mode
@@ -58,7 +110,13 @@ func run(args []string, w io.Writer) error {
 	// Under interleaved semantics, subset schedules are equivalent to
 	// sequences of singleton activations; explore singletons only.
 	single := mode == sim.ModeInterleaved
-	opt := model.Options{SingletonsOnly: single, MaxStates: *maxStates, Workers: *workers}
+	opt := model.Options{
+		SingletonsOnly: single,
+		MaxStates:      *maxStates,
+		Workers:        *workers,
+		Budget:         runctl.Budget{Timeout: *timeout},
+		Metrics:        met,
+	}
 	xs := ids.MustGenerate(ids.Increasing, *n, 0)
 
 	switch *alg {
@@ -171,6 +229,9 @@ func checkAlg[V any](w io.Writer, g graph.Graph, nodes []sim.Node[V], mode sim.M
 			fmt.Fprintf(w, "livelock witness: prefix=%s loop=%s\n", prefix, loop)
 		}
 	}
+	if rep.Partial {
+		fmt.Fprintf(w, "PARTIAL (%s): exploration stopped early; verdicts cover the explored region only\n", rep.StopReason)
+	}
 	if worst {
 		e2, err := sim.NewEngine(g, cloneNodes(nodes))
 		if err != nil {
@@ -184,7 +245,7 @@ func checkAlg[V any](w io.Writer, g graph.Graph, nodes []sim.Node[V], mode sim.M
 			fmt.Fprintf(w, "worst-case analysis inconclusive: %s\n", wrep)
 		}
 	}
-	if !rep.Ok() && !rep.CycleFound {
+	if len(rep.Violations) > 0 {
 		return fmt.Errorf("verification failed")
 	}
 	return nil

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"io"
 	"strings"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 func TestRunVerifiesAlgorithms(t *testing.T) {
 	for _, alg := range []string{"fast", "five", "six"} {
 		var b strings.Builder
-		if err := run([]string{"-alg", alg, "-n", "3", "-worst"}, &b); err != nil {
+		if err := run([]string{"-alg", alg, "-n", "3", "-worst"}, &b, io.Discard); err != nil {
 			t.Fatalf("%s: %v", alg, err)
 		}
 		out := b.String()
@@ -23,7 +24,7 @@ func TestRunVerifiesAlgorithms(t *testing.T) {
 
 func TestRunFindsMISLivelock(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-alg", "mis-greedy", "-n", "3"}, &b); err != nil {
+	if err := run([]string{"-alg", "mis-greedy", "-n", "3"}, &b, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "NOT WAIT-FREE") {
@@ -33,7 +34,7 @@ func TestRunFindsMISLivelock(t *testing.T) {
 
 func TestRunFindsMISViolation(t *testing.T) {
 	var b strings.Builder
-	err := run([]string{"-alg", "mis-impatient", "-n", "3"}, &b)
+	err := run([]string{"-alg", "mis-impatient", "-n", "3"}, &b, io.Discard)
 	if err == nil {
 		t.Fatal("impatient MIS should fail verification")
 	}
@@ -44,7 +45,7 @@ func TestRunFindsMISViolation(t *testing.T) {
 
 func TestRunSimultaneousModeFindsF1(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-alg", "five", "-n", "3", "-mode", "simultaneous"}, &b); err != nil {
+	if err := run([]string{"-alg", "five", "-n", "3", "-mode", "simultaneous"}, &b, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "NOT WAIT-FREE") {
@@ -54,7 +55,7 @@ func TestRunSimultaneousModeFindsF1(t *testing.T) {
 
 func TestRunRenaming(t *testing.T) {
 	var b strings.Builder
-	if err := run([]string{"-alg", "renaming", "-n", "3"}, &b); err != nil {
+	if err := run([]string{"-alg", "renaming", "-n", "3"}, &b, io.Discard); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "cycle=false") {
@@ -70,8 +71,52 @@ func TestRunErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var b strings.Builder
-		if err := run(args, &b); err == nil {
+		if err := run(args, &b, io.Discard); err == nil {
 			t.Errorf("args %v: expected error", args)
 		}
+	}
+}
+
+// The acceptance smoke: a wall-clock budget on an oversized instance must
+// exit 0 (nil error) with a report explicitly marked PARTIAL.
+func TestRunTimeoutYieldsPartialReport(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-alg", "fast", "-n", "5", "-timeout", "1ms"}, &b, io.Discard); err != nil {
+		t.Fatalf("budgeted run should exit clean, got: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "PARTIAL") {
+		t.Errorf("partial report not marked:\n%s", out)
+	}
+	if !strings.Contains(out, "timeout") {
+		t.Errorf("stop reason missing:\n%s", out)
+	}
+}
+
+// -progress and -metrics-json both write to stderr ("-" selects it for the
+// JSON snapshot); the progress stop always prints a final line.
+func TestRunProgressAndMetricsJSON(t *testing.T) {
+	var b, e strings.Builder
+	if err := run([]string{"-alg", "five", "-n", "3", "-progress", "1ms", "-metrics-json", "-"}, &b, &e); err != nil {
+		t.Fatal(err)
+	}
+	errOut := e.String()
+	if !strings.Contains(errOut, "progress:") {
+		t.Errorf("no progress lines on stderr:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "\"states\"") || !strings.Contains(errOut, "\"states_per_sec\"") {
+		t.Errorf("metrics JSON snapshot missing:\n%s", errOut)
+	}
+}
+
+// -max-states is a budget, not a failure: the truncated report is labeled
+// and the exit is clean.
+func TestRunMaxStatesPartial(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-alg", "fast", "-n", "4", "-max-states", "100"}, &b, io.Discard); err != nil {
+		t.Fatalf("state-budgeted run should exit clean, got: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "PARTIAL") {
+		t.Errorf("partial report not marked:\n%s", b.String())
 	}
 }

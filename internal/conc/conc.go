@@ -17,6 +17,7 @@
 package conc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"asynccycle/internal/graph"
+	"asynccycle/internal/metrics"
 	"asynccycle/internal/sim"
 )
 
@@ -46,6 +48,15 @@ type Options struct {
 	// Yield, when true, calls runtime.Gosched between rounds (cheap
 	// interleaving pressure without timers).
 	Yield bool
+	// Context, when non-nil, cancels the run: every node goroutine checks
+	// it between rounds and stops claiming further rounds once it is done.
+	// Run then returns the partial Result assembled so far together with an
+	// error wrapping ErrCancelled. Nodes interrupted this way are neither
+	// done nor crashed in the Result.
+	Context context.Context
+	// Metrics, when non-nil, receives live Activations counts (one per
+	// completed node round).
+	Metrics *metrics.Run
 }
 
 // DefaultMaxRounds is the per-node round cap used when Options.MaxRounds
@@ -57,6 +68,11 @@ const DefaultMaxRounds = 1 << 20
 // terminating — a liveness failure, since all the paper's algorithms are
 // wait-free.
 var ErrRoundLimit = errors.New("conc: node exceeded round limit")
+
+// ErrCancelled is returned (wrapped) when Options.Context stopped the run
+// before every node settled. The accompanying Result is the partial
+// progress at cancellation time.
+var ErrCancelled = errors.New("conc: run cancelled")
 
 // Run executes nodes[i] at vertex i of g until every non-crashed node has
 // terminated. It is safe to call concurrently with other Runs but the
@@ -91,8 +107,13 @@ func Run[V any](g graph.Graph, nodes []sim.Node[V], opt Options) (sim.Result, er
 	crashed := make([]bool, n)
 	acts := make([]int, n)
 	overLimit := make([]bool, n)
+	interrupted := make([]bool, n)
 	for i := range outputs {
 		outputs[i] = -1
+	}
+	var cancelled <-chan struct{}
+	if opt.Context != nil {
+		cancelled = opt.Context.Done()
 	}
 
 	var wg sync.WaitGroup
@@ -113,6 +134,14 @@ func Run[V any](g graph.Graph, nodes []sim.Node[V], opt Options) (sim.Result, er
 			nbrs := g.Neighbors(i)
 			view := make([]sim.Cell[V], len(nbrs))
 			for round := 1; ; round++ {
+				if cancelled != nil {
+					select {
+					case <-cancelled:
+						interrupted[i] = true
+						return
+					default:
+					}
+				}
 				if round > maxRounds {
 					overLimit[i] = true
 					return
@@ -132,6 +161,9 @@ func Run[V any](g graph.Graph, nodes []sim.Node[V], opt Options) (sim.Result, er
 
 				dec := node.Observe(view)
 				acts[i] = round
+				if opt.Metrics != nil {
+					opt.Metrics.Activations.Inc()
+				}
 				if dec.Return {
 					done[i] = true
 					outputs[i] = dec.Output
@@ -161,6 +193,11 @@ func Run[V any](g graph.Graph, nodes []sim.Node[V], opt Options) (sim.Result, er
 	for _, over := range overLimit {
 		if over {
 			return res, fmt.Errorf("%w (%d rounds)", ErrRoundLimit, maxRounds)
+		}
+	}
+	for i, stopped := range interrupted {
+		if stopped {
+			return res, fmt.Errorf("%w: node %d stopped after %d rounds", ErrCancelled, i, acts[i])
 		}
 	}
 	return res, nil

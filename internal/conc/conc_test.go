@@ -1,6 +1,7 @@
 package conc_test
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -12,6 +13,7 @@ import (
 	"asynccycle/internal/core"
 	"asynccycle/internal/graph"
 	"asynccycle/internal/ids"
+	"asynccycle/internal/metrics"
 	"asynccycle/internal/sim"
 )
 
@@ -213,5 +215,41 @@ func TestConcurrentOnCompleteGraph(t *testing.T) {
 	}
 	if err := check.ProperColoring(g, res); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := graph.MustCycle(3)
+	nodes := []sim.Node[int]{&spinner{}, &spinner{}, &spinner{}}
+	res, err := conc.Run(g, nodes, conc.Options{Context: ctx})
+	if !errors.Is(err, conc.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	for i := range res.Done {
+		if res.Done[i] || res.Crashed[i] {
+			t.Fatalf("cancelled node %d marked done=%v crashed=%v", i, res.Done[i], res.Crashed[i])
+		}
+	}
+}
+
+func TestRunContextCompletes(t *testing.T) {
+	g := graph.MustCycle(3)
+	m := metrics.NewRun()
+	xs := ids.MustGenerate(ids.Increasing, 3, 0)
+	res, err := conc.Run(g, core.NewFiveNodes(xs), conc.Options{Context: context.Background(), Metrics: m, Yield: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TerminatedCount() != 3 {
+		t.Fatalf("terminated = %d, want 3", res.TerminatedCount())
+	}
+	total := 0
+	for _, a := range res.Activations {
+		total += a
+	}
+	if got := m.Snapshot().Activations; got != int64(total) {
+		t.Fatalf("metrics activations = %d, result says %d", got, total)
 	}
 }

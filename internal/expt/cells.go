@@ -2,7 +2,11 @@ package expt
 
 import (
 	"fmt"
+	"runtime"
 
+	"asynccycle/internal/metrics"
+	"asynccycle/internal/par"
+	"asynccycle/internal/runctl"
 	"asynccycle/internal/schedule"
 )
 
@@ -19,6 +23,64 @@ import (
 //
 // Together these make every Table byte-identical across parallelism levels
 // (asserted by TestParallelSerialEquivalence).
+
+// mapCells is the run-controlled fan-out every runner uses: par.MapCtx
+// over the sweep cells, publishing CellsTotal/CellsDone and per-worker
+// utilization into o.Metrics (when set) and marking tb Partial when the
+// context stopped the pool before every cell ran. It returns the results
+// (input order, as always) plus the done mask; merge loops must skip cells
+// whose done entry is false — their result slot is the zero value.
+//
+// With a nil o.Context this degenerates to exactly par.Map's behavior, so
+// un-budgeted tables stay byte-identical at every parallelism level.
+func mapCells[T, R any](o Options, tb *Table, cells []T, f func(i int, c T) R) ([]R, []bool) {
+	work := f
+	var ws *metrics.WorkerStats
+	if o.Metrics != nil {
+		o.Metrics.CellsTotal.Add(int64(len(cells)))
+		nw := o.workers()
+		if nw <= 0 {
+			nw = runtime.GOMAXPROCS(0)
+		}
+		if nw > len(cells) {
+			nw = len(cells)
+		}
+		if ws = o.Metrics.Workers(); ws.N() != nw {
+			ws = o.Metrics.SetWorkers(nw)
+		}
+		work = func(i int, c T) R {
+			r := f(i, c)
+			o.Metrics.CellsDone.Inc()
+			return r
+		}
+	}
+	out, done := par.MapCtx(o.Context, o.workers(), cells, ws, work)
+	if skipped := len(cells) - countDone(done); skipped > 0 {
+		tb.MarkPartial(runctl.Reason(o.Context), skipped, len(cells))
+	}
+	return out, done
+}
+
+func countDone(done []bool) int {
+	n := 0
+	for _, d := range done {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+// rowComplete reports whether every cell in done[from:to) ran — merge
+// loops use it to decide whether a table row's aggregate is trustworthy.
+func rowComplete(done []bool, from, to int) bool {
+	for i := from; i < to && i < len(done); i++ {
+		if !done[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // cellSeed derives a deterministic non-zero seed from the experiment ID
 // and the cell coordinates (FNV-1a over their %v renderings). It replaces

@@ -10,10 +10,14 @@
 package expt
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"strings"
+
+	"asynccycle/internal/metrics"
+	"asynccycle/internal/runctl"
 )
 
 // Table is one experiment's output: a titled grid of string cells.
@@ -23,6 +27,16 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+
+	// Partial reports the sweep was cut short (cancelled context or tripped
+	// budget): rows cover only the fully explored cells, and the rendered
+	// title carries an explicit [PARTIAL: reason] marker so truncation is
+	// never silent.
+	Partial bool
+	// StopReason labels why a Partial sweep stopped.
+	StopReason runctl.StopReason
+	// Unexplored counts the sweep cells that never ran.
+	Unexplored int
 }
 
 // AddRow appends a row, formatting each cell with %v.
@@ -44,10 +58,31 @@ func (t *Table) AddNote(format string, args ...any) {
 	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
 }
 
+// MarkPartial records that skipped of total sweep cells never ran (the
+// context was cancelled or a budget tripped) and adds an explicit note, so
+// a truncated table can never be mistaken for a complete one. Calling it
+// again accumulates the skipped count but keeps the first reason.
+func (t *Table) MarkPartial(reason runctl.StopReason, skipped, total int) {
+	t.Partial = true
+	if t.StopReason == runctl.StopNone {
+		t.StopReason = reason
+	}
+	t.Unexplored += skipped
+	t.AddNote("PARTIAL (%s): %d of %d sweep cells unexplored; rows aggregate completed cells only", reason, skipped, total)
+}
+
+// heading renders the title line, with the partial marker when truncated.
+func (t *Table) heading() string {
+	if t.Partial {
+		return fmt.Sprintf("%s — %s [PARTIAL: %s]", t.ID, t.Title, t.StopReason)
+	}
+	return fmt.Sprintf("%s — %s", t.ID, t.Title)
+}
+
 // WriteTo renders the table as aligned text.
 func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "%s\n", t.heading())
 
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
@@ -100,7 +135,7 @@ func (t *Table) String() string {
 // WriteMarkdown renders the table as a GitHub-flavored Markdown section.
 func (t *Table) WriteMarkdown(w io.Writer) error {
 	var b strings.Builder
-	fmt.Fprintf(&b, "## %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "## %s\n\n", t.heading())
 	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
 	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
 	for _, row := range t.Rows {
@@ -149,6 +184,16 @@ type Options struct {
 	// its seeds from its own coordinates (see cellSeed), and results merge
 	// in enumeration order.
 	Parallelism int
+	// Context, when non-nil, cancels the sweeps: workers stop claiming new
+	// cells once it is done, and the affected tables come back marked
+	// Partial with the unexplored cell count. Rows aggregate only cells
+	// that completed, so partial tables are truthful about what ran. A nil
+	// Context (the default) leaves behavior and output byte-identical.
+	Context context.Context
+	// Metrics, when non-nil, receives live sweep progress: CellsTotal /
+	// CellsDone counters and per-worker utilization, plus whatever the
+	// underlying engines and model-checker runs publish.
+	Metrics *metrics.Run
 }
 
 func (o Options) seed() int64 {
@@ -191,11 +236,20 @@ func Runners() []Runner {
 	}
 }
 
-// All runs every experiment in order.
+// All runs every experiment in order. Once o.Context is cancelled the
+// remaining experiments are not started; each contributes a stub table
+// marked Partial instead, so the output always lists the full suite and
+// says explicitly which parts never ran.
 func All(o Options) []*Table {
 	runners := Runners()
 	tables := make([]*Table, len(runners))
 	for i, r := range runners {
+		if o.Context != nil && o.Context.Err() != nil {
+			t := &Table{ID: r.ID, Title: "not run"}
+			t.MarkPartial(runctl.Reason(o.Context), 0, 0)
+			tables[i] = t
+			continue
+		}
 		tables[i] = r.Run(o)
 	}
 	return tables

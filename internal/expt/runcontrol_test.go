@@ -1,0 +1,109 @@
+package expt
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"asynccycle/internal/metrics"
+	"asynccycle/internal/runctl"
+)
+
+// A pre-cancelled context must yield a table explicitly marked Partial:
+// no silent truncation, unexplored cells counted, the [PARTIAL] marker in
+// every rendering.
+func TestCancelledSweepMarksTablePartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tb := E1Alg1Termination(Options{Quick: true, Context: ctx})
+	if !tb.Partial {
+		t.Fatalf("table not marked Partial after pre-cancelled context")
+	}
+	if tb.StopReason != runctl.StopCancelled {
+		t.Fatalf("StopReason = %q, want %q", tb.StopReason, runctl.StopCancelled)
+	}
+	if tb.Unexplored == 0 {
+		t.Fatalf("Unexplored = 0, want > 0")
+	}
+	if len(tb.Rows) != 0 {
+		t.Fatalf("pre-cancelled sweep produced %d rows, want 0 (no row is complete)", len(tb.Rows))
+	}
+	txt := tb.String()
+	if !strings.Contains(txt, "[PARTIAL: cancelled]") {
+		t.Fatalf("text rendering lacks partial marker:\n%s", txt)
+	}
+	var md strings.Builder
+	if err := tb.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "[PARTIAL: cancelled]") {
+		t.Fatalf("markdown rendering lacks partial marker:\n%s", md.String())
+	}
+}
+
+// A live context must leave tables byte-identical to the context-free run:
+// the run-control plumbing may not perturb deterministic output.
+func TestLiveContextKeepsTablesIdentical(t *testing.T) {
+	base := E3Alg3LogStar(Options{Quick: true, Seed: 7})
+	ctxed := E3Alg3LogStar(Options{Quick: true, Seed: 7, Context: context.Background()})
+	if base.String() != ctxed.String() {
+		t.Fatalf("live context changed output:\n--- nil context:\n%s\n--- live context:\n%s", base, ctxed)
+	}
+	if ctxed.Partial {
+		t.Fatalf("live context marked table partial")
+	}
+}
+
+// All with a context that dies mid-suite must stub the unstarted
+// experiments rather than dropping them: the output always lists the full
+// suite.
+func TestAllStubsUnstartedExperiments(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tables := All(Options{Quick: true, Context: ctx})
+	if want := len(Runners()); len(tables) != want {
+		t.Fatalf("All returned %d tables, want %d", len(tables), want)
+	}
+	for _, tb := range tables {
+		if !tb.Partial {
+			t.Fatalf("table %s not marked Partial", tb.ID)
+		}
+	}
+}
+
+// Sweeps publish CellsTotal/CellsDone into Options.Metrics; a complete run
+// reports every cell done.
+func TestSweepPublishesCellMetrics(t *testing.T) {
+	m := metrics.NewRun()
+	E1Alg1Termination(Options{Quick: true, Metrics: m})
+	s := m.Snapshot()
+	if s.CellsTotal == 0 {
+		t.Fatalf("CellsTotal = 0 after a sweep")
+	}
+	if s.CellsDone != s.CellsTotal {
+		t.Fatalf("CellsDone = %d, CellsTotal = %d; complete run should finish every cell", s.CellsDone, s.CellsTotal)
+	}
+	if len(s.WorkerItems) == 0 {
+		t.Fatalf("no per-worker stats recorded")
+	}
+}
+
+// A sweep under a tight deadline returns quickly with a Partial table (or,
+// if the deadline happens to outlast the quick sweep, a complete one) —
+// either way it must not hang and must label truncation.
+func TestTimeoutSweepReturnsPromptly(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	tb := E2Alg2Linear(Options{Context: ctx}) // full (non-quick) sweep: seconds of work
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("budgeted sweep took %v", elapsed)
+	}
+	if !tb.Partial {
+		t.Fatalf("1ms deadline on the full E2 sweep did not mark the table partial")
+	}
+	if tb.StopReason != runctl.StopTimeout {
+		t.Fatalf("StopReason = %q, want %q", tb.StopReason, runctl.StopTimeout)
+	}
+}

@@ -13,7 +13,6 @@ import (
 	"asynccycle/internal/locale"
 	"asynccycle/internal/mis"
 	"asynccycle/internal/model"
-	"asynccycle/internal/par"
 	"asynccycle/internal/renaming"
 	"asynccycle/internal/schedule"
 	"asynccycle/internal/sim"
@@ -68,7 +67,7 @@ func E1Alg1Termination(o Options) *Table {
 			cells = append(cells, cell{n: n, exact: true})
 		}
 	}
-	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+	results, done := mapCells(o, t, cells, func(_ int, c cell) result {
 		g := graph.MustCycle(c.n)
 		if c.exact {
 			e, _ := sim.NewEngine(g, core.NewPairNodes(ids.MustGenerate(ids.Increasing, c.n, 0)))
@@ -90,10 +89,14 @@ func E1Alg1Termination(o Options) *Table {
 	})
 	i := 0
 	for _, n := range sizes {
+		rowStart := i
 		maxActs := 0
 		proper, palette := true, true
 		exact := "-"
 		for ; i < len(cells) && cells[i].n == n; i++ {
+			if !done[i] {
+				continue
+			}
 			r := results[i]
 			if cells[i].exact {
 				exact = r.exact
@@ -108,6 +111,9 @@ func E1Alg1Termination(o Options) *Table {
 			}
 			proper = proper && !r.properBad
 			palette = palette && !r.paletteBad
+		}
+		if !rowComplete(done, rowStart, i) {
+			continue
 		}
 		t.AddRow(n, 3*n/2+4, maxActs, exact, proper, palette)
 	}
@@ -147,7 +153,7 @@ func E2Alg2Linear(o Options) *Table {
 			}
 		}
 	}
-	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+	results, done := mapCells(o, t, cells, func(_ int, c cell) result {
 		g := graph.MustCycle(c.n)
 		xs := ids.MustGenerate(c.a, c.n, cellSeed(o.seed(), "E2", c.n, c.a))
 		seed := cellSeed(o.seed(), "E2", c.n, c.a, c.spec.name)
@@ -163,9 +169,13 @@ func E2Alg2Linear(o Options) *Table {
 	var xsF, ysF []float64
 	i := 0
 	for _, n := range sizes {
+		rowStart := i
 		worstIncr, worstRand := 0, 0
 		proper, palette := true, true
 		for ; i < len(cells) && cells[i].n == n; i++ {
+			if !done[i] {
+				continue
+			}
 			c, r := cells[i], results[i]
 			if r.note != "" {
 				t.AddNote("%s", r.note)
@@ -179,6 +189,9 @@ func E2Alg2Linear(o Options) *Table {
 			}
 			proper = proper && !r.properBad
 			palette = palette && !r.paletteBad
+		}
+		if !rowComplete(done, rowStart, i) {
+			continue
 		}
 		chain := ids.LongestMonotoneChain(ids.MustGenerate(ids.Increasing, n, 0))
 		t.AddRow(n, chain, worstIncr, worstRand, proper, palette)
@@ -232,7 +245,7 @@ func E3Alg3LogStar(o Options) *Table {
 		}
 		cells = append(cells, cell{n: n, probe: true})
 	}
-	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+	results, done := mapCells(o, t, cells, func(_ int, c cell) result {
 		g := graph.MustCycle(c.n)
 		if c.probe {
 			// Measure the reduction effort directly: the r counter counts
@@ -263,10 +276,14 @@ func E3Alg3LogStar(o Options) *Table {
 	})
 	i := 0
 	for _, n := range sizes {
+		rowStart := i
 		worst := map[ids.Assignment]int{}
 		maxR := 0
 		proper, palette := true, true
 		for ; i < len(cells) && cells[i].n == n; i++ {
+			if !done[i] {
+				continue
+			}
 			c, r := cells[i], results[i]
 			if c.probe {
 				maxR = r.maxR
@@ -281,6 +298,9 @@ func E3Alg3LogStar(o Options) *Table {
 			}
 			proper = proper && !r.properBad
 			palette = palette && !r.paletteBad
+		}
+		if !rowComplete(done, rowStart, i) {
+			continue
 		}
 		t.AddRow(n, cv.LogStar(float64(n)), worst[ids.Increasing], worst[ids.SpacedIncreasing], worst[ids.Random], maxR, proper, palette)
 	}
@@ -315,7 +335,7 @@ func E4Crossover(o Options) *Table {
 	for _, n := range sizes {
 		cells = append(cells, cell{n: n}, cell{n: n, fast: true})
 	}
-	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+	results, done := mapCells(o, t, cells, func(_ int, c cell) result {
 		g := graph.MustCycle(c.n)
 		xs := ids.MustGenerate(ids.Increasing, c.n, 0)
 		var res sim.Result
@@ -331,6 +351,9 @@ func E4Crossover(o Options) *Table {
 		return result{maxActs: res.MaxActivations()}
 	})
 	for i, n := range sizes {
+		if !done[2*i] || !done[2*i+1] {
+			continue
+		}
 		r2, r3 := results[2*i], results[2*i+1]
 		if r2.err != nil || r3.err != nil {
 			t.AddNote("n=%d: alg2 err=%v alg3 err=%v", n, r2.err, r3.err)
@@ -390,7 +413,7 @@ func E6CrashTolerance(o Options) *Table {
 		}
 	}
 	g := graph.MustCycle(n)
-	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+	results, done := mapCells(o, t, cells, func(_ int, c cell) result {
 		seed := cellSeed(o.seed(), "E6", n, c.frac, c.alg)
 		crashes := crashPlan(n, c.frac, seed)
 		xs := ids.MustGenerate(ids.Random, n, seed)
@@ -417,6 +440,9 @@ func E6CrashTolerance(o Options) *Table {
 		}
 	})
 	for i, c := range cells {
+		if !done[i] {
+			continue
+		}
 		r := results[i]
 		if r.note != "" {
 			t.AddNote("%s", r.note)
@@ -478,7 +504,7 @@ func E7MISImpossibility(o Options) *Table {
 	for _, n := range sizes {
 		cells = append(cells, cell{n: n, greedy: true}, cell{n: n})
 	}
-	results := par.Map(o.workers(), cells, func(_ int, c cell) model.Report {
+	results, done := mapCells(o, t, cells, func(_ int, c cell) model.Report {
 		g := graph.MustCycle(c.n)
 		xs := ids.MustGenerate(ids.Increasing, c.n, 0)
 		var nodes []sim.Node[mis.Val]
@@ -491,6 +517,9 @@ func E7MISImpossibility(o Options) *Table {
 		return model.Explore(e, model.Options{SingletonsOnly: true}, misInvariant(g))
 	})
 	for i, c := range cells {
+		if !done[i] {
+			continue
+		}
 		rep := results[i]
 		label := "impatient(2)"
 		if c.greedy {
@@ -531,7 +560,7 @@ func E8PaletteTightness(o Options) *Table {
 		maxColor int
 	}
 	sizes := []int{3, 4, 5}
-	results := par.Map(o.workers(), sizes, func(_ int, n int) result {
+	results, done := mapCells(o, t, sizes, func(_ int, n int) result {
 		g := graph.MustCycle(n)
 		xs := ids.MustGenerate(ids.Increasing, n, 0)
 		maxColor := 0
@@ -552,6 +581,9 @@ func E8PaletteTightness(o Options) *Table {
 		return result{rep: rep, maxColor: maxColor}
 	})
 	for i, n := range sizes {
+		if !done[i] {
+			continue
+		}
 		r := results[i]
 		t.AddRow(n, r.rep.States, r.rep.Terminal, r.maxColor, len(r.rep.Violations))
 	}
@@ -596,7 +628,7 @@ func E9GeneralGraphs(o Options) *Table {
 			cells = append(cells, cell{dims: dims, spec: sp})
 		}
 	}
-	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+	results, done := mapCells(o, t, cells, func(_ int, c cell) result {
 		var g graph.Graph
 		var xs []int
 		delta := 0
@@ -648,6 +680,9 @@ func E9GeneralGraphs(o Options) *Table {
 		proper, palette := true, true
 		graphErr := ""
 		for i := base; i < base+nspecs; i++ {
+			if !done[i] {
+				continue
+			}
 			r := results[i]
 			if r.graphErr != "" {
 				graphErr = r.graphErr
@@ -670,6 +705,9 @@ func E9GeneralGraphs(o Options) *Table {
 		}
 		if graphErr != "" {
 			t.AddNote("%s", graphErr)
+			continue
+		}
+		if !rowComplete(done, base, base+nspecs) {
 			continue
 		}
 		label := fmt.Sprintf("%d", c.n)
@@ -701,7 +739,7 @@ func E10SyncBaseline(o Options) *Table {
 		proper bool
 		note   string
 	}
-	results := par.Map(o.workers(), sizes, func(_ int, n int) result {
+	results, done := mapCells(o, t, sizes, func(_ int, n int) result {
 		xs := ids.MustGenerate(ids.Random, n, cellSeed(o.seed(), "E10", n))
 		colors, rounds, err := locale.ThreeColorCycle(xs)
 		if err != nil {
@@ -720,6 +758,9 @@ func E10SyncBaseline(o Options) *Table {
 		return r
 	})
 	for i, n := range sizes {
+		if !done[i] {
+			continue
+		}
 		r := results[i]
 		if r.note != "" {
 			t.AddNote("%s", r.note)
@@ -764,7 +805,7 @@ func E11Renaming(o Options) *Table {
 			cells = append(cells, cell{n: n, exact: true})
 		}
 	}
-	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+	results, done := mapCells(o, t, cells, func(_ int, c cell) result {
 		g, err := graph.Complete(c.n)
 		if err != nil {
 			return result{note: fmt.Sprintf("n=%d: %v", c.n, err)}
@@ -799,10 +840,14 @@ func E11Renaming(o Options) *Table {
 	})
 	i := 0
 	for _, n := range sizes {
+		rowStart := i
 		maxName, worstActs := 0, 0
 		unique := true
 		exhaustive := "-"
 		for ; i < len(cells) && cells[i].n == n; i++ {
+			if !done[i] {
+				continue
+			}
 			r := results[i]
 			if cells[i].exact {
 				exhaustive = r.exhaustive
@@ -819,6 +864,9 @@ func E11Renaming(o Options) *Table {
 				worstActs = r.maxActs
 			}
 			unique = unique && !r.uniqueBad
+		}
+		if !rowComplete(done, rowStart, i) {
+			continue
 		}
 		t.AddRow(n, renaming.MaxName(n), maxName, worstActs, unique, exhaustive)
 	}
@@ -874,7 +922,7 @@ func E12IdentifierInvariant(o Options) *Table {
 			}
 		}
 	}
-	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+	results, done := mapCells(o, t, cells, func(_ int, c cell) result {
 		g := graph.MustCycle(c.n)
 		xs := ids.MustGenerate(c.a, c.n, cellSeed(o.seed(), "E12", c.n, c.a))
 		seed := cellSeed(o.seed(), "E12", c.n, c.a, c.spec.name)
@@ -890,8 +938,12 @@ func E12IdentifierInvariant(o Options) *Table {
 	i := 0
 	for _, n := range sizes {
 		for _, a := range assignments {
+			rowStart := i
 			totalSteps, violations, nscheds := 0, 0, 0
 			for ; i < len(cells) && cells[i].n == n && cells[i].a == a; i++ {
+				if !done[i] {
+					continue
+				}
 				r := results[i]
 				if r.note != "" {
 					t.AddNote("%s", r.note)
@@ -900,6 +952,9 @@ func E12IdentifierInvariant(o Options) *Table {
 				totalSteps += r.steps
 				violations += r.violations
 				nscheds++
+			}
+			if !rowComplete(done, rowStart, i) {
+				continue
 			}
 			t.AddRow(n, a.String(), nscheds, totalSteps, violations)
 		}
@@ -940,7 +995,7 @@ func E13Concurrent(o Options) *Table {
 			cells = append(cells, cell{n: n, alg: alg})
 		}
 	}
-	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+	results, done := mapCells(o, t, cells, func(_ int, c cell) result {
 		g := graph.MustCycle(c.n)
 		seed := cellSeed(o.seed(), "E13", c.n, c.alg)
 		xs := ids.MustGenerate(ids.Random, c.n, seed)
@@ -976,6 +1031,9 @@ func E13Concurrent(o Options) *Table {
 		}
 	})
 	for i, c := range cells {
+		if !done[i] {
+			continue
+		}
 		r := results[i]
 		if r.note != "" {
 			t.AddNote("%s", r.note)
@@ -1023,7 +1081,7 @@ func F1Livelock(o Options) *Table {
 			}
 		}
 	}
-	results := par.Map(o.workers(), cells, func(_ int, c cell) model.Report {
+	results, done := mapCells(o, t, cells, func(_ int, c cell) model.Report {
 		g := graph.MustCycle(c.n)
 		xs := ids.MustGenerate(ids.Increasing, c.n, 0)
 		mopt := model.Options{SingletonsOnly: c.cfg.single}
@@ -1043,9 +1101,12 @@ func F1Livelock(o Options) *Table {
 		}
 	})
 	for i, c := range cells {
+		if !done[i] {
+			continue
+		}
 		t.AddRow(c.alg, c.n, c.cfg.mode.String(), c.cfg.label, results[i].CycleFound)
 	}
 	t.AddNote("safety (proper coloring, palette) holds in BOTH modes for all three algorithms — only liveness differs")
-	t.AddNote("the concrete witness: C5, alternating lockstep schedule, Algorithm 2 oscillates with period 2 (see TestF1 in the root test suite)")
+	t.AddNote("the concrete witness: C5, odd-class-first two-phase lockstep schedule, Algorithm 2 oscillates with period 2 (see TestF1 in the root test suite)")
 	return t
 }

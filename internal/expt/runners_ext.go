@@ -11,7 +11,6 @@ import (
 	"asynccycle/internal/ids"
 	"asynccycle/internal/mis"
 	"asynccycle/internal/model"
-	"asynccycle/internal/par"
 	"asynccycle/internal/schedule"
 	"asynccycle/internal/sim"
 	"asynccycle/internal/ssb"
@@ -52,7 +51,7 @@ func E14Decoupled(o Options) *Table {
 			cells = append(cells, cell{n: n, spec: sp})
 		}
 	}
-	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+	results, done := mapCells(o, t, cells, func(_ int, c cell) result {
 		n := c.n
 		g := graph.MustCycle(n)
 		xs := ids.MustGenerate(ids.Random, n, cellSeed(o.seed(), "E14", n))
@@ -92,6 +91,9 @@ func E14Decoupled(o Options) *Table {
 		return r
 	})
 	for i, c := range cells {
+		if !done[i] {
+			continue
+		}
 		r := results[i]
 		if r.note != "" {
 			t.AddNote("%s", r.note)
@@ -128,7 +130,7 @@ func E15SSBReduction(o Options) *Table {
 	for _, n := range sizes {
 		cells = append(cells, cell{n: n, greedy: true}, cell{n: n})
 	}
-	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+	results, done := mapCells(o, t, cells, func(_ int, c cell) result {
 		gK, err := graph.Complete(c.n)
 		if err != nil {
 			return result{note: fmt.Sprintf("n=%d: %v", c.n, err)}
@@ -151,6 +153,9 @@ func E15SSBReduction(o Options) *Table {
 		return result{rep: model.Explore(e, model.Options{SingletonsOnly: true}, inv)}
 	})
 	for i, c := range cells {
+		if !done[i] {
+			continue
+		}
 		r := results[i]
 		if r.note != "" {
 			t.AddNote("%s", r.note)
@@ -203,7 +208,7 @@ func E16ProgressClasses(o Options) *Table {
 	for _, ck := range checks {
 		cells = append(cells, cell{alg: -1, check: ck})
 	}
-	results := par.Map(o.workers(), cells, func(_ int, c cell) bool {
+	results, done := mapCells(o, t, cells, func(_ int, c cell) bool {
 		if c.alg >= 0 {
 			e, _ := sim.NewEngine(g, algs[c.alg].mk())
 			switch c.check {
@@ -230,6 +235,9 @@ func E16ProgressClasses(o Options) *Table {
 		}
 	})
 	for i := 0; i < len(cells); i += len(checks) {
+		if !rowComplete(done, i, i+len(checks)) {
+			continue
+		}
 		label := "greedy MIS"
 		if cells[i].alg >= 0 {
 			label = algs[cells[i].alg].label
@@ -311,7 +319,7 @@ func E17Ablations(o Options) *Table {
 	for vi := range variants {
 		cells = append(cells, cell{vi: vi, explore: true}, cell{vi: vi})
 	}
-	results := par.Map(o.workers(), cells, func(_ int, c cell) result {
+	results, done := mapCells(o, t, cells, func(_ int, c cell) result {
 		v := variants[c.vi]
 		if c.explore {
 			g4 := graph.MustCycle(4)
@@ -341,6 +349,9 @@ func E17Ablations(o Options) *Table {
 		return r
 	})
 	for i := 0; i < len(cells); i += 2 {
+		if !rowComplete(done, i, i+2) {
+			continue
+		}
 		exp, run := results[i], results[i+1]
 		t.AddRow(variants[cells[i].vi].label, exp.lemma45, !(exp.properViolated || run.properViolated), run.acts)
 	}

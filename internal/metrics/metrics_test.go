@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterAndGaugeConcurrent(t *testing.T) {
+	var c Counter
+	var g Gauge
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				g.SetMax(int64(w*1000 + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Load())
+	}
+	if g.Load() != 7999 {
+		t.Errorf("max gauge = %d, want 7999", g.Load())
+	}
+	g.Set(5)
+	g.SetMax(3) // lower: must not move
+	if g.Load() != 5 {
+		t.Errorf("SetMax lowered the gauge to %d", g.Load())
+	}
+}
+
+func TestRunSnapshot(t *testing.T) {
+	r := NewRun()
+	r.States.Add(100)
+	r.Terminal.Add(7)
+	r.FrontierDepth.SetMax(13)
+	r.VisitedSize.Set(100)
+	r.Steps.Add(42)
+	r.Activations.Add(84)
+	r.CellsTotal.Add(10)
+	r.CellsDone.Add(4)
+	ws := r.SetWorkers(2)
+	ws.Record(0, time.Millisecond)
+	ws.Record(1, 2*time.Millisecond)
+	ws.Record(99, time.Hour) // out of range: ignored
+	(*WorkerStats)(nil).Record(0, time.Hour)
+
+	s := r.Snapshot()
+	if s.States != 100 || s.Terminal != 7 || s.FrontierDepth != 13 || s.Steps != 42 ||
+		s.Activations != 84 || s.CellsDone != 4 || s.CellsTotal != 10 {
+		t.Errorf("snapshot fields wrong: %+v", s)
+	}
+	if s.StatesPerSec <= 0 {
+		t.Errorf("states/sec = %v, want positive", s.StatesPerSec)
+	}
+	if len(s.WorkerItems) != 2 || s.WorkerItems[0] != 1 || s.WorkerItems[1] != 1 {
+		t.Errorf("worker items = %v", s.WorkerItems)
+	}
+	if len(s.WorkerUtilization) != 2 || s.WorkerUtilization[1] <= 0 {
+		t.Errorf("worker utilization = %v", s.WorkerUtilization)
+	}
+
+	line := s.String()
+	for _, frag := range []string{"states=100", "cells=4/10", "workers=2"} {
+		if !strings.Contains(line, frag) {
+			t.Errorf("progress line %q missing %q", line, frag)
+		}
+	}
+}
+
+func TestNilRunSnapshot(t *testing.T) {
+	var r *Run
+	if s := r.Snapshot(); s.States != 0 || s.CellsTotal != 0 {
+		t.Errorf("nil Run snapshot not zero: %+v", s)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRun()
+	r.States.Add(5)
+	var b strings.Builder
+	if err := r.Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(b.String()), &back); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, b.String())
+	}
+	if back.States != 5 {
+		t.Errorf("round-tripped states = %d, want 5", back.States)
+	}
+}
+
+func TestStartProgress(t *testing.T) {
+	var mu sync.Mutex
+	var b strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	r := NewRun()
+	r.States.Add(3)
+	stop := StartProgress(w, 5*time.Millisecond, r)
+	time.Sleep(30 * time.Millisecond)
+	stop()
+	mu.Lock()
+	out := b.String()
+	mu.Unlock()
+	if !strings.Contains(out, "progress: ") || !strings.Contains(out, "states=3") {
+		t.Errorf("progress output missing status lines:\n%s", out)
+	}
+	if !strings.Contains(out, "(final)") {
+		t.Errorf("stop() did not print the final line:\n%s", out)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

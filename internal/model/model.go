@@ -19,8 +19,11 @@
 package model
 
 import (
+	"context"
 	"fmt"
 
+	"asynccycle/internal/metrics"
+	"asynccycle/internal/runctl"
 	"asynccycle/internal/sim"
 )
 
@@ -52,6 +55,22 @@ type Options struct {
 	// used before compact hashing — slower and allocation-heavy, kept for
 	// differential testing against the compact 128-bit tables.
 	StringFingerprints bool
+	// Context, when non-nil, cancels the exploration early: the checker
+	// stops claiming new branches (polled every few hundred states, so
+	// cancellation lands promptly) and returns the partial Report for the
+	// region explored so far, labeled with a StopReason. A nil Context
+	// leaves the hot path entirely unaffected.
+	Context context.Context
+	// Budget adds wall-clock and size bounds on top of the explicit
+	// MaxDepth/MaxStates options: Budget.Timeout stops the run after that
+	// much wall-clock, and Budget.MaxStates/Budget.MaxSteps tighten
+	// MaxStates/MaxDepth when smaller (the smaller positive bound wins).
+	Budget runctl.Budget
+	// Metrics, when non-nil, receives live progress: States/Terminal
+	// counters, FrontierDepth and VisitedSize gauges, HashCollisions. With
+	// Workers > 1 every worker publishes into the same sink (counters sum
+	// across workers; VisitedSize tracks the largest per-worker table).
+	Metrics *metrics.Run
 }
 
 // DefaultMaxDepth and DefaultMaxStates are generous bounds for n ≤ 5.
@@ -71,7 +90,27 @@ func (o Options) withDefaults() Options {
 	if o.MaxViolations <= 0 {
 		o.MaxViolations = defaultMaxViolations
 	}
+	// Budget bounds tighten the explicit options: smaller positive wins.
+	o.MaxDepth = runctl.Min(o.MaxDepth, o.Budget.MaxSteps)
+	o.MaxStates = runctl.Min(o.MaxStates, o.Budget.MaxStates)
 	return o
+}
+
+// withTimeout folds Budget.Timeout into Options.Context so every layer
+// (serial DFS, parallel workers, longest-path analysis) watches a single
+// shared deadline. The returned cancel must be called to release the timer.
+func (o Options) withTimeout() (Options, context.CancelFunc) {
+	if o.Budget.Timeout <= 0 {
+		return o, func() {}
+	}
+	ctx := o.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithTimeout(ctx, o.Budget.Timeout)
+	o.Context = ctx
+	o.Budget.Timeout = 0
+	return o, cancel
 }
 
 // Report summarizes an exploration.
@@ -106,18 +145,41 @@ type Report struct {
 	// through the full-string fallback (see fpset.go). Expected to be 0 on
 	// every realistic instance; always 0 with Options.StringFingerprints.
 	HashCollisions int
+	// Partial reports that the run stopped before exhausting the schedule
+	// space — a budget tripped or the context was cancelled. All counts
+	// then cover exactly the explored region (never garbage, never silent
+	// truncation) and are lower bounds on the true values.
+	Partial bool
+	// StopReason labels why a Partial run stopped (runctl.StopCancelled,
+	// StopTimeout, StopMaxStates, StopMaxDepth, ...); empty when the run
+	// completed.
+	StopReason runctl.StopReason
 }
 
 // Ok reports whether the exploration was exhaustive and found neither
 // invariant violations nor non-termination cycles.
 func (r Report) Ok() bool {
-	return !r.Truncated && !r.CycleFound && len(r.Violations) == 0
+	return !r.Truncated && !r.Partial && !r.CycleFound && len(r.Violations) == 0
 }
 
-// String renders a one-line summary.
+// noteStop records the first stop reason and marks the report partial.
+func (r *Report) noteStop(reason runctl.StopReason) {
+	r.Partial = true
+	if r.StopReason == runctl.StopNone {
+		r.StopReason = reason
+	}
+}
+
+// String renders a one-line summary. Partial runs carry an explicit
+// marker; complete runs render exactly as before budgets existed, keeping
+// recorded outputs byte-identical.
 func (r Report) String() string {
-	return fmt.Sprintf("states=%d terminal=%d cycle=%t violations=%d truncated=%t deepest=%d",
+	s := fmt.Sprintf("states=%d terminal=%d cycle=%t violations=%d truncated=%t deepest=%d",
 		r.States, r.Terminal, r.CycleFound, len(r.Violations), r.Truncated, r.DeepestPath)
+	if r.Partial {
+		s += fmt.Sprintf(" [PARTIAL: %s]", r.StopReason)
+	}
+	return s
 }
 
 // Invariant is a per-configuration safety check; return a non-nil error to
@@ -132,7 +194,9 @@ type explorer[V any] struct {
 	path      [][]int    // activation sets from the root to the current state
 	pathFPs   []stateKey // keys of the states along the path
 	report    Report
-	interrupt bool
+	interrupt bool             // context/deadline tripped: unwind without exploring
+	ck        *runctl.Checker  // nil when un-budgeted (zero polling cost)
+	met       *metrics.Run     // nil when observability is off
 	free      []*sim.Engine[V] // discarded branch engines, recycled by CloneInto
 
 	// Key collection, enabled only by the parallel frontier so worker
@@ -148,6 +212,8 @@ func newExplorer[V any](opt Options) *explorer[V] {
 		opt:     opt.withDefaults(),
 		visited: newStateTable[struct{}](opt.StringFingerprints),
 		onStack: newStateTable[struct{}](opt.StringFingerprints),
+		ck:      runctl.NewChecker(opt.Context, opt.Budget.Timeout),
+		met:     opt.Metrics,
 	}
 }
 
@@ -186,8 +252,15 @@ func copySteps(steps [][]int) [][]int {
 // Explore exhaustively runs every schedule of the given initial engine
 // within the option bounds, checking inv (which may be nil) at every
 // reachable configuration, including the initial one.
+//
+// When opt.Context is cancelled or a Budget axis trips, Explore stops
+// promptly and returns a partial Report (Partial true, StopReason set)
+// whose counts cover exactly the states visited so far — always a
+// prefix-consistent subset of the full exploration.
 func Explore[V any](root *sim.Engine[V], opt Options, inv Invariant[V]) Report {
 	opt = opt.withDefaults()
+	opt, cancel := opt.withTimeout()
+	defer cancel()
 	if opt.Workers > 1 {
 		return exploreParallel(root, opt, inv)
 	}
@@ -195,11 +268,22 @@ func Explore[V any](root *sim.Engine[V], opt Options, inv Invariant[V]) Report {
 	x.inv = inv
 	x.dfs(root, 0)
 	x.report.HashCollisions = x.visited.hashCollisions() + x.onStack.hashCollisions()
+	if x.met != nil {
+		x.met.HashCollisions.Add(int64(x.report.HashCollisions))
+	}
 	return x.report
 }
 
 func (x *explorer[V]) dfs(e *sim.Engine[V], depth int) {
 	if x.interrupt {
+		return
+	}
+	if reason, stop := x.ck.Check(); stop {
+		// Context cancelled or deadline passed: unwind the whole stack
+		// without claiming further states; everything counted so far stays.
+		x.interrupt = true
+		x.report.Truncated = true
+		x.report.noteStop(reason)
 		return
 	}
 	if depth > x.report.DeepestPath {
@@ -232,6 +316,11 @@ func (x *explorer[V]) dfs(e *sim.Engine[V], depth int) {
 	if x.collectKeys {
 		x.keys[k] = struct{}{}
 	}
+	if x.met != nil {
+		x.met.States.Inc()
+		x.met.FrontierDepth.SetMax(int64(depth))
+		x.met.VisitedSize.SetMax(int64(x.visited.length()))
+	}
 	if x.inv != nil {
 		if err := x.inv(e); err != nil {
 			if len(x.report.Violations) == 0 {
@@ -247,13 +336,24 @@ func (x *explorer[V]) dfs(e *sim.Engine[V], depth int) {
 	}
 	if e.AllDone() {
 		x.report.Terminal++
+		if x.met != nil {
+			x.met.Terminal.Inc()
+		}
 		if x.collectKeys {
 			x.terminalKeys[k] = struct{}{}
 		}
 		return
 	}
-	if depth >= x.opt.MaxDepth || x.report.States >= x.opt.MaxStates {
+	if depth >= x.opt.MaxDepth {
+		// Prune this branch but keep exploring siblings: depth bounds are a
+		// per-path horizon, not a global stop.
 		x.report.Truncated = true
+		x.report.noteStop(runctl.StopMaxDepth)
+		return
+	}
+	if x.report.States >= x.opt.MaxStates {
+		x.report.Truncated = true
+		x.report.noteStop(runctl.StopMaxStates)
 		return
 	}
 
@@ -286,25 +386,32 @@ func (x *explorer[V]) dfs(e *sim.Engine[V], depth int) {
 // infinite, or bounds truncated the exploration); the report describes why.
 func WorstActivations[V any](root *sim.Engine[V], opt Options) ([]int, bool, Report) {
 	opt = opt.withDefaults()
+	opt, cancel := opt.withTimeout()
+	defer cancel()
 	w := &worst[V]{
 		opt:  opt,
 		memo: newStateTable[[]int](opt.StringFingerprints),
 		onSt: newStateTable[struct{}](opt.StringFingerprints),
 		zero: make([]int, root.N()),
+		ck:   runctl.NewChecker(opt.Context, opt.Budget.Timeout),
+		met:  opt.Metrics,
 	}
 	vec := w.dfs(root, 0)
 	w.report.HashCollisions = w.memo.hashCollisions() + w.onSt.hashCollisions()
-	ok := !w.report.CycleFound && !w.report.Truncated
+	ok := !w.report.CycleFound && !w.report.Truncated && !w.report.Partial
 	return vec, ok, w.report
 }
 
 type worst[V any] struct {
-	opt    Options
-	memo   *stateTable[[]int]
-	onSt   *stateTable[struct{}]
-	report Report
-	zero   []int // shared all-zeros vector; callers must not mutate results
-	free   []*sim.Engine[V]
+	opt       Options
+	memo      *stateTable[[]int]
+	onSt      *stateTable[struct{}]
+	report    Report
+	zero      []int // shared all-zeros vector; callers must not mutate results
+	free      []*sim.Engine[V]
+	interrupt bool
+	ck        *runctl.Checker
+	met       *metrics.Run
 }
 
 func (w *worst[V]) key(e *sim.Engine[V]) stateKey {
@@ -326,6 +433,17 @@ func (w *worst[V]) clone(e *sim.Engine[V]) *sim.Engine[V] {
 
 func (w *worst[V]) dfs(e *sim.Engine[V], depth int) []int {
 	n := e.N()
+	if w.interrupt {
+		return w.zero
+	}
+	if reason, stop := w.ck.Check(); stop {
+		// An interrupted longest-path analysis cannot certify any supremum:
+		// mark the run partial and let every frame unwind with zeros.
+		w.interrupt = true
+		w.report.Truncated = true
+		w.report.noteStop(reason)
+		return w.zero
+	}
 	if depth > w.report.DeepestPath {
 		w.report.DeepestPath = depth
 	}
@@ -341,10 +459,20 @@ func (w *worst[V]) dfs(e *sim.Engine[V], depth int) []int {
 	if e.AllDone() {
 		w.report.Terminal++
 		w.memo.put(k, strFn, w.zero)
+		if w.met != nil {
+			w.met.States.Inc()
+			w.met.Terminal.Inc()
+		}
 		return w.zero
 	}
-	if depth >= w.opt.MaxDepth || w.memo.length() >= w.opt.MaxStates {
+	if depth >= w.opt.MaxDepth {
 		w.report.Truncated = true
+		w.report.noteStop(runctl.StopMaxDepth)
+		return w.zero
+	}
+	if w.memo.length() >= w.opt.MaxStates {
+		w.report.Truncated = true
+		w.report.noteStop(runctl.StopMaxStates)
 		return w.zero
 	}
 	working := workingSet(e)
@@ -373,10 +501,18 @@ func (w *worst[V]) dfs(e *sim.Engine[V], depth int) []int {
 			}
 		}
 		w.free = append(w.free, child)
+		if w.interrupt {
+			break
+		}
 	}
 	w.onSt.del(k, strFn)
 	w.memo.put(k, strFn, best)
 	w.report.States = w.memo.length()
+	if w.met != nil {
+		w.met.States.Inc()
+		w.met.FrontierDepth.SetMax(int64(depth))
+		w.met.VisitedSize.SetMax(int64(w.memo.length()))
+	}
 	return best
 }
 

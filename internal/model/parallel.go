@@ -1,7 +1,9 @@
 package model
 
 import (
+	"asynccycle/internal/metrics"
 	"asynccycle/internal/par"
+	"asynccycle/internal/runctl"
 	"asynccycle/internal/sim"
 )
 
@@ -55,7 +57,19 @@ func exploreParallel[V any](root *sim.Engine[V], opt Options, inv Invariant[V]) 
 	}
 
 	subs := subsets(working, opt.SingletonsOnly)
-	workers := par.Map(opt.Workers, subs, func(i int, subset []int) *explorer[V] {
+	var ws *metrics.WorkerStats
+	if opt.Metrics != nil {
+		nw := opt.Workers
+		if nw > len(subs) {
+			nw = len(subs)
+		}
+		ws = opt.Metrics.SetWorkers(nw)
+	}
+	// MapCtx instead of Map: on cancellation the pool stops claiming
+	// first-level subsets, and each worker's own checker interrupts its DFS,
+	// so both in-flight and queued work stop promptly. Without a context the
+	// behavior (and the merged report) is identical to par.Map.
+	workers, done := par.MapCtx(opt.Context, opt.Workers, subs, ws, func(i int, subset []int) *explorer[V] {
 		x := newExplorer[V](opt)
 		x.inv = inv
 		x.collectKeys = true
@@ -77,11 +91,20 @@ func exploreParallel[V any](root *sim.Engine[V], opt Options, inv Invariant[V]) 
 	keys := map[stateKey]struct{}{rootKey: {}}
 	terminals := make(map[stateKey]struct{})
 	vioSeen := make(map[stateKey]bool)
-	for _, x := range workers {
+	for i, x := range workers {
 		if x == nil {
+			// Subset never claimed (cancelled before a worker picked it up):
+			// its region is entirely unexplored.
+			if !done[i] {
+				rep.Truncated = true
+				rep.noteStop(runctl.Reason(opt.Context))
+			}
 			continue
 		}
 		r := &x.report
+		if r.Partial {
+			rep.noteStop(r.StopReason)
+		}
 		for k := range x.keys {
 			keys[k] = struct{}{}
 		}
@@ -116,5 +139,8 @@ func exploreParallel[V any](root *sim.Engine[V], opt Options, inv Invariant[V]) 
 	}
 	rep.States = len(keys)
 	rep.Terminal = len(terminals)
+	if opt.Metrics != nil {
+		opt.Metrics.HashCollisions.Add(int64(rep.HashCollisions))
+	}
 	return rep
 }

@@ -12,9 +12,13 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"asynccycle/internal/metrics"
 )
 
 // Map applies f to every item, fanning the calls out over at most workers
@@ -80,4 +84,96 @@ func Map[T, R any](workers int, items []T, f func(i int, item T) R) []R {
 		panic(panicVal)
 	}
 	return out
+}
+
+// MapCtx is Map with run control and observability: workers stop claiming
+// new items once ctx is cancelled (items already being processed run to
+// completion), and each finished item is recorded into ws (which may be
+// nil). It returns the results plus a done slice marking which items
+// actually ran — out[i] is f's result when done[i], the zero value
+// otherwise. A nil ctx behaves like context.Background, making MapCtx with
+// all items done observably identical to Map: results are delivered in
+// input order under the same independence contract, so deterministic
+// callers stay byte-identical at every parallelism level.
+func MapCtx[T, R any](ctx context.Context, workers int, items []T, ws *metrics.WorkerStats, f func(i int, item T) R) ([]R, []bool) {
+	out := make([]R, len(items))
+	done := make([]bool, len(items))
+	if len(items) == 0 {
+		return out, done
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i := range items {
+			if ctx.Err() != nil {
+				return out, done
+			}
+			start := time.Now()
+			out[i] = f(i, items[i])
+			ws.Record(0, time.Since(start))
+			done[i] = true
+		}
+		return out, done
+	}
+
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Bool
+		panicVal any
+	)
+	doneCh := ctx.Done()
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-doneCh:
+					return
+				default:
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(items) || panicked.Load() {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if panicked.CompareAndSwap(false, true) {
+								panicVal = r
+							}
+						}
+					}()
+					start := time.Now()
+					out[i] = f(i, items[i])
+					ws.Record(w, time.Since(start))
+					done[i] = true
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+	return out, done
+}
+
+// AllDone reports whether every item of a MapCtx done slice ran.
+func AllDone(done []bool) bool {
+	for _, d := range done {
+		if !d {
+			return false
+		}
+	}
+	return true
 }

@@ -1,9 +1,12 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
+
+	"asynccycle/internal/metrics"
 )
 
 func TestMapOrderAndValues(t *testing.T) {
@@ -87,4 +90,80 @@ func TestMapPanicPropagates(t *testing.T) {
 		}
 		return item
 	})
+}
+
+func TestMapCtxAllDoneMatchesMap(t *testing.T) {
+	items := make([]int, 200)
+	for i := range items {
+		items[i] = i
+	}
+	want := Map(4, items, func(i, item int) int { return item * item })
+	for _, workers := range []int{1, 4, 0} {
+		got, done := MapCtx(nil, workers, items, nil, func(i, item int) int { return item * item })
+		if !AllDone(done) {
+			t.Fatalf("workers=%d: not all items done without cancellation", workers)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMapCtxStopsClaimingOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	items := make([]int, 1000)
+	var ran atomic.Int64
+	out, done := MapCtx(ctx, 4, items, nil, func(i, item int) int {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return i + 1
+	})
+	if AllDone(done) {
+		t.Fatal("cancellation did not stop the pool from claiming items")
+	}
+	// Every claimed item ran to completion and recorded its result; every
+	// unclaimed one is zero-valued.
+	completed := 0
+	for i, d := range done {
+		if d {
+			completed++
+			if out[i] != i+1 {
+				t.Fatalf("done item %d has result %d, want %d", i, out[i], i+1)
+			}
+		} else if out[i] != 0 {
+			t.Fatalf("skipped item %d has non-zero result %d", i, out[i])
+		}
+	}
+	if completed == 0 || completed == len(items) {
+		t.Fatalf("completed = %d, want strictly partial", completed)
+	}
+}
+
+func TestMapCtxSerialCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, done := MapCtx(ctx, 1, []int{1, 2, 3}, nil, func(i, item int) int { return item })
+	if AllDone(done) || done[0] {
+		t.Fatalf("pre-cancelled serial MapCtx ran items: done=%v out=%v", done, out)
+	}
+}
+
+func TestMapCtxRecordsWorkerStats(t *testing.T) {
+	r := metrics.NewRun()
+	ws := r.SetWorkers(4)
+	items := make([]int, 64)
+	_, done := MapCtx(context.Background(), 4, items, ws, func(i, item int) int { return i })
+	if !AllDone(done) {
+		t.Fatal("expected all items done")
+	}
+	total := int64(0)
+	for _, n := range r.Snapshot().WorkerItems {
+		total += n
+	}
+	if total != int64(len(items)) {
+		t.Fatalf("worker stats recorded %d items, want %d", total, len(items))
+	}
 }

@@ -1,0 +1,49 @@
+// Package prof implements the standard -cpuprofile/-memprofile pprof hooks
+// shared by every command in cmd/, so any run of the checker, the harness,
+// the bench driver, or the demo CLI can be profiled without code changes.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath (when non-empty) and returns a
+// stop function that finalizes the CPU profile and writes a heap profile
+// to memPath (when non-empty). Call the stop function exactly once, on
+// every exit path — typically via defer right after a successful Start.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("prof: create mem profile: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // get up-to-date allocation statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("prof: write mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

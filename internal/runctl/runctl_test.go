@@ -1,0 +1,102 @@
+package runctl
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestNilCheckerNeverStops(t *testing.T) {
+	var c *Checker
+	for i := 0; i < 10*checkEvery; i++ {
+		if reason, stop := c.Check(); stop || reason != StopNone {
+			t.Fatalf("nil checker stopped: %q", reason)
+		}
+	}
+	if NewChecker(nil, 0) != nil {
+		t.Error("NewChecker(nil, 0) should be nil (zero-cost path)")
+	}
+}
+
+func TestCheckerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewChecker(ctx, 0)
+	if reason, stop := c.CheckNow(); stop {
+		t.Fatalf("stopped before cancel: %q", reason)
+	}
+	cancel()
+	reason, stop := c.CheckNow()
+	if !stop || reason != StopCancelled {
+		t.Fatalf("CheckNow after cancel = (%q, %t), want (cancelled, true)", reason, stop)
+	}
+	// The amortized path must also trip within checkEvery calls.
+	c2 := NewChecker(ctx, 0)
+	tripped := false
+	for i := 0; i < checkEvery+1; i++ {
+		if _, stop := c2.Check(); stop {
+			tripped = true
+			break
+		}
+	}
+	if !tripped {
+		t.Error("amortized Check never observed the cancellation")
+	}
+}
+
+func TestCheckerDeadline(t *testing.T) {
+	c := NewChecker(nil, time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	if reason, stop := c.CheckNow(); !stop || reason != StopTimeout {
+		t.Fatalf("expired deadline = (%q, %t), want (timeout, true)", reason, stop)
+	}
+	far := NewChecker(nil, time.Hour)
+	if _, stop := far.CheckNow(); stop {
+		t.Error("distant deadline tripped immediately")
+	}
+}
+
+func TestCheckerContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond)
+	if reason, stop := NewChecker(ctx, 0).CheckNow(); !stop || reason != StopTimeout {
+		t.Fatalf("deadline-exceeded context = (%q, %t), want (timeout, true)", reason, stop)
+	}
+}
+
+func TestReason(t *testing.T) {
+	if r := Reason(nil); r != StopNone {
+		t.Errorf("Reason(nil) = %q", r)
+	}
+	if r := Reason(context.Background()); r != StopNone {
+		t.Errorf("Reason(live) = %q", r)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if r := Reason(ctx); r != StopCancelled {
+		t.Errorf("Reason(cancelled) = %q", r)
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	time.Sleep(time.Millisecond)
+	if r := Reason(dctx); r != StopTimeout {
+		t.Errorf("Reason(deadline) = %q", r)
+	}
+}
+
+func TestBudgetIsZeroAndMin(t *testing.T) {
+	if !(Budget{}).IsZero() {
+		t.Error("zero budget not IsZero")
+	}
+	if (Budget{MaxSteps: 1}).IsZero() {
+		t.Error("non-zero budget reported IsZero")
+	}
+	cases := []struct{ opt, budget, want int }{
+		{0, 0, 0}, {10, 0, 10}, {0, 5, 5}, {10, 5, 5}, {5, 10, 5},
+	}
+	for _, c := range cases {
+		if got := Min(c.opt, c.budget); got != c.want {
+			t.Errorf("Min(%d, %d) = %d, want %d", c.opt, c.budget, got, c.want)
+		}
+	}
+}

@@ -172,10 +172,11 @@ func (Alternating) Name() string { return "alternating" }
 
 // Next implements Scheduler.
 func (Alternating) Next(st State) []int {
-	parity := st.Time() % 2
+	// Time is 1-based: on odd steps (Time()%2 == 1) the even-index class
+	// moves, on even steps the odd-index class.
 	var out []int
 	for i := 0; i < st.N(); i++ {
-		if i%2 == parity && st.Working(i) {
+		if i%2 != st.Time()%2 && st.Working(i) {
 			out = append(out, i)
 		}
 	}

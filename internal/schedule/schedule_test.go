@@ -147,32 +147,48 @@ func TestRandomOne(t *testing.T) {
 	}
 }
 
-func TestAlternating(t *testing.T) {
-	st := newFakeState(5)
-	st.time = 1 // odd step: odd parity
-	got := Alternating{}.Next(st)
-	for _, i := range got {
-		if i%2 != 1 {
-			t.Fatalf("odd step chose even process: %v", got)
-		}
+// The documented contract: even-index processes move on odd steps (engine
+// time is 1-based), odd-index processes on even steps.
+func TestAlternatingParity(t *testing.T) {
+	cases := []struct {
+		time int
+		want []int
+	}{
+		{time: 1, want: []int{0, 2, 4}},
+		{time: 2, want: []int{1, 3}},
+		{time: 3, want: []int{0, 2, 4}},
+		{time: 4, want: []int{1, 3}},
+		{time: 100, want: []int{1, 3}},
+		{time: 101, want: []int{0, 2, 4}},
 	}
-	st.time = 2
-	got = Alternating{}.Next(st)
-	for _, i := range got {
-		if i%2 != 0 {
-			t.Fatalf("even step chose odd process: %v", got)
+	for _, c := range cases {
+		st := newFakeState(5)
+		st.time = c.time
+		got := Alternating{}.Next(st)
+		if len(got) != len(c.want) {
+			t.Fatalf("t=%d: Next = %v, want %v", c.time, got, c.want)
+		}
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Fatalf("t=%d: Next = %v, want %v", c.time, got, c.want)
+			}
 		}
 	}
 }
 
 func TestAlternatingFallsBackWhenClassEmpty(t *testing.T) {
 	st := newFakeState(4)
-	st.stopped[1] = true
-	st.stopped[3] = true // no odd processes left
-	st.time = 1          // odd step wants odd processes
+	st.stopped[0] = true
+	st.stopped[2] = true // no even processes left
+	st.time = 1          // odd step wants even processes
 	got := Alternating{}.Next(st)
 	if len(got) == 0 {
 		t.Fatal("alternating starved the execution with working processes left")
+	}
+	for _, i := range got {
+		if i%2 != 1 {
+			t.Fatalf("fallback chose stopped process: %v", got)
+		}
 	}
 }
 
@@ -253,5 +269,82 @@ func TestSchedulerNamesDistinct(t *testing.T) {
 			t.Errorf("duplicate scheduler name %q", s.Name())
 		}
 		names[s.Name()] = true
+	}
+}
+
+// Waking exactly at WakeAt: the boundary step itself already includes the
+// sleepers (Time() >= WakeAt), not just the steps after it.
+func TestSleepWakesExactlyAtBoundary(t *testing.T) {
+	st := newFakeState(3)
+	s := NewSleep([]int{0}, 7, Synchronous{})
+	st.time = 6
+	for _, i := range s.Next(st) {
+		if i == 0 {
+			t.Fatal("sleeper scheduled one step before WakeAt")
+		}
+	}
+	st.time = 7
+	woke := false
+	for _, i := range s.Next(st) {
+		if i == 0 {
+			woke = true
+		}
+	}
+	if !woke {
+		t.Fatal("sleeper not scheduled on the WakeAt step itself")
+	}
+}
+
+// When every working process is asleep, Sleep returns an empty step (the
+// engine's empty-streak logic handles the starvation); it must not leak a
+// sleeper early.
+func TestSleepAllAsleepYieldsEmptyStep(t *testing.T) {
+	st := newFakeState(3)
+	s := NewSleep([]int{0, 1, 2}, 50, Synchronous{})
+	st.time = 10
+	if got := s.Next(st); len(got) != 0 {
+		t.Fatalf("all-asleep step chose %v, want empty", got)
+	}
+}
+
+// A process terminating mid-burst must not bleed its remaining budget into
+// the successor: the next process gets a full fresh burst of K solo steps.
+func TestBurstMidBurstTerminationResetsBudget(t *testing.T) {
+	st := newFakeState(3)
+	b := NewBurst(3)
+	for i := 0; i < 2; i++ { // process 0 fires twice, mid-burst
+		if got := b.Next(st); len(got) != 1 || got[0] != 0 {
+			t.Fatalf("step %d chose %v, want [0]", i, got)
+		}
+	}
+	st.stopped[0] = true // terminates with one step of its burst unused
+	var order []int
+	for i := 0; i < 3; i++ {
+		got := b.Next(st)
+		if len(got) != 1 {
+			t.Fatalf("chose %v, want singleton", got)
+		}
+		order = append(order, got[0])
+	}
+	for i, want := range []int{1, 1, 1} {
+		if order[i] != want {
+			t.Fatalf("successor burst = %v, want [1 1 1] (full fresh burst)", order)
+		}
+	}
+}
+
+// With a single survivor the burst wraps around to the same process
+// indefinitely instead of stalling after one burst.
+func TestBurstSingleSurvivorWrapsAround(t *testing.T) {
+	st := newFakeState(4)
+	st.stopped[0] = true
+	st.stopped[1] = true
+	st.stopped[3] = true
+	b := NewBurst(2)
+	for i := 0; i < 7; i++ {
+		got := b.Next(st)
+		if len(got) != 1 || got[0] != 2 {
+			t.Fatalf("step %d chose %v, want [2] (sole survivor)", i, got)
+		}
 	}
 }

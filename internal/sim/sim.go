@@ -21,12 +21,15 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"asynccycle/internal/graph"
+	"asynccycle/internal/metrics"
+	"asynccycle/internal/runctl"
 	"asynccycle/internal/schedule"
 )
 
@@ -166,6 +169,8 @@ type Engine[V any] struct {
 	performedBuf []int     // Step's result slice
 	inSetBuf     []bool    // Step's dedup marks, cleared after use
 	fph          FPHasher  // FingerprintHash's streaming state
+
+	met *metrics.Run // optional observability sink; nil = off
 }
 
 // NewEngine creates an engine for the given topology and per-node state
@@ -198,6 +203,12 @@ func (e *Engine[V]) AddHook(h Hook[V]) { e.hooks = append(e.hooks, h) }
 
 // SetMode selects the activation semantics; call before the first Step.
 func (e *Engine[V]) SetMode(m Mode) { e.mode = m }
+
+// SetMetrics installs an optional metrics sink: every Step increments
+// r.Steps and charges the performed rounds to r.Activations. A nil r (the
+// default) turns publishing off; like hooks, the sink is not propagated to
+// Clone/CloneInto copies, so model-checker branches stay silent.
+func (e *Engine[V]) SetMetrics(r *metrics.Run) { e.met = r }
 
 // Mode returns the engine's activation semantics.
 func (e *Engine[V]) Mode() Mode { return e.mode }
@@ -315,6 +326,10 @@ func (e *Engine[V]) Step(active []int) []int {
 	for _, h := range e.hooks {
 		h(e, e.t, performed)
 	}
+	if e.met != nil {
+		e.met.Steps.Inc()
+		e.met.Activations.Add(int64(len(performed)))
+	}
 	return performed
 }
 
@@ -369,6 +384,54 @@ func (e *Engine[V]) Run(s schedule.Scheduler, maxSteps int) (Result, error) {
 	return e.result(), nil
 }
 
+// RunBudget is Run with run control: the execution stops early — returning
+// the partial Result so far plus a non-empty StopReason — when ctx is
+// cancelled, the budget's Timeout elapses, e.t reaches b.MaxSteps, or the
+// total rounds performed reach b.MaxActivations (each limit unbounded when
+// zero). A completed execution returns runctl.StopNone. Cancellation is
+// polled between steps (a step is atomic), so the returned Result is always
+// a consistent configuration. With a nil ctx and a zero budget, RunBudget
+// behaves exactly like Run with no step limit.
+func (e *Engine[V]) RunBudget(ctx context.Context, s schedule.Scheduler, b runctl.Budget) (Result, runctl.StopReason) {
+	ck := runctl.NewChecker(ctx, b.Timeout)
+	startActs := 0
+	for _, a := range e.acts {
+		startActs += a
+	}
+	empties := 0
+	for !e.AllSettled() {
+		if reason, stop := ck.CheckNow(); stop {
+			return e.result(), reason
+		}
+		if b.MaxSteps > 0 && e.t >= b.MaxSteps {
+			return e.result(), runctl.StopMaxSteps
+		}
+		if b.MaxActivations > 0 {
+			total := -startActs
+			for _, a := range e.acts {
+				total += a
+			}
+			if total >= b.MaxActivations {
+				return e.result(), runctl.StopActivations
+			}
+		}
+		performed := e.Step(s.Next(e))
+		if len(performed) == 0 {
+			empties++
+			if empties >= emptyStreak {
+				for i := range e.crashed {
+					if e.Working(i) {
+						e.crashed[i] = true
+					}
+				}
+			}
+		} else {
+			empties = 0
+		}
+	}
+	return e.result(), runctl.StopNone
+}
+
 func (e *Engine[V]) result() Result {
 	r := Result{
 		Outputs:     append([]int(nil), e.outputs...),
@@ -412,6 +475,7 @@ func (e *Engine[V]) CloneInto(dst *Engine[V]) *Engine[V] {
 	dst.t = e.t
 	dst.mode = e.mode
 	dst.hooks = nil
+	dst.met = nil
 	if dst.inSetBuf != nil && len(dst.inSetBuf) != len(e.nodes) {
 		dst.inSetBuf = nil // sized per instance; re-lazily allocated
 	}

@@ -1,8 +1,12 @@
 package sim_test
 
 import (
+	"context"
 	"errors"
 	"testing"
+
+	"asynccycle/internal/metrics"
+	"asynccycle/internal/runctl"
 
 	"asynccycle/internal/graph"
 	"asynccycle/internal/schedule"
@@ -404,5 +408,85 @@ func TestRunOnCompleteGraph(t *testing.T) {
 		if out != 3 {
 			t.Errorf("output %d = %d, want 3 neighbors seen", i, out)
 		}
+	}
+}
+
+func TestRunBudgetCompletes(t *testing.T) {
+	g := graph.MustCycle(4)
+	e, _ := sim.NewEngine(g, newEchoNodes(4, 3))
+	res, reason := e.RunBudget(nil, schedule.Synchronous{}, runctl.Budget{})
+	if reason != runctl.StopNone {
+		t.Fatalf("unbudgeted RunBudget stopped: %q", reason)
+	}
+	if res.TerminatedCount() != 4 {
+		t.Fatalf("terminated = %d, want 4", res.TerminatedCount())
+	}
+}
+
+func TestRunBudgetMaxSteps(t *testing.T) {
+	g := graph.MustCycle(4)
+	e, _ := sim.NewEngine(g, newEchoNodes(4, 100))
+	res, reason := e.RunBudget(nil, schedule.Synchronous{}, runctl.Budget{MaxSteps: 5})
+	if reason != runctl.StopMaxSteps {
+		t.Fatalf("reason = %q, want %q", reason, runctl.StopMaxSteps)
+	}
+	if res.Steps != 5 {
+		t.Fatalf("partial result at %d steps, want 5", res.Steps)
+	}
+	if res.TerminatedCount() != 0 {
+		t.Fatalf("no process should have finished in 5 of 100 rounds")
+	}
+}
+
+func TestRunBudgetMaxActivations(t *testing.T) {
+	g := graph.MustCycle(4)
+	e, _ := sim.NewEngine(g, newEchoNodes(4, 100))
+	res, reason := e.RunBudget(nil, schedule.Synchronous{}, runctl.Budget{MaxActivations: 10})
+	if reason != runctl.StopActivations {
+		t.Fatalf("reason = %q, want %q", reason, runctl.StopActivations)
+	}
+	total := 0
+	for _, a := range res.Activations {
+		total += a
+	}
+	// The trip is detected between steps, so at most one extra step's worth
+	// (4 rounds) beyond the budget may have executed.
+	if total < 10 || total > 14 {
+		t.Fatalf("total activations = %d, want within [10,14]", total)
+	}
+}
+
+func TestRunBudgetCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := graph.MustCycle(4)
+	e, _ := sim.NewEngine(g, newEchoNodes(4, 3))
+	res, reason := e.RunBudget(ctx, schedule.Synchronous{}, runctl.Budget{})
+	if reason != runctl.StopCancelled {
+		t.Fatalf("reason = %q, want %q", reason, runctl.StopCancelled)
+	}
+	if res.Steps != 0 {
+		t.Fatalf("pre-cancelled run took %d steps", res.Steps)
+	}
+}
+
+func TestEngineMetricsPublishing(t *testing.T) {
+	g := graph.MustCycle(4)
+	e, _ := sim.NewEngine(g, newEchoNodes(4, 3))
+	m := metrics.NewRun()
+	e.SetMetrics(m)
+	if _, err := e.Run(schedule.Synchronous{}, 100); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Snapshot()
+	if s.Steps != 3 || s.Activations != 12 {
+		t.Fatalf("metrics steps=%d acts=%d, want 3 and 12", s.Steps, s.Activations)
+	}
+	// Clones must not inherit the sink.
+	before := m.Snapshot().Steps
+	clone := e.Clone()
+	clone.Step(nil)
+	if got := m.Snapshot().Steps; got != before {
+		t.Fatalf("clone published into parent metrics: steps %d -> %d", before, got)
 	}
 }

@@ -33,17 +33,16 @@ func Summarize(xs []float64) Summary {
 	copy(sorted, xs)
 	sort.Float64s(sorted)
 
-	var sum, sumSq float64
-	for _, x := range sorted {
-		sum += x
-		sumSq += x * x
+	// Welford's single-pass update: the sumSq/n - mean² form loses all
+	// precision to cancellation when the spread is small relative to the
+	// magnitude (e.g. samples near 1e9).
+	var mean, m2 float64
+	for i, x := range sorted {
+		delta := x - mean
+		mean += delta / float64(i+1)
+		m2 += delta * (x - mean)
 	}
-	n := float64(len(sorted))
-	mean := sum / n
-	variance := sumSq/n - mean*mean
-	if variance < 0 {
-		variance = 0 // guard against rounding
-	}
+	variance := m2 / float64(len(sorted))
 	return Summary{
 		N:      len(sorted),
 		Min:    sorted[0],
@@ -63,7 +62,8 @@ func (s Summary) String() string {
 }
 
 // Percentile returns the p-th percentile (0 <= p <= 1) of an already sorted
-// sample using nearest-rank interpolation. It returns 0 for empty input.
+// sample by linear interpolation between the two nearest ranks. It returns
+// 0 for empty input.
 func Percentile(sorted []float64, p float64) float64 {
 	if len(sorted) == 0 {
 		return 0
@@ -132,13 +132,12 @@ func LinearFit(xs, ys []float64) Fit {
 		return Fit{}
 	}
 	n := float64(len(xs))
-	var sx, sy, sxx, sxy, syy float64
+	var sx, sy, sxx, sxy float64
 	for i := range xs {
 		sx += xs[i]
 		sy += ys[i]
 		sxx += xs[i] * xs[i]
 		sxy += xs[i] * ys[i]
-		syy += ys[i] * ys[i]
 	}
 	den := n*sxx - sx*sx
 	if den == 0 {

@@ -201,3 +201,29 @@ func TestHistogram(t *testing.T) {
 		t.Errorf("HistogramString(nil) = %q", s)
 	}
 }
+
+// Large-offset regression: samples 1e9+{0,1,2} have population stddev
+// √(2/3) ≈ 0.8165. The old sumSq/n − mean² formula loses every significant
+// digit of the variance to catastrophic cancellation at this magnitude
+// (float64 keeps ~16 digits; squaring 1e9 burns all of them), typically
+// returning 0. Welford's single-pass update keeps full precision.
+func TestSummarizeLargeOffsetStddev(t *testing.T) {
+	xs := []float64{1e9, 1e9 + 1, 1e9 + 2}
+	s := Summarize(xs)
+	want := math.Sqrt(2.0 / 3.0)
+	if math.Abs(s.Stddev-want) > 1e-9 {
+		t.Fatalf("Stddev = %v, want %v (catastrophic cancellation?)", s.Stddev, want)
+	}
+	if s.Mean != 1e9+1 {
+		t.Fatalf("Mean = %v, want %v", s.Mean, 1e9+1)
+	}
+}
+
+// The small-magnitude path must agree with the direct two-pass formula.
+func TestSummarizeStddevMatchesTwoPass(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := Summarize(xs)
+	if want := 2.0; math.Abs(s.Stddev-want) > 1e-12 {
+		t.Fatalf("Stddev = %v, want %v", s.Stddev, want)
+	}
+}
