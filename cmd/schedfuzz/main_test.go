@@ -1,0 +1,95 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunCleanCampaign(t *testing.T) {
+	var b strings.Builder
+	args := []string{"-alg", "fast", "-seed", "9", "-campaign-size", "64", "-conc-every", "0"}
+	if err := run(args, &b, io.Discard); err != nil {
+		t.Fatalf("clean campaign errored: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "violations=0") || !strings.Contains(out, "divergences=0") {
+		t.Errorf("unexpected report:\n%s", out)
+	}
+}
+
+// TestRunByteReproducible: identical seed → identical report bytes at
+// every -parallel setting.
+func TestRunByteReproducible(t *testing.T) {
+	render := func(parallel string) string {
+		var b strings.Builder
+		args := []string{"-alg", "five", "-seed", "11", "-campaign-size", "64",
+			"-conc-every", "0", "-parallel", parallel}
+		if err := run(args, &b, io.Discard); err != nil {
+			t.Fatalf("parallel=%s: %v", parallel, err)
+		}
+		return b.String()
+	}
+	r1, r4, r7 := render("1"), render("4"), render("7")
+	if r1 != r4 || r1 != r7 {
+		t.Fatalf("report depends on -parallel:\n-- 1 --\n%s-- 4 --\n%s-- 7 --\n%s", r1, r4, r7)
+	}
+}
+
+// TestRunFindsF1Livelock: the simultaneous-semantics campaign on C5 must
+// report the Algorithm 2 livelock (exit error) with a shrunk witness.
+func TestRunFindsF1Livelock(t *testing.T) {
+	var b strings.Builder
+	args := []string{"-alg", "five", "-n", "5", "-mode", "simultaneous",
+		"-seed", "5", "-campaign-size", "64", "-conc-every", "0"}
+	err := run(args, &b, io.Discard)
+	if err == nil {
+		t.Fatalf("livelock campaign exited clean:\n%s", b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "kind=liveness") || !strings.Contains(out, "witness schedule: [[") {
+		t.Errorf("missing liveness witness in report:\n%s", out)
+	}
+	if !strings.Contains(out, "divergences=0") {
+		t.Errorf("expected zero divergences:\n%s", out)
+	}
+}
+
+// TestRunTimeoutIsPartialNotError: a tripped -timeout exits 0 with an
+// explicit PARTIAL marker.
+func TestRunTimeoutIsPartialNotError(t *testing.T) {
+	var b strings.Builder
+	args := []string{"-alg", "five", "-seed", "3", "-campaign-size", "200000",
+		"-conc-every", "0", "-timeout", "30ms"}
+	if err := run(args, &b, io.Discard); err != nil {
+		t.Fatalf("timeout became an error: %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "[PARTIAL: timeout]") {
+		t.Skipf("campaign finished inside the timeout:\n%s", out)
+	}
+	if !strings.Contains(out, "PARTIAL (timeout)") {
+		t.Errorf("missing PARTIAL detail line:\n%s", out)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-alg", "nope"}, io.Discard, io.Discard); err == nil {
+		t.Error("accepted unknown algorithm")
+	}
+	if err := run([]string{"-mode", "nope"}, io.Discard, io.Discard); err == nil {
+		t.Error("accepted unknown mode")
+	}
+}
+
+func TestRunMetricsJSON(t *testing.T) {
+	var b, eb strings.Builder
+	args := []string{"-alg", "six", "-seed", "2", "-campaign-size", "32",
+		"-conc-every", "0", "-metrics-json", "-"}
+	if err := run(args, &b, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(eb.String(), "\"schedules\": 32") {
+		t.Errorf("metrics snapshot missing schedules counter:\n%s", eb.String())
+	}
+}

@@ -70,6 +70,10 @@ func FuzzFiveColoring(f *testing.F) {
 		if err := asynccycle.VerifySurvivorsTerminated(res); err != nil {
 			t.Fatal(err)
 		}
+		// Theorem 3.11's linear wait-freedom bound.
+		if bound := 3*n + 8; res.MaxActivations() > bound {
+			t.Fatalf("n=%d: %d rounds exceed the 3n+8 bound %d", n, res.MaxActivations(), bound)
+		}
 	})
 }
 
@@ -114,6 +118,82 @@ func FuzzSixColoring(f *testing.F) {
 			t.Fatal(err)
 		}
 		if err := asynccycle.VerifyPairPalette(res, 2); err != nil {
+			t.Fatal(err)
+		}
+		// Theorem 3.1's exact wait-freedom bound: no process performs more
+		// than ⌊3n/2⌋+4 rounds under any schedule.
+		if bound := 3*n/2 + 4; res.MaxActivations() > bound {
+			t.Fatalf("n=%d: %d rounds exceed the ⌊3n/2⌋+4 bound %d", n, res.MaxActivations(), bound)
+		}
+	})
+}
+
+// buildRawSchedule turns arbitrary fuzz bytes into a schedule: byte values
+// split steps and contribute members, including duplicates, out-of-range
+// indices, and empty steps — all of which the engine and the serialization
+// layer must handle.
+func buildRawSchedule(n int, raw []byte) [][]int {
+	steps := [][]int{{}}
+	for _, b := range raw {
+		if b%16 == 15 {
+			steps = append(steps, []int{})
+			continue
+		}
+		last := len(steps) - 1
+		steps[last] = append(steps[last], int(b)%(n+2)-1)
+	}
+	return steps
+}
+
+// FuzzScheduleRoundTrip: any schedule — including hostile ones with empty
+// steps, duplicate and out-of-range members — must survive
+// Marshal → Unmarshal bit-exactly, and two replays of the round-tripped
+// schedule on identical instances must produce identical executions.
+func FuzzScheduleRoundTrip(f *testing.F) {
+	f.Add(uint8(5), int64(1), []byte{0, 1, 15, 2, 3})
+	f.Add(uint8(12), int64(7), []byte{255, 14, 15, 15, 9, 0, 0, 31})
+	f.Add(uint8(3), int64(-2), []byte{})
+	f.Fuzz(func(t *testing.T, rawN uint8, seed int64, raw []byte) {
+		n, ids := buildCycleIDs(rawN, seed)
+		steps := buildRawSchedule(n, raw)
+
+		data, err := asynccycle.MarshalSchedule(steps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := asynccycle.UnmarshalSchedule(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(back) != len(steps) {
+			t.Fatalf("round trip changed step count: %d vs %d", len(back), len(steps))
+		}
+		for i := range steps {
+			if len(back[i]) != len(steps[i]) {
+				t.Fatalf("step %d: %v vs %v", i, back[i], steps[i])
+			}
+			for j := range steps[i] {
+				if back[i][j] != steps[i][j] {
+					t.Fatalf("step %d: %v vs %v", i, back[i], steps[i])
+				}
+			}
+		}
+
+		res1, err1 := asynccycle.FiveColorCycle(ids, &asynccycle.Config{Scheduler: asynccycle.Replay(steps)})
+		res2, err2 := asynccycle.FiveColorCycle(ids, &asynccycle.Config{Scheduler: asynccycle.Replay(back)})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("replay errors diverge: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		for i := range res1.Outputs {
+			if res1.Outputs[i] != res2.Outputs[i] || res1.Activations[i] != res2.Activations[i] ||
+				res1.Done[i] != res2.Done[i] || res1.Crashed[i] != res2.Crashed[i] {
+				t.Fatalf("round-tripped replay diverged at node %d", i)
+			}
+		}
+		if err := asynccycle.VerifyCycleColoring(n, res1); err != nil {
 			t.Fatal(err)
 		}
 	})

@@ -28,6 +28,7 @@ import (
 
 	"asynccycle/internal/graph"
 	"asynccycle/internal/metrics"
+	"asynccycle/internal/rnd"
 	"asynccycle/internal/sim"
 )
 
@@ -73,6 +74,14 @@ var ErrRoundLimit = errors.New("conc: node exceeded round limit")
 // before every node settled. The accompanying Result is the partial
 // progress at cancellation time.
 var ErrCancelled = errors.New("conc: run cancelled")
+
+// jitterSeed derives the seed of node i's jitter stream from the run seed
+// through a full avalanche mix (rnd.Derive). The previous additive scheme,
+// opt.Seed + i*0x9E3779B9, made the streams of adjacent seeds shifted
+// copies of each other — (seed, node+1) and (seed+0x9E3779B9, node) were
+// literally the same stream — collapsing the interleaving diversity that
+// distinct seeds are supposed to buy.
+func jitterSeed(seed int64, i int) int64 { return rnd.Derive(seed, i) }
 
 // Run executes nodes[i] at vertex i of g until every non-crashed node has
 // terminated. It is safe to call concurrently with other Runs but the
@@ -128,7 +137,7 @@ func Run[V any](g graph.Graph, nodes []sim.Node[V], opt Options) (sim.Result, er
 			}
 			var rng *rand.Rand
 			if opt.Jitter > 0 {
-				rng = rand.New(rand.NewSource(opt.Seed + int64(i)*0x9E3779B9))
+				rng = rand.New(rand.NewSource(jitterSeed(opt.Seed, i)))
 			}
 			node := nodes[i]
 			nbrs := g.Neighbors(i)

@@ -1,0 +1,542 @@
+// Package fuzzsched is the schedule-fuzzing and cross-engine differential
+// layer: deterministic, seed-reproducible campaigns of randomized
+// adversarial schedules, each checked against the paper's correctness
+// oracle (internal/check) and cross-validated between independent
+// execution paths of the repository.
+//
+// A campaign is a fixed number of cells. Each cell derives every random
+// decision (instance size, identifiers, crash plan, schedule) from the
+// campaign seed and its own index through an avalanche mix (internal/rnd),
+// runs the generated schedule on the simulation engine under the primary
+// semantics while a liveness oracle watches per-process activation bounds,
+// and then cross-checks the recorded schedule along independent legs:
+//
+//   - replay: a fresh engine replaying the recorded steps must reproduce
+//     the primary run bit-exactly (scheduler/replay round-trip fidelity);
+//   - clone-step: an engine advanced via Clone-then-Step at every step —
+//     the model checker's branching primitive — must match the directly
+//     stepped engine fingerprint-for-fingerprint (CloneInto fidelity);
+//   - secondary mode: the same schedule under the other activation
+//     semantics must stay safe (coloring and palette; liveness is not
+//     compared across modes, where finding F1 shows they legitimately
+//     differ);
+//   - conc (sampled): the real-concurrency runtime must solve the same
+//     instance and satisfy the same safety and fault-tolerance oracle.
+//
+// Oracle failures on the primary run are violations: the recorded schedule
+// is shrunk (see shrink.go) to a minimal replayable witness. Leg
+// mismatches are divergences: two layers that must agree disagreed. The
+// distinction matters — under the paper-literal simultaneous semantics,
+// livelock violations are expected findings (F1), while divergences are
+// always repository bugs.
+//
+// Cells are dispatched through par.MapCtx and merged in cell order, so a
+// campaign's report is byte-identical for a given seed at every worker
+// count; a tripped runctl budget yields a report explicitly marked
+// [PARTIAL: reason] covering exactly the completed cells.
+package fuzzsched
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"asynccycle/internal/check"
+	"asynccycle/internal/conc"
+	"asynccycle/internal/core"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/metrics"
+	"asynccycle/internal/par"
+	"asynccycle/internal/rnd"
+	"asynccycle/internal/runctl"
+	"asynccycle/internal/schedule"
+	"asynccycle/internal/sim"
+)
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Alg selects the algorithm under test: "six", "five", or "fast".
+	Alg string
+	// N fixes the cycle size; N <= 0 varies it per cell in [3, 12].
+	N int
+	// Mode is the primary activation semantics the oracle runs under.
+	Mode sim.Mode
+	// Seed determines the entire campaign: every cell derives its
+	// randomness from (Seed, cell index) via rnd.Derive.
+	Seed int64
+	// Campaign is the number of schedules to fuzz (cells); <= 0 means 128.
+	Campaign int
+	// Workers bounds the worker pool; <= 0 means GOMAXPROCS.
+	Workers int
+	// ConcEvery runs the real-concurrency leg on every k-th cell; 0 = off.
+	ConcEvery int
+	// Budget bounds the campaign: Timeout caps wall clock (the report goes
+	// PARTIAL), MaxSteps caps each generated schedule's length.
+	Budget runctl.Budget
+	// Metrics, when non-nil, receives live campaign counters.
+	Metrics *metrics.Run
+}
+
+// Finding is one oracle violation, with its shrunk replayable witness.
+type Finding struct {
+	Cell    int
+	Kind    string // "liveness" | "safety"
+	Detail  string
+	N       int
+	IDs     []int
+	Crashes map[int]int
+	Mode    string
+	// Witness is the shrunk schedule; WitnessJSON its MarshalSteps form.
+	Witness     [][]int
+	WitnessJSON string
+	OriginalLen int
+	WitnessLen  int
+}
+
+// String renders the finding on one line (witness serialized separately).
+func (f Finding) String() string {
+	return fmt.Sprintf("cell=%d kind=%s n=%d mode=%s ids=%v crashes=%s witness=%d→%d steps: %s",
+		f.Cell, f.Kind, f.N, f.Mode, f.IDs, crashString(f.Crashes), f.OriginalLen, f.WitnessLen, f.Detail)
+}
+
+// Divergence is a disagreement between two execution layers that must
+// agree — always a repository bug, never an expected finding.
+type Divergence struct {
+	Cell   int
+	Leg    string // "replay" | "clone-step" | "secondary-mode" | "conc"
+	Detail string
+}
+
+// String renders the divergence on one line.
+func (d Divergence) String() string {
+	return fmt.Sprintf("cell=%d leg=%s: %s", d.Cell, d.Leg, d.Detail)
+}
+
+// Report aggregates a campaign. For a fixed Config (and no budget trip) it
+// is byte-identical across runs and worker counts.
+type Report struct {
+	Alg      string
+	N        int
+	Mode     string
+	Seed     int64
+	Campaign int
+
+	Schedules   int // cells completed
+	Violations  []Finding
+	Divergences []Divergence
+	StatesSeen  int64 // clone-step fingerprints compared
+	ShrinkIters int64 // shrinking replay attempts
+	ConcRuns    int
+
+	Partial    bool
+	StopReason runctl.StopReason
+}
+
+// String renders the one-line summary.
+func (r Report) String() string {
+	nStr := fmt.Sprintf("%d", r.N)
+	if r.N <= 0 {
+		nStr = "3..12"
+	}
+	s := fmt.Sprintf("alg=%s n=%s mode=%s seed=%d campaign=%d: schedules=%d violations=%d divergences=%d states=%d shrink-iters=%d conc-runs=%d",
+		r.Alg, nStr, r.Mode, r.Seed, r.Campaign, r.Schedules,
+		len(r.Violations), len(r.Divergences), r.StatesSeen, r.ShrinkIters, r.ConcRuns)
+	if r.Partial {
+		s += fmt.Sprintf(" [PARTIAL: %s]", r.StopReason)
+	}
+	return s
+}
+
+// Write renders the full report: summary line, then each violation with
+// its witness schedule, each divergence, and the PARTIAL marker.
+func (r Report) Write(w io.Writer) {
+	fmt.Fprintln(w, r.String())
+	for i, f := range r.Violations {
+		fmt.Fprintf(w, "violation[%d]: %s\n", i, f)
+		fmt.Fprintf(w, "witness schedule: %s\n", f.WitnessJSON)
+	}
+	for i, d := range r.Divergences {
+		fmt.Fprintf(w, "divergence[%d]: %s\n", i, d)
+	}
+	if r.Partial {
+		fmt.Fprintf(w, "PARTIAL (%s): %d of %d cells unexplored; the report covers completed cells only\n",
+			r.StopReason, r.Campaign-r.Schedules, r.Campaign)
+	}
+}
+
+// Bound returns the per-process activation bound the liveness oracle
+// enforces for alg on an n-cycle: the paper's wait-freedom bounds —
+// ⌊3n/2⌋+4 for Algorithm 1 (Theorem 3.1), 3n+8 for Algorithm 2
+// (Theorem 3.11), and an O(log* n) budget for Algorithm 3.
+func Bound(alg string, n int) int {
+	switch alg {
+	case "six":
+		return 3*n/2 + 4
+	case "five":
+		return 3*n + 8
+	default: // fast
+		return 8 * (logStar(float64(n)) + 4)
+	}
+}
+
+// logStar is the iterated binary logarithm.
+func logStar(x float64) int {
+	s := 0
+	for x > 1 {
+		x = math.Log2(x)
+		s++
+	}
+	return s
+}
+
+// rig bundles the algorithm-specific pieces of a cell: node construction,
+// the safety oracle, and the liveness bound.
+type rig[V any] struct {
+	mk     func(xs []int) []sim.Node[V]
+	safety func(g graph.Graph, r sim.Result) error
+	bound  func(n int) int
+}
+
+// cellResult is one cell's contribution, merged in cell order.
+type cellResult struct {
+	states      int64
+	shrinkIters int64
+	concRan     bool
+	finding     *Finding
+	divs        []Divergence
+}
+
+// Campaign runs a full fuzzing campaign and returns its report. The error
+// is non-nil only for invalid configuration; oracle violations and layer
+// divergences are reported in the Report, not as errors.
+func Campaign(ctx context.Context, cfg Config) (Report, error) {
+	run, err := cellRunner(cfg)
+	if err != nil {
+		return Report{}, err
+	}
+	if cfg.Campaign <= 0 {
+		cfg.Campaign = 128
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Budget.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Budget.Timeout)
+		defer cancel()
+	}
+
+	cells := make([]int, cfg.Campaign)
+	for i := range cells {
+		cells[i] = i
+	}
+	var ws *metrics.WorkerStats
+	if cfg.Metrics != nil {
+		w := cfg.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		ws = cfg.Metrics.SetWorkers(w)
+	}
+	results, done := par.MapCtx(ctx, cfg.Workers, cells, ws, func(_ int, cell int) cellResult {
+		r := run(cell)
+		if m := cfg.Metrics; m != nil {
+			m.Schedules.Inc()
+			m.States.Add(r.states)
+			m.ShrinkIters.Add(r.shrinkIters)
+		}
+		return r
+	})
+
+	rep := Report{
+		Alg: cfg.Alg, N: cfg.N, Mode: cfg.Mode.String(),
+		Seed: cfg.Seed, Campaign: cfg.Campaign,
+	}
+	for i, r := range results {
+		if !done[i] {
+			continue
+		}
+		rep.Schedules++
+		rep.StatesSeen += r.states
+		rep.ShrinkIters += r.shrinkIters
+		if r.concRan {
+			rep.ConcRuns++
+		}
+		if r.finding != nil {
+			rep.Violations = append(rep.Violations, *r.finding)
+		}
+		rep.Divergences = append(rep.Divergences, r.divs...)
+	}
+	if !par.AllDone(done) {
+		rep.Partial = true
+		if rep.StopReason = runctl.Reason(ctx); rep.StopReason == runctl.StopNone {
+			rep.StopReason = runctl.StopTimeout
+		}
+	}
+	return rep, nil
+}
+
+// cellRunner resolves the algorithm rig and returns the per-cell worker.
+func cellRunner(cfg Config) (func(cell int) cellResult, error) {
+	switch cfg.Alg {
+	case "six":
+		r := rig[core.PairVal]{
+			mk: core.NewPairNodes,
+			safety: func(g graph.Graph, res sim.Result) error {
+				if err := check.ProperColoring(g, res); err != nil {
+					return err
+				}
+				return check.PairPalette(res, 2)
+			},
+			bound: func(n int) int { return Bound("six", n) },
+		}
+		return func(cell int) cellResult { return runCell(cfg, cell, r) }, nil
+	case "five":
+		r := rig[core.FiveVal]{
+			mk: core.NewFiveNodes,
+			safety: func(g graph.Graph, res sim.Result) error {
+				if err := check.ProperColoring(g, res); err != nil {
+					return err
+				}
+				return check.PaletteRange(res, 5)
+			},
+			bound: func(n int) int { return Bound("five", n) },
+		}
+		return func(cell int) cellResult { return runCell(cfg, cell, r) }, nil
+	case "fast":
+		r := rig[core.FastVal]{
+			mk: core.NewFastNodes,
+			safety: func(g graph.Graph, res sim.Result) error {
+				if err := check.ProperColoring(g, res); err != nil {
+					return err
+				}
+				return check.PaletteRange(res, 5)
+			},
+			bound: func(n int) int { return Bound("fast", n) },
+		}
+		return func(cell int) cellResult { return runCell(cfg, cell, r) }, nil
+	default:
+		return nil, fmt.Errorf("fuzzsched: unknown algorithm %q (want six|five|fast)", cfg.Alg)
+	}
+}
+
+// runCell executes one cell: generate, run with the oracle watching,
+// cross-check the recorded schedule along the differential legs, and
+// shrink any violation to a minimal witness.
+func runCell[V any](cfg Config, cell int, r rig[V]) cellResult {
+	rng := rand.New(rand.NewSource(rnd.Derive(cfg.Seed, cell)))
+	n := cfg.N
+	if n <= 0 {
+		n = 3 + rng.Intn(10)
+	}
+	g := graph.MustCycle(n)
+	xs := rng.Perm(4 * n)[:n]
+	bound := r.bound(n)
+
+	// Crash plan: occasionally crash a few processes after a small number
+	// of rounds (0 = never wakes, its register stays ⊥).
+	crashes := map[int]int{}
+	if rng.Float64() < 0.25 {
+		k := 1 + rng.Intn(1+n/3)
+		for j := 0; j < k; j++ {
+			crashes[rng.Intn(n)] = rng.Intn(4)
+		}
+	}
+
+	// Primary run: generate adversarially, record, and watch the liveness
+	// oracle after every step so a bound breach stops the schedule at the
+	// first offending activation (keeping the raw witness short).
+	maxSteps := runctl.Min(3*n*bound+64, cfg.Budget.MaxSteps)
+	e := newEngine(g, r.mk(xs), cfg.Mode, crashes)
+	rec := schedule.NewRecording(newGen(rng, bound))
+	vioKind, vioDetail := "", ""
+	for t := 0; !e.AllSettled() && t < maxSteps; t++ {
+		e.Step(rec.Next(e))
+		if i := overBound(e, n, bound); i >= 0 {
+			vioKind = "liveness"
+			vioDetail = fmt.Sprintf("process %d performed %d rounds without returning, exceeding the wait-freedom bound %d",
+				i, e.Activations(i), bound)
+			break
+		}
+	}
+	res := e.Result()
+	if vioKind == "" {
+		if err := r.safety(g, res); err != nil {
+			vioKind, vioDetail = "safety", err.Error()
+		}
+	}
+	steps := rec.Steps()
+
+	out := cellResult{}
+
+	// Leg 1: scheduler-driven replay under the primary mode must reproduce
+	// the run bit-exactly.
+	if res1 := playSteps(newEngine(g, r.mk(xs), cfg.Mode, crashes), steps); !sameResult(res, res1) {
+		out.divs = append(out.divs, Divergence{cell, "replay",
+			fmt.Sprintf("replayed result differs from recorded run (steps %d vs %d)", res1.Steps, res.Steps)})
+	}
+
+	// Leg 2: clone-per-step replay — the model checker's branching
+	// primitive. Engine b advances only through CloneInto copies; its
+	// compact fingerprint must match the directly stepped engine a after
+	// every step.
+	{
+		a := newEngine(g, r.mk(xs), cfg.Mode, crashes)
+		b := newEngine(g, r.mk(xs), cfg.Mode, crashes)
+		var scratch *sim.Engine[V]
+		for _, s := range steps {
+			if a.AllSettled() {
+				break
+			}
+			a.Step(s)
+			b2 := b.CloneInto(scratch)
+			scratch = b
+			b = b2
+			b.Step(s)
+			out.states++
+			a1, a2 := a.FingerprintHash128()
+			b1, b2h := b.FingerprintHash128()
+			if a1 != b1 || a2 != b2h {
+				out.divs = append(out.divs, Divergence{cell, "clone-step",
+					fmt.Sprintf("fingerprints diverge at step %d of %d", a.Result().Steps, len(steps))})
+				break
+			}
+		}
+	}
+
+	// Leg 3: the same schedule under the other activation semantics must
+	// stay safe. Liveness is deliberately not compared across modes:
+	// finding F1 shows the two semantics legitimately disagree on it.
+	other := sim.ModeSimultaneous
+	if cfg.Mode == sim.ModeSimultaneous {
+		other = sim.ModeInterleaved
+	}
+	if res3 := playSteps(newEngine(g, r.mk(xs), other, crashes), steps); r.safety(g, res3) != nil {
+		out.divs = append(out.divs, Divergence{cell, "secondary-mode",
+			fmt.Sprintf("schedule safe under %s but unsafe under %s: %v", cfg.Mode, other, r.safety(g, res3))})
+	}
+
+	// Leg 4 (sampled): the real-concurrency runtime on the same instance.
+	// Its interleaving comes from the Go scheduler, so only the oracle
+	// verdict feeds the report — a failure is a layer disagreement.
+	if cfg.ConcEvery > 0 && cell%cfg.ConcEvery == 0 {
+		out.concRan = true
+		cres, err := conc.Run(g, r.mk(xs), conc.Options{
+			CrashAfter: crashes,
+			MaxRounds:  2*bound + 16,
+			Yield:      true,
+			Jitter:     20 * time.Microsecond,
+			Seed:       rnd.Derive(cfg.Seed, cell),
+		})
+		switch {
+		case err != nil:
+			out.divs = append(out.divs, Divergence{cell, "conc", err.Error()})
+		case r.safety(g, cres) != nil:
+			out.divs = append(out.divs, Divergence{cell, "conc", r.safety(g, cres).Error()})
+		case check.SurvivorsTerminated(cres) != nil:
+			out.divs = append(out.divs, Divergence{cell, "conc", check.SurvivorsTerminated(cres).Error()})
+		}
+	}
+
+	// Shrink the violation, if any, to a minimal replayable witness.
+	if vioKind != "" {
+		test := func(cand [][]int) bool {
+			resT := playSteps(newEngine(g, r.mk(xs), cfg.Mode, crashes), cand)
+			if vioKind == "liveness" {
+				return overBoundResult(resT, bound) >= 0
+			}
+			return r.safety(g, resT) != nil
+		}
+		shrunk, iters := shrink(steps, test, 4000)
+		out.shrinkIters = int64(iters)
+		data, _ := schedule.MarshalSteps(shrunk)
+		out.finding = &Finding{
+			Cell: cell, Kind: vioKind, Detail: vioDetail,
+			N: n, IDs: xs, Crashes: crashes, Mode: cfg.Mode.String(),
+			Witness: shrunk, WitnessJSON: string(data),
+			OriginalLen: len(steps), WitnessLen: len(shrunk),
+		}
+	}
+	return out
+}
+
+// newEngine builds an engine with the given mode and crash plan. The node
+// count matches the graph by construction, so errors are programming bugs.
+func newEngine[V any](g graph.Graph, nodes []sim.Node[V], mode sim.Mode, crashes map[int]int) *sim.Engine[V] {
+	e, err := sim.NewEngine(g, nodes)
+	if err != nil {
+		panic(err)
+	}
+	e.SetMode(mode)
+	for i, k := range crashes {
+		e.CrashAfter(i, k)
+	}
+	return e
+}
+
+// playSteps replays a fixed schedule on e and returns the final result.
+func playSteps[V any](e *sim.Engine[V], steps [][]int) sim.Result {
+	for _, s := range steps {
+		if e.AllSettled() {
+			break
+		}
+		e.Step(s)
+	}
+	return e.Result()
+}
+
+// overBound returns the first process whose activation count exceeds the
+// wait-freedom bound, or -1. It counts terminated and crashed processes
+// too, matching check.ActivationBound (crash limits are below the bound by
+// construction, so in practice only working processes can trip it).
+func overBound[V any](e *sim.Engine[V], n, bound int) int {
+	for i := 0; i < n; i++ {
+		if e.Activations(i) > bound {
+			return i
+		}
+	}
+	return -1
+}
+
+// overBoundResult is overBound on a finished result.
+func overBoundResult(r sim.Result, bound int) int {
+	for i, a := range r.Activations {
+		if a > bound {
+			return i
+		}
+	}
+	return -1
+}
+
+// sameResult compares two results field by field.
+func sameResult(a, b sim.Result) bool {
+	return a.Steps == b.Steps &&
+		reflect.DeepEqual(a.Outputs, b.Outputs) &&
+		reflect.DeepEqual(a.Done, b.Done) &&
+		reflect.DeepEqual(a.Crashed, b.Crashed) &&
+		reflect.DeepEqual(a.Activations, b.Activations)
+}
+
+// crashString renders a crash plan deterministically (sorted by node).
+func crashString(crashes map[int]int) string {
+	if len(crashes) == 0 {
+		return "none"
+	}
+	keys := make([]int, 0, len(crashes))
+	for k := range crashes {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%d@%d", k, crashes[k])
+	}
+	return strings.Join(parts, ",")
+}

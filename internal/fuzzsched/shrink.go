@@ -1,0 +1,84 @@
+// Witness shrinking: greedy delta debugging over a recorded schedule.
+//
+// A violating schedule found by the fuzzer is minimized along two axes
+// before it is reported: whole steps are removed in geometrically shrinking
+// chunks (classic ddmin), then individual members are removed from the
+// surviving activation sets. Both passes run to a fixpoint under a replay
+// budget, and every candidate is accepted only if the violation still
+// reproduces, so the result is a locally minimal witness: removing any
+// single remaining step or set member makes the violation disappear (budget
+// permitting).
+package fuzzsched
+
+// shrink minimizes steps with respect to test: test(candidate) must report
+// whether the violation still reproduces on the candidate schedule, and
+// must not retain or mutate its argument's rows. maxTests bounds the number
+// of replays spent. It returns the minimized schedule and the number of
+// test evaluations performed.
+func shrink(steps [][]int, test func([][]int) bool, maxTests int) ([][]int, int) {
+	iters := 0
+	try := func(cand [][]int) bool {
+		if iters >= maxTests {
+			return false
+		}
+		iters++
+		return test(cand)
+	}
+	cur := cloneSteps(steps)
+
+	// Pass 1: ddmin over whole steps. For each chunk size (halving down to
+	// 1), scan the schedule and greedily delete every chunk whose removal
+	// keeps the violation alive; a successful removal rescans at the same
+	// size, since earlier chunks may now be deletable.
+	for size := len(cur) / 2; size >= 1; size /= 2 {
+		for start := 0; start+size <= len(cur); {
+			cand := make([][]int, 0, len(cur)-size)
+			cand = append(cand, cur[:start]...)
+			cand = append(cand, cur[start+size:]...)
+			if try(cand) {
+				cur = cand
+			} else {
+				start += size
+			}
+		}
+	}
+
+	// Pass 2: member removal inside the surviving steps, to a fixpoint. A
+	// step shrunk to the empty set is dropped entirely (after a successful
+	// removal the follow-up candidate re-reads cur[s], which is either the
+	// shortened row or, when the row was dropped, the step that shifted into
+	// slot s).
+	for changed := true; changed; {
+		changed = false
+		for s := 0; s < len(cur); s++ {
+			m := 0
+			for s < len(cur) && m < len(cur[s]) {
+				var cand [][]int
+				if len(cur[s]) == 1 {
+					cand = append(append([][]int{}, cur[:s]...), cur[s+1:]...)
+				} else {
+					row := make([]int, 0, len(cur[s])-1)
+					row = append(row, cur[s][:m]...)
+					row = append(row, cur[s][m+1:]...)
+					cand = append(append([][]int{}, cur[:s]...), append([][]int{row}, cur[s+1:]...)...)
+				}
+				if try(cand) {
+					cur = cand
+					changed = true
+				} else {
+					m++
+				}
+			}
+		}
+	}
+	return cur, iters
+}
+
+// cloneSteps deep-copies a schedule.
+func cloneSteps(steps [][]int) [][]int {
+	out := make([][]int, len(steps))
+	for i, s := range steps {
+		out[i] = append([]int(nil), s...)
+	}
+	return out
+}

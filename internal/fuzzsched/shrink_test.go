@@ -1,0 +1,93 @@
+package fuzzsched
+
+import (
+	"reflect"
+	"testing"
+)
+
+// countPred builds a monotone predicate: a candidate still "fails" when it
+// retains at least three steps containing member 2 and at least one step
+// containing member 7.
+func countPred(cand [][]int) bool {
+	twos, sevens := 0, 0
+	for _, s := range cand {
+		for _, m := range s {
+			if m == 2 {
+				twos++
+			}
+			if m == 7 {
+				sevens++
+			}
+		}
+	}
+	return twos >= 3 && sevens >= 1
+}
+
+func TestShrinkMinimizesMonotonePredicate(t *testing.T) {
+	steps := [][]int{
+		{0, 1}, {2, 3}, {4}, {2, 5}, {6, 7, 8}, {9}, {2}, {2, 0}, {3, 1}, {5},
+	}
+	shrunk, iters := shrink(steps, countPred, 10_000)
+	if !countPred(shrunk) {
+		t.Fatalf("shrunk schedule no longer fails: %v", shrunk)
+	}
+	if iters <= 0 {
+		t.Fatal("no shrink iterations recorded")
+	}
+	// The minimum is 4 steps (three twos after step-level dedup plus one
+	// seven), each reduced to a single member.
+	if len(shrunk) != 4 {
+		t.Fatalf("shrunk to %d steps, want 4: %v", len(shrunk), shrunk)
+	}
+	total := 0
+	for _, s := range shrunk {
+		total += len(s)
+	}
+	if total != 4 {
+		t.Fatalf("shrunk to %d members, want 4: %v", total, shrunk)
+	}
+}
+
+// TestShrinkOneMinimal: with an unlimited budget, removing any single step
+// from the result must make the predicate pass (local minimality).
+func TestShrinkOneMinimal(t *testing.T) {
+	steps := [][]int{{2}, {1}, {2}, {2}, {7}, {2}, {0}}
+	shrunk, _ := shrink(steps, countPred, 10_000)
+	if !countPred(shrunk) {
+		t.Fatalf("shrunk schedule no longer fails: %v", shrunk)
+	}
+	for s := range shrunk {
+		cand := append(append([][]int{}, shrunk[:s]...), shrunk[s+1:]...)
+		if countPred(cand) {
+			t.Fatalf("not 1-minimal: dropping step %d of %v still fails", s, shrunk)
+		}
+	}
+}
+
+func TestShrinkDoesNotMutateInput(t *testing.T) {
+	steps := [][]int{{2, 7}, {2}, {2}, {1}}
+	orig := cloneSteps(steps)
+	shrink(steps, countPred, 10_000)
+	if !reflect.DeepEqual(steps, orig) {
+		t.Fatalf("input mutated: %v", steps)
+	}
+}
+
+func TestShrinkRespectsBudget(t *testing.T) {
+	steps := make([][]int, 64)
+	for i := range steps {
+		steps[i] = []int{2, 7}
+	}
+	_, iters := shrink(steps, countPred, 10)
+	if iters > 10 {
+		t.Fatalf("spent %d tests over a budget of 10", iters)
+	}
+}
+
+func TestShrinkAlwaysFailingCollapses(t *testing.T) {
+	steps := [][]int{{0}, {1}, {2}}
+	shrunk, _ := shrink(steps, func([][]int) bool { return true }, 1_000)
+	if len(shrunk) != 0 {
+		t.Fatalf("always-failing predicate should shrink to empty, got %v", shrunk)
+	}
+}

@@ -102,6 +102,10 @@ type Run struct {
 	CellsDone  Counter // sweep cells completed
 	CellsTotal Counter // sweep cells enumerated (monotone across experiments)
 
+	// Fuzzing metrics.
+	Schedules   Counter // fuzz schedules executed to completion
+	ShrinkIters Counter // witness-shrinking replay attempts
+
 	workers atomic.Pointer[WorkerStats]
 }
 
@@ -137,6 +141,8 @@ type Snapshot struct {
 	Activations       int64     `json:"activations"`
 	CellsDone         int64     `json:"cells_done"`
 	CellsTotal        int64     `json:"cells_total"`
+	Schedules         int64     `json:"schedules"`
+	ShrinkIters       int64     `json:"shrink_iters"`
 	WorkerItems       []int64   `json:"worker_items,omitempty"`
 	WorkerUtilization []float64 `json:"worker_utilization,omitempty"`
 }
@@ -162,6 +168,8 @@ func (r *Run) Snapshot() Snapshot {
 		Activations:    r.Activations.Load(),
 		CellsDone:      r.CellsDone.Load(),
 		CellsTotal:     r.CellsTotal.Load(),
+		Schedules:      r.Schedules.Load(),
+		ShrinkIters:    r.ShrinkIters.Load(),
 	}
 	s.StatesPerSec = float64(s.States) / elapsed.Seconds()
 	if ws := r.Workers(); ws != nil {
@@ -184,6 +192,9 @@ func (s Snapshot) String() string {
 		s.HashCollisions, s.Steps, s.Activations)
 	if s.CellsTotal > 0 {
 		fmt.Fprintf(&b, " cells=%d/%d", s.CellsDone, s.CellsTotal)
+	}
+	if s.Schedules > 0 {
+		fmt.Fprintf(&b, " schedules=%d shrink=%d", s.Schedules, s.ShrinkIters)
 	}
 	if len(s.WorkerUtilization) > 0 {
 		min, max := s.WorkerUtilization[0], s.WorkerUtilization[0]

@@ -1,0 +1,38 @@
+// Package rnd provides the deterministic seed-derivation primitive shared
+// by every layer that needs independent pseudo-random streams from a single
+// campaign seed: the concurrent runtime's per-node jitter sources and the
+// schedule fuzzer's per-cell generators.
+//
+// The derivation is a splitmix64 finalizer over the (seed, lane) pair.
+// Unlike additive schemes such as seed + lane*0x9E3779B9 — whose streams
+// for adjacent seeds are shifted copies of each other (seed 1, lane 2 and
+// seed 2, lane 1 may collide outright) — the full avalanche mix guarantees
+// that every bit of seed and lane affects every bit of the derived value,
+// so distinct (seed, lane) pairs yield uncorrelated streams.
+package rnd
+
+// SplitMix64 is the splitmix64 finalizer (Steele, Lea & Flood; the same
+// mix java.util.SplittableRandom uses): a bijective avalanche function on
+// 64-bit values.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// Derive maps a (seed, lane) pair to a stream seed: two mixing rounds so
+// the lane is absorbed through a full avalanche before the seed is folded
+// in. Distinct pairs produce distinct values (the composition is injective
+// in seed for each lane and avalanches in both arguments), and the result
+// is never 0, so it can feed sources that reserve the zero seed.
+func Derive(seed int64, lane int) int64 {
+	v := SplitMix64(SplitMix64(uint64(seed)) ^ uint64(int64(lane)))
+	if v == 0 {
+		v = 1
+	}
+	return int64(v)
+}

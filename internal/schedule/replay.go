@@ -55,12 +55,14 @@ func NewReplay(steps [][]int) *Replay {
 // Name implements Scheduler.
 func (r *Replay) Name() string { return fmt.Sprintf("replay(%d steps)", len(r.steps)) }
 
-// Next implements Scheduler.
+// Next implements Scheduler. The returned slice is a copy: callers (engine
+// hooks, schedule shrinkers) may mutate it freely without corrupting the
+// recorded schedule, so replays of the same Replay value stay bit-exact.
 func (r *Replay) Next(State) []int {
 	if r.pos >= len(r.steps) {
 		return nil
 	}
-	s := r.steps[r.pos]
+	s := append([]int(nil), r.steps[r.pos]...)
 	r.pos++
 	return s
 }

@@ -115,6 +115,73 @@ func TestRecordingDeepCopies(t *testing.T) {
 	}
 }
 
+// mutatingScheduler wraps an inner scheduler and scrambles every slice it
+// returned on the PREVIOUS step — the adversarial caller the Replay
+// aliasing bug was vulnerable to: with Next handing out its internal rows,
+// this corrupts the recorded schedule behind the replay's back.
+type mutatingScheduler struct {
+	Inner schedule.Scheduler
+	last  []int
+}
+
+func (m *mutatingScheduler) Name() string { return "mutating(" + m.Inner.Name() + ")" }
+
+func (m *mutatingScheduler) Next(st schedule.State) []int {
+	for i := range m.last {
+		m.last[i] = -1
+	}
+	m.last = m.Inner.Next(st)
+	return append([]int(nil), m.last...)
+}
+
+// TestReplayRoundTripSurvivesCallerMutation is the mutation-regression
+// test for the Replay.Next aliasing fix, covering the full
+// Recording → Marshal → Unmarshal → Replay round trip: a replayed
+// execution whose caller mutates every activation set it received must
+// still be bit-identical to the original recorded execution.
+func TestReplayRoundTripSurvivesCallerMutation(t *testing.T) {
+	n := 16
+	g := graph.MustCycle(n)
+	xs := ids.MustGenerate(ids.Random, n, 11)
+
+	e1, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
+	rec := schedule.NewRecording(schedule.NewRandomSubset(0.35, 23))
+	res1, err := e1.Run(rec, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := schedule.MarshalSteps(rec.Steps())
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := schedule.UnmarshalSteps(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e2, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
+	res2, err := e2.Run(&mutatingScheduler{Inner: schedule.NewReplay(steps)}, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1.Outputs, res2.Outputs) ||
+		!reflect.DeepEqual(res1.Activations, res2.Activations) ||
+		res1.Steps != res2.Steps {
+		t.Fatalf("mutated replay diverged:\noriginal %v (%d steps)\nreplay   %v (%d steps)",
+			res1.Outputs, res1.Steps, res2.Outputs, res2.Steps)
+	}
+	// The unmarshaled steps themselves must be untouched too (Replay deep
+	// copies at construction).
+	back, err := schedule.UnmarshalSteps(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(steps, back) {
+		t.Fatal("replay mutated the caller's steps slice")
+	}
+}
+
 // fakeStateN adapts the package-internal fake for external tests.
 type simpleState struct{ n int }
 

@@ -61,10 +61,27 @@ func (s Summary) String() string {
 		s.N, s.Min, s.Mean, s.P50, s.P90, s.P99, s.Max)
 }
 
-// Percentile returns the p-th percentile (0 <= p <= 1) of an already sorted
-// sample by linear interpolation between the two nearest ranks. It returns
-// 0 for empty input.
+// Percentile returns the p-th percentile (0 <= p <= 1) of a sample by
+// linear interpolation between the two nearest ranks. It returns 0 for an
+// empty (or all-NaN) sample.
+//
+// The sample is expected sorted — the historical contract, which every
+// internal caller satisfies — but Percentile now validates instead of
+// silently trusting it: an unsorted or NaN-bearing sample is defensively
+// copied, stripped of NaNs, and sorted, so the result is always the true
+// percentile rather than interpolation over garbage ranks. The fast path
+// (sorted, NaN-free) allocates nothing.
 func Percentile(sorted []float64, p float64) float64 {
+	if !isSortedClean(sorted) {
+		clean := make([]float64, 0, len(sorted))
+		for _, x := range sorted {
+			if !math.IsNaN(x) {
+				clean = append(clean, x)
+			}
+		}
+		sort.Float64s(clean)
+		sorted = clean
+	}
 	if len(sorted) == 0 {
 		return 0
 	}
@@ -82,6 +99,17 @@ func Percentile(sorted []float64, p float64) float64 {
 	}
 	frac := rank - float64(lo)
 	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// isSortedClean reports whether xs is ascending and NaN-free — the
+// precondition under which Percentile may interpolate in place.
+func isSortedClean(xs []float64) bool {
+	for i, x := range xs {
+		if math.IsNaN(x) || (i > 0 && x < xs[i-1]) {
+			return false
+		}
+	}
+	return true
 }
 
 // MaxInt returns the maximum of xs, or 0 if xs is empty.

@@ -74,6 +74,70 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+// TestPercentileDefensive covers the inputs that violated the historical
+// "already sorted, NaN-free" contract: Percentile used to interpolate over
+// garbage ranks silently; it must now sort/strip defensively.
+func TestPercentileDefensive(t *testing.T) {
+	nan := math.NaN()
+	tests := []struct {
+		name string
+		in   []float64
+		p    float64
+		want float64
+	}{
+		{"empty nil", nil, 0.5, 0},
+		{"empty slice", []float64{}, 0.9, 0},
+		{"single", []float64{7}, 0.5, 7},
+		{"single p0", []float64{7}, 0, 7},
+		{"single p1", []float64{7}, 1, 7},
+		{"unsorted median", []float64{30, 10, 40, 20}, 0.5, 25},
+		{"unsorted min", []float64{5, 1, 3}, 0, 1},
+		{"unsorted max", []float64{5, 1, 3}, 1, 5},
+		{"reverse sorted", []float64{4, 3, 2, 1}, 0.5, 2.5},
+		{"nan stripped", []float64{nan, 10, 20, nan, 30, 40}, 0.5, 25},
+		{"nan only", []float64{nan, nan}, 0.5, 0},
+		{"nan plus single", []float64{nan, 9}, 0.5, 9},
+		{"sorted fast path", []float64{10, 20, 30, 40}, 0.5, 25},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Percentile(tt.in, tt.p)
+			if math.Abs(got-tt.want) > 1e-9 {
+				t.Fatalf("Percentile(%v, %g) = %g, want %g", tt.in, tt.p, got, tt.want)
+			}
+		})
+	}
+}
+
+// The defensive path must not mutate the caller's sample.
+func TestPercentileDoesNotMutateUnsortedInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Percentile(in, 0.5)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input mutated: %v", in)
+	}
+}
+
+func TestIsSortedClean(t *testing.T) {
+	nan := math.NaN()
+	tests := []struct {
+		in   []float64
+		want bool
+	}{
+		{nil, true},
+		{[]float64{1}, true},
+		{[]float64{1, 1, 2}, true},
+		{[]float64{2, 1}, false},
+		{[]float64{nan}, false},
+		{[]float64{1, nan, 2}, false},
+	}
+	for _, tt := range tests {
+		if got := isSortedClean(tt.in); got != tt.want {
+			t.Errorf("isSortedClean(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
 // TestPercentileMonotoneQuick: p1 ≤ p2 implies percentile(p1) ≤
 // percentile(p2).
 func TestPercentileMonotoneQuick(t *testing.T) {
