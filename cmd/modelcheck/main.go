@@ -7,8 +7,16 @@
 //
 //	modelcheck [-alg fast|five|six|mis-greedy|mis-impatient|renaming]
 //	           [-n 3] [-mode interleaved|simultaneous] [-worst] [-workers N]
+//	           [-sweep] [-symmetry off|assignments|full]
 //	           [-timeout 30s] [-max-states N] [-progress 1s] [-metrics-json -]
 //	           [-cpuprofile FILE] [-memprofile FILE]
+//
+// -sweep checks every identifier-rank assignment of the cycle instead of
+// just the increasing one. -symmetry=assignments quotients that sweep by
+// the dihedral group with exact orbit weighting (requires -sweep);
+// -symmetry=full additionally dedups rotation-equivalent states inside
+// each exploration. Verdicts and weighted counts are identical at every
+// level (see DESIGN.md §6).
 //
 // A run stopped by -timeout or -max-states exits 0 with a report explicitly
 // marked PARTIAL: the verdicts cover exactly the explored region. Safety
@@ -49,6 +57,8 @@ func run(args []string, w, ew io.Writer) error {
 	n := fs.Int("n", 3, "instance size (3–5 recommended)")
 	modeStr := fs.String("mode", "interleaved", "activation semantics: interleaved|simultaneous")
 	worst := fs.Bool("worst", false, "also compute exact worst-case per-process rounds")
+	symmetryStr := fs.String("symmetry", "off", "symmetry reduction: off|assignments|full (assignments requires -sweep)")
+	sweep := fs.Bool("sweep", false, "check every identifier-rank assignment of the cycle, not just the increasing one (fast|five|six)")
 	maxStates := fs.Int("max-states", 5_000_000, "state budget; a tripped budget yields a PARTIAL report")
 	workers := fs.Int("workers", 1, "frontier-parallel exploration workers (1 = serial DFS)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = none); a tripped budget yields a PARTIAL report, exit 0")
@@ -107,6 +117,13 @@ func run(args []string, w, ew io.Writer) error {
 	default:
 		return fmt.Errorf("unknown mode %q", *modeStr)
 	}
+	symmetry, err := model.ParseSymmetry(*symmetryStr)
+	if err != nil {
+		return err
+	}
+	if symmetry == model.SymmetryAssignments && !*sweep {
+		return fmt.Errorf("-symmetry=assignments reduces the identifier-assignment sweep: add -sweep")
+	}
 	// Under interleaved semantics, subset schedules are equivalent to
 	// sequences of singleton activations; explore singletons only.
 	single := mode == sim.ModeInterleaved
@@ -114,10 +131,35 @@ func run(args []string, w, ew io.Writer) error {
 		SingletonsOnly: single,
 		MaxStates:      *maxStates,
 		Workers:        *workers,
+		Symmetry:       symmetry,
 		Budget:         runctl.Budget{Timeout: *timeout},
 		Metrics:        met,
 	}
 	xs := ids.MustGenerate(ids.Increasing, *n, 0)
+
+	if *sweep {
+		g, err := graph.Cycle(*n)
+		if err != nil {
+			return err
+		}
+		switch *alg {
+		case "fast":
+			return sweepAlg(w, g, core.NewFastNodes, mode, opt, *worst, colorInvariant[core.FastVal](g, 5))
+		case "five":
+			return sweepAlg(w, g, core.NewFiveNodes, mode, opt, *worst, colorInvariant[core.FiveVal](g, 5))
+		case "six":
+			inv := func(e *sim.Engine[core.PairVal]) error {
+				r := e.Result()
+				if err := check.ProperColoring(g, r); err != nil {
+					return err
+				}
+				return check.PairPalette(r, 2)
+			}
+			return sweepAlg(w, g, core.NewPairNodes, mode, opt, *worst, inv)
+		default:
+			return fmt.Errorf("-sweep supports the cycle-coloring algorithms fast|five|six, not %q", *alg)
+		}
+	}
 
 	switch *alg {
 	case "fast":
@@ -183,6 +225,43 @@ func run(args []string, w, ew io.Writer) error {
 	default:
 		return fmt.Errorf("unknown algorithm %q", *alg)
 	}
+}
+
+// sweepAlg verifies every identifier-rank assignment of the cycle via
+// model.SweepExplore (and, with -worst, SweepWorstActivations): only
+// relative identifier order is observable, so ranks cover all real inputs.
+func sweepAlg[V any](w io.Writer, g graph.Graph, mkNodes func(xs []int) []sim.Node[V], mode sim.Mode, opt model.Options, worst bool, inv model.Invariant[V]) error {
+	mk := func(xs []int) (*sim.Engine[V], error) {
+		e, err := sim.NewEngine(g, mkNodes(xs))
+		if err != nil {
+			return nil, err
+		}
+		e.SetMode(mode)
+		return e, nil
+	}
+	rep, err := model.SweepExplore(g.N(), mk, opt, inv)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "graph=%s mode=%s %s\n", g.Name(), mode, rep)
+	if rep.Partial {
+		fmt.Fprintf(w, "PARTIAL (%s): sweep stopped early; counts cover the processed assignments only\n", rep.StopReason)
+	}
+	if worst {
+		wrep, err := model.SweepWorstActivations(g.N(), mk, opt)
+		if err != nil {
+			return err
+		}
+		if wrep.AllOk {
+			fmt.Fprintf(w, "exact worst-case rounds per position over all assignments: %v (max %d)\n", wrep.WorstPerProc, wrep.MaxWorst)
+		} else {
+			fmt.Fprintf(w, "worst-case sweep inconclusive: %s\n", wrep)
+		}
+	}
+	if rep.Violations > 0 {
+		return fmt.Errorf("verification failed")
+	}
+	return nil
 }
 
 func colorInvariant[V any](g graph.Graph, palette int) model.Invariant[V] {

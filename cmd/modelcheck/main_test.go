@@ -120,3 +120,85 @@ func TestRunMaxStatesPartial(t *testing.T) {
 		t.Errorf("partial report not marked:\n%s", b.String())
 	}
 }
+
+// The three symmetry levels must agree on the sweep's weighted counts and
+// verdicts; -symmetry=off output stays byte-identical to the historical
+// non-sweep path.
+func TestRunSweepSymmetryEquivalence(t *testing.T) {
+	render := func(symmetry string) string {
+		var b strings.Builder
+		if err := run([]string{"-alg", "five", "-n", "4", "-sweep", "-worst", "-symmetry", symmetry}, &b, io.Discard); err != nil {
+			t.Fatalf("-symmetry=%s: %v\n%s", symmetry, err, b.String())
+		}
+		return b.String()
+	}
+	off := render("off")
+	red := render("assignments")
+	if !strings.Contains(off, "assignments=24") || !strings.Contains(red, "assignments=24") {
+		t.Errorf("sweeps did not cover all 24 assignments:\noff: %sreduced: %s", off, red)
+	}
+	if !strings.Contains(red, "runs=3") {
+		t.Errorf("reduced sweep should run 3 orbit representatives:\n%s", red)
+	}
+	// The weighted fields and the worst-case line must agree verbatim.
+	for _, field := range []string{"states=", "terminal=", "cycles=", "violations=", "allok="} {
+		if pick(t, off, field) != pick(t, red, field) {
+			t.Errorf("field %q differs:\noff: %sreduced: %s", field, off, red)
+		}
+	}
+	offWorst := off[strings.Index(off, "exact worst-case"):]
+	redWorst := red[strings.Index(red, "exact worst-case"):]
+	if offWorst != redWorst {
+		t.Errorf("worst-case lines differ:\noff: %sreduced: %s", offWorst, redWorst)
+	}
+
+	full := render("full")
+	for _, field := range []string{"cycles=", "violations=", "allok="} {
+		if pick(t, off, field) != pick(t, full, field) {
+			t.Errorf("full-mode field %q drifted:\noff: %sfull: %s", field, off, full)
+		}
+	}
+}
+
+// pick extracts the whitespace-delimited token starting with prefix.
+func pick(t *testing.T, out, prefix string) string {
+	t.Helper()
+	for _, tok := range strings.Fields(out) {
+		if strings.HasPrefix(tok, prefix) {
+			return tok
+		}
+	}
+	t.Fatalf("token %q not found in:\n%s", prefix, out)
+	return ""
+}
+
+func TestRunSymmetryFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-alg", "five", "-n", "3", "-symmetry", "bogus"},
+		{"-alg", "five", "-n", "3", "-symmetry", "assignments"}, // requires -sweep
+		{"-alg", "mis-greedy", "-n", "3", "-sweep"},             // sweep is coloring-only
+	} {
+		var b strings.Builder
+		if err := run(args, &b, io.Discard); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+// -symmetry=full without -sweep engages within-run reduction; verdicts
+// must match the unreduced run.
+func TestRunSymmetryFullSingleInstance(t *testing.T) {
+	var off, full strings.Builder
+	if err := run([]string{"-alg", "five", "-n", "4", "-mode", "simultaneous"}, &off, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-alg", "five", "-n", "4", "-mode", "simultaneous", "-symmetry", "full"}, &full, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if pick(t, off.String(), "cycle=") != pick(t, full.String(), "cycle=") {
+		t.Errorf("wait-freedom verdict drifted:\noff: %sfull: %s", off.String(), full.String())
+	}
+	if !strings.Contains(full.String(), "symmetry=full weighted=") {
+		t.Errorf("full-mode report does not record the reduction:\n%s", full.String())
+	}
+}

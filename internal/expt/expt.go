@@ -232,6 +232,7 @@ func Runners() []Runner {
 		{"E15", E15SSBReduction},
 		{"E16", E16ProgressClasses},
 		{"E17", E17Ablations},
+		{"E18", E18SymmetrySweep},
 		{"F1", F1Livelock},
 	}
 }

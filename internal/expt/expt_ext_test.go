@@ -92,3 +92,27 @@ func TestE17ShapeAblations(t *testing.T) {
 		t.Errorf("eager-inf should degenerate: %d vs %d", acts["eager-inf"], acts["full Algorithm 3"])
 	}
 }
+
+func TestE18ShapeSymmetryAgreement(t *testing.T) {
+	tb := E18SymmetrySweep(Options{Quick: true})
+	if tb.Partial {
+		t.Fatalf("quick E18 marked partial:\n%s", tb)
+	}
+	if len(tb.Rows) != 3 {
+		t.Fatalf("quick E18 has %d rows, want 3 (off/assignments/full on C4):\n%s", len(tb.Rows), tb)
+	}
+	for r := range tb.Rows {
+		if got := cell(t, tb, r, "matches off"); got == "NO" {
+			t.Errorf("row %d (%s): reduced sweep disagrees with unreduced:\n%s", r, cell(t, tb, r, "symmetry"), tb)
+		}
+		if got := cell(t, tb, r, "all ok"); got != "true" {
+			t.Errorf("row %d: sweep not clean:\n%s", r, tb)
+		}
+	}
+	if off, red := cell(t, tb, 0, "runs"), cell(t, tb, 1, "runs"); off != "24" || red != "3" {
+		t.Errorf("C4 runs: off %s (want 24), assignments %s (want 3 = 4!/(2·4))", off, red)
+	}
+	if a, b := cell(t, tb, 0, "states (weighted)"), cell(t, tb, 1, "states (weighted)"); a != b {
+		t.Errorf("weighted states differ between off (%s) and assignments (%s)", a, b)
+	}
+}

@@ -55,6 +55,13 @@ type Options struct {
 	// used before compact hashing — slower and allocation-heavy, kept for
 	// differential testing against the compact 128-bit tables.
 	StringFingerprints bool
+	// Symmetry selects reduction under the cycle's automorphism group (see
+	// symmetry.go): SymmetryOff (default) is byte-identical to the
+	// historical checker; SymmetryAssignments reduces sweep-level
+	// identifier assignments only; SymmetryFull additionally keys the
+	// state tables by canonical (rotation-minimal) fingerprints wherever
+	// that is sound — Report.Symmetry records whether it actually engaged.
+	Symmetry Symmetry
 	// Context, when non-nil, cancels the exploration early: the checker
 	// stops claiming new branches (polled every few hundred states, so
 	// cancellation lands promptly) and returns the partial Report for the
@@ -115,9 +122,23 @@ func (o Options) withTimeout() (Options, context.CancelFunc) {
 
 // Report summarizes an exploration.
 type Report struct {
-	// States is the number of distinct configurations visited.
+	// States is the number of distinct configurations visited. Under
+	// within-run symmetry reduction (Symmetry == SymmetryFull) a
+	// "configuration" is a rotation orbit, so States counts orbit
+	// representatives; WeightedStates then recovers the unreduced total.
 	States int
-	// Terminal counts configurations in which every process terminated.
+	// WeightedStates is the sum of exact rotation-orbit sizes over the
+	// visited orbit representatives — the number of raw configurations in
+	// the union of all rotated copies of the reachable set. Zero unless
+	// Symmetry == SymmetryFull (keeping unreduced reports byte-identical).
+	WeightedStates int64
+	// Symmetry records the within-run reduction actually applied:
+	// SymmetryFull only when requested *and* sound for the instance
+	// (standard cycle; singleton sets or simultaneous mode), SymmetryOff
+	// otherwise.
+	Symmetry Symmetry
+	// Terminal counts configurations in which every process terminated
+	// (orbit representatives thereof under SymmetryFull).
 	Terminal int
 	// Truncated reports whether a depth or state bound cut exploration
 	// short (results are then lower bounds, not exhaustive).
@@ -130,7 +151,12 @@ type Report struct {
 	// replayable certificate: playing CyclePrefix from the initial
 	// configuration reaches a configuration from which CycleLoop returns
 	// to itself — repeating CycleLoop forever is an infinite execution
-	// with working processes activated at every step.
+	// with working processes activated at every step. Under SymmetryFull
+	// the loop returns to a *rotation* of its start (a quotient
+	// certificate); iterating the loop with its activation sets rotated by
+	// the accumulated shift each round still realizes an infinite
+	// execution, and CycleFound itself agrees exactly with the unreduced
+	// checker's verdict.
 	CyclePrefix [][]int
 	CycleLoop   [][]int
 	// Violations holds the first few invariant-violation messages.
@@ -176,6 +202,9 @@ func (r *Report) noteStop(reason runctl.StopReason) {
 func (r Report) String() string {
 	s := fmt.Sprintf("states=%d terminal=%d cycle=%t violations=%d truncated=%t deepest=%d",
 		r.States, r.Terminal, r.CycleFound, len(r.Violations), r.Truncated, r.DeepestPath)
+	if r.Symmetry == SymmetryFull {
+		s += fmt.Sprintf(" symmetry=full weighted=%d", r.WeightedStates)
+	}
 	if r.Partial {
 		s += fmt.Sprintf(" [PARTIAL: %s]", r.StopReason)
 	}
@@ -189,6 +218,7 @@ type Invariant[V any] func(e *sim.Engine[V]) error
 type explorer[V any] struct {
 	opt       Options
 	inv       Invariant[V]
+	canon     bool // key states by canonical (rotation-minimal) fingerprint
 	visited   *stateTable[struct{}]
 	onStack   *stateTable[struct{}]
 	path      [][]int    // activation sets from the root to the current state
@@ -200,9 +230,11 @@ type explorer[V any] struct {
 	free      []*sim.Engine[V] // discarded branch engines, recycled by CloneInto
 
 	// Key collection, enabled only by the parallel frontier so worker
-	// reports can be merged by set union (see parallel.go).
+	// reports can be merged by set union (see parallel.go). The mapped
+	// value is the state's exact rotation-orbit size (always 1 when canon
+	// is off), so the merged WeightedStates stays exact under unions.
 	collectKeys  bool
-	keys         map[stateKey]struct{}
+	keys         map[stateKey]int
 	terminalKeys map[stateKey]struct{}
 	vioKeys      []stateKey // state key of each recorded violation, aligned with report.Violations
 }
@@ -226,6 +258,30 @@ func (x *explorer[V]) key(e *sim.Engine[V]) stateKey {
 	}
 	h1, h2 := e.FingerprintHash128()
 	return stateKey{h1: h1, h2: h2}
+}
+
+// keyOrbit is key plus the state's exact rotation-orbit size; with canon
+// set the key is the canonical (rotation-minimal) fingerprint, so every
+// rotationally equivalent configuration lands on the same table slot.
+func (x *explorer[V]) keyOrbit(e *sim.Engine[V]) (stateKey, int) {
+	if !x.canon {
+		return x.key(e), 1
+	}
+	if x.opt.StringFingerprints {
+		fp, _, orbit := e.CanonicalFingerprintInfo()
+		return stateKey{str: fp}, orbit
+	}
+	h1, h2, _, orbit := e.CanonicalFingerprintHash128()
+	return stateKey{h1: h1, h2: h2}, orbit
+}
+
+// strFnFor returns the collision-resolution string matching the keying
+// scheme: canonical under canon, plain otherwise.
+func (x *explorer[V]) strFnFor(e *sim.Engine[V]) func() string {
+	if x.canon {
+		return func() string { return e.CanonicalFingerprint() }
+	}
+	return func() string { return e.Fingerprint() }
 }
 
 // clone copies e, recycling a previously released engine when available.
@@ -266,6 +322,10 @@ func Explore[V any](root *sim.Engine[V], opt Options, inv Invariant[V]) Report {
 	}
 	x := newExplorer[V](opt)
 	x.inv = inv
+	x.canon = canonApplies(root, opt)
+	if x.canon {
+		x.report.Symmetry = SymmetryFull
+	}
 	x.dfs(root, 0)
 	x.report.HashCollisions = x.visited.hashCollisions() + x.onStack.hashCollisions()
 	if x.met != nil {
@@ -289,8 +349,8 @@ func (x *explorer[V]) dfs(e *sim.Engine[V], depth int) {
 	if depth > x.report.DeepestPath {
 		x.report.DeepestPath = depth
 	}
-	k := x.key(e)
-	strFn := func() string { return e.Fingerprint() }
+	k, orbit := x.keyOrbit(e)
+	strFn := x.strFnFor(e)
 	if _, on := x.onStack.get(k, strFn); on {
 		if !x.report.CycleFound {
 			x.report.CycleFound = true
@@ -313,8 +373,11 @@ func (x *explorer[V]) dfs(e *sim.Engine[V], depth int) {
 	}
 	x.visited.put(k, strFn, struct{}{})
 	x.report.States++
+	if x.canon {
+		x.report.WeightedStates += int64(orbit)
+	}
 	if x.collectKeys {
-		x.keys[k] = struct{}{}
+		x.keys[k] = orbit
 	}
 	if x.met != nil {
 		x.met.States.Inc()
@@ -396,7 +459,15 @@ func WorstActivations[V any](root *sim.Engine[V], opt Options) ([]int, bool, Rep
 		ck:   runctl.NewChecker(opt.Context, opt.Budget.Timeout),
 		met:  opt.Metrics,
 	}
+	w.canon = canonApplies(root, opt)
+	if w.canon {
+		w.report.Symmetry = SymmetryFull
+		w.rotBuf = make([]int, root.N())
+	}
 	vec := w.dfs(root, 0)
+	if w.canon && vec != nil {
+		vec = append([]int(nil), vec...) // may alias the rotation scratch
+	}
 	w.report.HashCollisions = w.memo.hashCollisions() + w.onSt.hashCollisions()
 	ok := !w.report.CycleFound && !w.report.Truncated && !w.report.Partial
 	return vec, ok, w.report
@@ -404,10 +475,12 @@ func WorstActivations[V any](root *sim.Engine[V], opt Options) ([]int, bool, Rep
 
 type worst[V any] struct {
 	opt       Options
+	canon     bool // key states by canonical rotation-minimal fingerprint
 	memo      *stateTable[[]int]
 	onSt      *stateTable[struct{}]
 	report    Report
 	zero      []int // shared all-zeros vector; callers must not mutate results
+	rotBuf    []int // scratch for rotating memo vectors back into query frames
 	free      []*sim.Engine[V]
 	interrupt bool
 	ck        *runctl.Checker
@@ -420,6 +493,61 @@ func (w *worst[V]) key(e *sim.Engine[V]) stateKey {
 	}
 	h1, h2 := e.FingerprintHash128()
 	return stateKey{h1: h1, h2: h2}
+}
+
+// keyRot is key plus the rotation carrying this configuration into its
+// canonical frame (canonical-frame position j holds process (j+rot) mod n
+// of e) and the exact rotation-orbit size. Memo vectors are stored in the
+// canonical frame and rotated back into each query's own frame on
+// retrieval, so rotationally equivalent configurations share one memo
+// entry yet every caller sees its own process indexing.
+func (w *worst[V]) keyRot(e *sim.Engine[V]) (stateKey, int, int) {
+	if !w.canon {
+		return w.key(e), 0, 1
+	}
+	if w.opt.StringFingerprints {
+		fp, rot, orbit := e.CanonicalFingerprintInfo()
+		return stateKey{str: fp}, rot, orbit
+	}
+	h1, h2, rot, orbit := e.CanonicalFingerprintHash128()
+	return stateKey{h1: h1, h2: h2}, rot, orbit
+}
+
+// strFnFor mirrors explorer.strFnFor for the worst-case tables.
+func (w *worst[V]) strFnFor(e *sim.Engine[V]) func() string {
+	if w.canon {
+		return func() string { return e.CanonicalFingerprint() }
+	}
+	return func() string { return e.Fingerprint() }
+}
+
+// toCanon returns vec re-indexed into the canonical frame (freshly
+// allocated when a rotation is needed — the memo owns its vectors).
+func (w *worst[V]) toCanon(vec []int, rot int) []int {
+	if rot == 0 {
+		return vec
+	}
+	n := len(vec)
+	out := make([]int, n)
+	for j := 0; j < n; j++ {
+		out[j] = vec[(j+rot)%n]
+	}
+	return out
+}
+
+// fromCanon returns the canonical-frame vector v re-indexed into the frame
+// of a query with rotation rot. The result may alias w.rotBuf, which stays
+// valid until the next fromCanon call — callers consume it before
+// recursing.
+func (w *worst[V]) fromCanon(v []int, rot int) []int {
+	if rot == 0 {
+		return v
+	}
+	n := len(v)
+	for i := 0; i < n; i++ {
+		w.rotBuf[i] = v[((i-rot)%n+n)%n]
+	}
+	return w.rotBuf
 }
 
 func (w *worst[V]) clone(e *sim.Engine[V]) *sim.Engine[V] {
@@ -447,18 +575,21 @@ func (w *worst[V]) dfs(e *sim.Engine[V], depth int) []int {
 	if depth > w.report.DeepestPath {
 		w.report.DeepestPath = depth
 	}
-	k := w.key(e)
-	strFn := func() string { return e.Fingerprint() }
+	k, rot, orbit := w.keyRot(e)
+	strFn := w.strFnFor(e)
 	if _, on := w.onSt.get(k, strFn); on {
 		w.report.CycleFound = true
 		return w.zero
 	}
 	if v, ok := w.memo.get(k, strFn); ok {
-		return v
+		return w.fromCanon(v, rot)
 	}
 	if e.AllDone() {
 		w.report.Terminal++
 		w.memo.put(k, strFn, w.zero)
+		if w.canon {
+			w.report.WeightedStates += int64(orbit)
+		}
 		if w.met != nil {
 			w.met.States.Inc()
 			w.met.Terminal.Inc()
@@ -478,6 +609,9 @@ func (w *worst[V]) dfs(e *sim.Engine[V], depth int) []int {
 	working := workingSet(e)
 	if len(working) == 0 {
 		w.memo.put(k, strFn, w.zero)
+		if w.canon {
+			w.report.WeightedStates += int64(orbit)
+		}
 		return w.zero
 	}
 	w.onSt.put(k, strFn, struct{}{})
@@ -506,7 +640,10 @@ func (w *worst[V]) dfs(e *sim.Engine[V], depth int) []int {
 		}
 	}
 	w.onSt.del(k, strFn)
-	w.memo.put(k, strFn, best)
+	w.memo.put(k, strFn, w.toCanon(best, rot))
+	if w.canon {
+		w.report.WeightedStates += int64(orbit)
+	}
 	w.report.States = w.memo.length()
 	if w.met != nil {
 		w.met.States.Inc()

@@ -27,14 +27,32 @@ func exploreParallel[V any](root *sim.Engine[V], opt Options, inv Invariant[V]) 
 	// Key the root serially: FingerprintHash128 uses engine-owned scratch,
 	// and workers must not touch the shared root. The string form is also
 	// precomputed so collision fallbacks never race on root.Fingerprint.
+	// Under within-run symmetry reduction the root is keyed canonically,
+	// like every state the workers visit.
+	canon := canonApplies(root, opt)
 	var rootKey stateKey
-	if opt.StringFingerprints {
+	rootOrbit := 1
+	switch {
+	case canon && opt.StringFingerprints:
+		var fp string
+		fp, _, rootOrbit = root.CanonicalFingerprintInfo()
+		rootKey = stateKey{str: fp}
+	case canon:
+		var h1, h2 uint64
+		h1, h2, _, rootOrbit = root.CanonicalFingerprintHash128()
+		rootKey = stateKey{h1: h1, h2: h2}
+	case opt.StringFingerprints:
 		rootKey = stateKey{str: root.Fingerprint()}
-	} else {
+	default:
 		h1, h2 := root.FingerprintHash128()
 		rootKey = stateKey{h1: h1, h2: h2}
 	}
 	rootStr := root.Fingerprint()
+	if canon {
+		rootStr = root.CanonicalFingerprint()
+		rep.Symmetry = SymmetryFull
+		rep.WeightedStates = int64(rootOrbit)
+	}
 	rootStrFn := func() string { return rootStr }
 
 	if inv != nil {
@@ -72,8 +90,9 @@ func exploreParallel[V any](root *sim.Engine[V], opt Options, inv Invariant[V]) 
 	workers, done := par.MapCtx(opt.Context, opt.Workers, subs, ws, func(i int, subset []int) *explorer[V] {
 		x := newExplorer[V](opt)
 		x.inv = inv
+		x.canon = canon
 		x.collectKeys = true
-		x.keys = make(map[stateKey]struct{})
+		x.keys = make(map[stateKey]int)
 		x.terminalKeys = make(map[stateKey]struct{})
 		// Pre-seed the path with the first-level step and keep the root on
 		// the stack for the whole worker: cycle prefixes and violation
@@ -88,7 +107,7 @@ func exploreParallel[V any](root *sim.Engine[V], opt Options, inv Invariant[V]) 
 		return x
 	})
 
-	keys := map[stateKey]struct{}{rootKey: {}}
+	keys := map[stateKey]int{rootKey: rootOrbit}
 	terminals := make(map[stateKey]struct{})
 	vioSeen := make(map[stateKey]bool)
 	for i, x := range workers {
@@ -105,8 +124,8 @@ func exploreParallel[V any](root *sim.Engine[V], opt Options, inv Invariant[V]) 
 		if r.Partial {
 			rep.noteStop(r.StopReason)
 		}
-		for k := range x.keys {
-			keys[k] = struct{}{}
+		for k, orbit := range x.keys {
+			keys[k] = orbit
 		}
 		for k := range x.terminalKeys {
 			terminals[k] = struct{}{}
@@ -139,6 +158,12 @@ func exploreParallel[V any](root *sim.Engine[V], opt Options, inv Invariant[V]) 
 	}
 	rep.States = len(keys)
 	rep.Terminal = len(terminals)
+	if canon {
+		rep.WeightedStates = 0
+		for _, orbit := range keys {
+			rep.WeightedStates += int64(orbit)
+		}
+	}
 	if opt.Metrics != nil {
 		opt.Metrics.HashCollisions.Add(int64(rep.HashCollisions))
 	}

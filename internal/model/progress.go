@@ -22,6 +22,14 @@ import (
 func ObstructionFree[V any](root *sim.Engine[V], opt Options, soloBound int) (string, Report) {
 	opt = opt.withDefaults()
 	x := newExplorer[V](opt)
+	// Solo-run termination is a rotation-invariant property (the solo
+	// clone of position p in one configuration behaves as the solo clone
+	// of the rotated position in its rotation image), so checking one
+	// orbit representative covers the orbit.
+	x.canon = canonApplies(root, opt)
+	if x.canon {
+		x.report.Symmetry = SymmetryFull
+	}
 	counterexample := ""
 	x.inv = func(e *sim.Engine[V]) error {
 		if counterexample != "" {
@@ -56,12 +64,19 @@ func ObstructionFree[V any](root *sim.Engine[V], opt Options, soloBound int) (st
 // stateGraph is the explicit reachable configuration graph used by the
 // fair-termination analysis. State identity uses the same compact-
 // fingerprint table as the explorer (exact string keys under
-// Options.StringFingerprints).
+// Options.StringFingerprints). With canon set, states are rotation orbits:
+// working sets and edge activation sets are stored in each state's
+// canonical frame, and every edge records the frame shift into its target
+// — enough to expand the quotient back into the full rotation closure for
+// the fairness analysis (see liftQuotient).
 type stateGraph struct {
 	ids       *stateTable[int]
 	useStr    bool
+	canon     bool
+	n         int      // processes; frame arithmetic under canon
 	edges     [][]edge // adjacency: edges[s] lists transitions out of s
-	working   [][]int  // working processes per state
+	working   [][]int  // working processes per state (canonical frame under canon)
+	orbit     []int    // exact rotation-orbit size per state (canon only)
 	terminal  []bool
 	truncated bool
 }
@@ -69,6 +84,24 @@ type stateGraph struct {
 type edge struct {
 	to        int
 	activated []int
+	// shift is the rotation from the source's canonical frame to the
+	// target's: lifted copy (source, t) steps to (target, (t+shift) mod n).
+	// Always 0 when the graph is unreduced.
+	shift int
+}
+
+// rotateSet returns {(p+by) mod n : p ∈ ps}, sorted — frame conversion for
+// working/activation sets.
+func rotateSet(ps []int, by, n int) []int {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]int, len(ps))
+	for i, p := range ps {
+		out[i] = ((p+by)%n + n) % n
+	}
+	sort.Ints(out)
+	return out
 }
 
 // FairlyTerminates checks starvation-freedom over the bounded state
@@ -87,17 +120,38 @@ func FairlyTerminates[V any](root *sim.Engine[V], opt Options) (string, Report) 
 	g := &stateGraph{
 		ids:    newStateTable[int](opt.StringFingerprints),
 		useStr: opt.StringFingerprints,
+		canon:  canonApplies(root, opt),
+		n:      root.N(),
 	}
 	rep := Report{}
+	if g.canon {
+		rep.Symmetry = SymmetryFull
+	}
 	buildStateGraph(root, opt, g, &rep, 0)
 	rep.States = len(g.edges)
 	rep.HashCollisions = g.ids.hashCollisions()
 	if g.truncated {
 		rep.Truncated = true
 	}
+	if g.canon {
+		for _, o := range g.orbit {
+			rep.WeightedStates += int64(o)
+		}
+	}
 
-	for _, scc := range tarjanSCC(g) {
-		if desc := fairLivelock(g, scc); desc != "" {
+	// Fairness is a property of process identities along infinite runs, so
+	// the SCC analysis needs consistent identities across each component:
+	// under reduction, expand the quotient into the full rotation closure
+	// (cheap integer work, no engine stepping or hashing) and analyze that.
+	// Every SCC of the closure lies inside one rotated copy of the
+	// reachable graph — copies are successor-closed — so a fair livelock
+	// exists in the closure exactly when one exists in the unreduced graph.
+	ag := g
+	if g.canon {
+		ag = liftQuotient(g)
+	}
+	for _, scc := range tarjanSCC(ag) {
+		if desc := fairLivelock(ag, scc); desc != "" {
 			rep.CycleFound = true
 			return desc, rep
 		}
@@ -105,47 +159,109 @@ func FairlyTerminates[V any](root *sim.Engine[V], opt Options) (string, Report) 
 	return "", rep
 }
 
-func buildStateGraph[V any](e *sim.Engine[V], opt Options, g *stateGraph, rep *Report, depth int) int {
+// liftQuotient expands a canonical quotient graph into the explicit
+// rotation closure: n copies of every orbit representative, one per frame
+// offset t, with working/activation sets rotated into each copy's real
+// frame and edges following the recorded frame shifts.
+func liftQuotient(g *stateGraph) *stateGraph {
+	n := g.n
+	q := len(g.edges)
+	lift := &stateGraph{
+		n:        n,
+		edges:    make([][]edge, q*n),
+		working:  make([][]int, q*n),
+		terminal: make([]bool, q*n),
+	}
+	for id := 0; id < q; id++ {
+		for t := 0; t < n; t++ {
+			s := id*n + t
+			lift.working[s] = rotateSet(g.working[id], t, n)
+			lift.terminal[s] = g.terminal[id]
+			for _, ed := range g.edges[id] {
+				lift.edges[s] = append(lift.edges[s], edge{
+					to:        ed.to*n + (t+ed.shift)%n,
+					activated: rotateSet(ed.activated, t, n),
+				})
+			}
+		}
+	}
+	return lift
+}
+
+// buildStateGraph interns e's configuration (or its rotation orbit, under
+// canon) and recursively explores its successors. It returns the state id
+// and the rotation carrying e into the state's canonical frame (0 when
+// unreduced) — callers use the rotation to express edge data frame-
+// consistently.
+func buildStateGraph[V any](e *sim.Engine[V], opt Options, g *stateGraph, rep *Report, depth int) (int, int) {
 	var k stateKey
-	if g.useStr {
+	rot, orbit := 0, 1
+	switch {
+	case g.canon && g.useStr:
+		var fp string
+		fp, rot, orbit = e.CanonicalFingerprintInfo()
+		k = stateKey{str: fp}
+	case g.canon:
+		var h1, h2 uint64
+		h1, h2, rot, orbit = e.CanonicalFingerprintHash128()
+		k = stateKey{h1: h1, h2: h2}
+	case g.useStr:
 		k = stateKey{str: e.Fingerprint()}
-	} else {
+	default:
 		h1, h2 := e.FingerprintHash128()
 		k = stateKey{h1: h1, h2: h2}
 	}
-	strFn := func() string { return e.Fingerprint() }
+	strFn := func() string {
+		if g.canon {
+			return e.CanonicalFingerprint()
+		}
+		return e.Fingerprint()
+	}
 	if id, ok := g.ids.get(k, strFn); ok {
-		return id
+		return id, rot
 	}
 	id := len(g.edges)
 	g.ids.put(k, strFn, id)
+	working := workingSet(e)
 	g.edges = append(g.edges, nil)
-	g.working = append(g.working, workingSet(e))
+	if g.canon {
+		// Store the working set in the canonical frame (position j of the
+		// canonical frame is process (j+rot) of e, so e's process p sits at
+		// canonical position p-rot).
+		g.working = append(g.working, rotateSet(working, -rot, g.n))
+		g.orbit = append(g.orbit, orbit)
+	} else {
+		g.working = append(g.working, working)
+	}
 	g.terminal = append(g.terminal, e.AllDone())
 	if depth > rep.DeepestPath {
 		rep.DeepestPath = depth
 	}
 	if e.AllDone() {
 		rep.Terminal++
-		return id
+		return id, rot
 	}
 	if depth >= opt.MaxDepth || len(g.edges) >= opt.MaxStates {
 		g.truncated = true
-		return id
+		return id, rot
 	}
-	working := g.working[id]
 	if len(working) == 0 {
-		return id
+		return id, rot
 	}
 	for _, subset := range subsets(working, opt.SingletonsOnly) {
 		child := e.Clone()
 		// Step's result is child-owned scratch; the edge outlives the
 		// child, so it keeps a copy.
 		performed := append([]int(nil), child.Step(subset)...)
-		to := buildStateGraph(child, opt, g, rep, depth+1)
-		g.edges[id] = append(g.edges[id], edge{to: to, activated: performed})
+		to, childRot := buildStateGraph(child, opt, g, rep, depth+1)
+		ed := edge{to: to, activated: performed}
+		if g.canon {
+			ed.activated = rotateSet(performed, -rot, g.n)
+			ed.shift = ((childRot-rot)%g.n + g.n) % g.n
+		}
+		g.edges[id] = append(g.edges[id], ed)
 	}
-	return id
+	return id, rot
 }
 
 // fairLivelock reports whether the given SCC constitutes a fair

@@ -32,10 +32,10 @@ func c5Pair(t *testing.T) *sim.Engine[core.PairVal] {
 
 // exploreKeys runs the serial DFS with key collection on, returning the
 // report and the exact set of visited state keys.
-func exploreKeys(root *sim.Engine[core.PairVal], opt Options) (Report, map[stateKey]struct{}) {
+func exploreKeys(root *sim.Engine[core.PairVal], opt Options) (Report, map[stateKey]int) {
 	x := newExplorer[core.PairVal](opt)
 	x.collectKeys = true
-	x.keys = make(map[stateKey]struct{})
+	x.keys = make(map[stateKey]int)
 	x.terminalKeys = make(map[stateKey]struct{})
 	x.dfs(root, 0)
 	return x.report, x.keys
@@ -61,7 +61,7 @@ func TestCancelledExploreIsPrefixConsistent(t *testing.T) {
 	popt.Context = ctx
 	x := newExplorer[core.PairVal](popt)
 	x.collectKeys = true
-	x.keys = make(map[stateKey]struct{})
+	x.keys = make(map[stateKey]int)
 	x.terminalKeys = make(map[stateKey]struct{})
 	x.inv = func(e *sim.Engine[core.PairVal]) error {
 		if x.report.States == cut {

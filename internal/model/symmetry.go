@@ -1,0 +1,282 @@
+package model
+
+// Symmetry reduction under the cycle's automorphism group, in two
+// independent layers (see DESIGN.md §6 for the full soundness argument):
+//
+//   - Assignment-level (SymmetryAssignments): an exhaustive sweep over all
+//     n! identifier-rank assignments of C_n keeps one representative per
+//     orbit of the dihedral group D_n (2n rotations/reflections) and
+//     weights its counts by the exact orbit size. Running the image
+//     assignment is isomorphic to running the original — rotations
+//     preserve the engine's fixed neighbor-list order outright, and
+//     reflections reverse it, which the algorithms cannot observe (they
+//     are neighbor-order-insensitive; the repo pins this with
+//     ShuffledNeighbors tests). Reduced sweep totals therefore multiply
+//     back to the unreduced totals exactly; the differential tests assert
+//     bit-exact equality.
+//
+//   - Within-run (SymmetryFull): on top of the assignment quotient, each
+//     exploration keys its visited/memo tables by the canonical
+//     (rotation-minimal) fingerprint, so rotationally equivalent
+//     configurations collapse to one state. Only the n rotations are used
+//     — they are automorphisms of the *labeled transition system*, not
+//     just the algorithm — and only in configurations where stepping
+//     commutes with rotation: singleton activation sets (any mode) or
+//     ModeSimultaneous sets. Interleaved multi-element sets execute in
+//     ascending index order, which relabeling does not preserve, so the
+//     checker silently falls back to unreduced keying there (and on any
+//     non-standard-cycle topology); Report.Symmetry records what was
+//     actually applied.
+//
+// The default SymmetryOff preserves the historical behavior byte-for-byte.
+
+import (
+	"fmt"
+
+	"asynccycle/internal/graph"
+	"asynccycle/internal/runctl"
+	"asynccycle/internal/sim"
+)
+
+// Symmetry selects the reduction level.
+type Symmetry int
+
+const (
+	// SymmetryOff disables all reduction (the default; byte-identical to
+	// the pre-symmetry checker).
+	SymmetryOff Symmetry = iota
+	// SymmetryAssignments quotients sweep-level identifier assignments by
+	// D_n with exact orbit weighting; each representative run is itself
+	// unreduced.
+	SymmetryAssignments
+	// SymmetryFull adds within-run canonical-fingerprint state dedup by
+	// the rotation subgroup, where provably sound (see package comment).
+	SymmetryFull
+)
+
+// String returns "off", "assignments" or "full".
+func (s Symmetry) String() string {
+	switch s {
+	case SymmetryAssignments:
+		return "assignments"
+	case SymmetryFull:
+		return "full"
+	default:
+		return "off"
+	}
+}
+
+// ParseSymmetry parses the -symmetry flag values off|assignments|full.
+func ParseSymmetry(s string) (Symmetry, error) {
+	switch s {
+	case "off", "":
+		return SymmetryOff, nil
+	case "assignments":
+		return SymmetryAssignments, nil
+	case "full":
+		return SymmetryFull, nil
+	}
+	return SymmetryOff, fmt.Errorf("model: unknown symmetry level %q (want off|assignments|full)", s)
+}
+
+// canonApplies reports whether within-run rotation canonicalization is
+// sound for this root: SymmetryFull requested, standard-cycle topology
+// (neighbor lists in [i-1, i+1] order, which rotations preserve), and
+// either singleton-only activation sets or simultaneous-mode semantics.
+func canonApplies[V any](root *sim.Engine[V], opt Options) bool {
+	if opt.Symmetry != SymmetryFull {
+		return false
+	}
+	if !graph.IsStandardCycle(root.Graph()) {
+		return false
+	}
+	return opt.SingletonsOnly || root.Mode() == sim.ModeSimultaneous
+}
+
+// SweepReport aggregates an exhaustive identifier-assignment sweep.
+// Weighted totals count every assignment (each orbit representative's
+// contribution multiplied by its exact orbit size), so they are directly
+// comparable across symmetry levels: a SymmetryOff sweep and a
+// SymmetryAssignments sweep of the same instance must agree bit-for-bit on
+// every weighted field, which the equivalence tests assert.
+type SweepReport struct {
+	// N is the cycle length; Symmetry the reduction level the sweep ran at.
+	N        int
+	Symmetry Symmetry
+	// Assignments counts identifier assignments covered (n! when complete,
+	// whether or not reduction was on); Runs counts explorations actually
+	// performed (orbit representatives under reduction).
+	Assignments int
+	Runs        int
+	// States/Terminal are weighted sums of per-run report counts.
+	States   int64
+	Terminal int64
+	// CycleRuns counts assignments (weighted) whose exploration found a
+	// non-termination cycle; Violations the weighted total of violation
+	// messages recorded.
+	CycleRuns  int64
+	Violations int64
+	// WorstPerProc is the supremum over assignments of the per-process
+	// worst-case activation vector (index = cycle position of the run's own
+	// frame, folded over the whole orbit); MaxWorst its maximum entry.
+	// Only set by SweepWorstActivations.
+	WorstPerProc []int
+	MaxWorst     int
+	// AllOk reports every per-run analysis was exhaustive and clean (no
+	// cycles, violations, truncation).
+	AllOk bool
+	// HashCollisions sums lane-A collisions across runs.
+	HashCollisions int
+	// Partial/StopReason mark an interrupted sweep (budget or context);
+	// counts then cover exactly the assignments processed.
+	Partial    bool
+	StopReason runctl.StopReason
+}
+
+// String renders a one-line summary.
+func (r SweepReport) String() string {
+	s := fmt.Sprintf("sweep n=%d symmetry=%s assignments=%d runs=%d states=%d terminal=%d cycles=%d violations=%d allok=%t",
+		r.N, r.Symmetry, r.Assignments, r.Runs, r.States, r.Terminal, r.CycleRuns, r.Violations, r.AllOk)
+	if r.WorstPerProc != nil {
+		s += fmt.Sprintf(" worst=%v max=%d", r.WorstPerProc, r.MaxWorst)
+	}
+	if r.Partial {
+		s += fmt.Sprintf(" [PARTIAL: %s]", r.StopReason)
+	}
+	return s
+}
+
+// maxSweepN bounds sweep sizes: n! assignments (or n!/(2n) representatives)
+// beyond 8 processes is out of reach for exhaustive exploration anyway.
+const maxSweepN = 8
+
+// SweepExplore runs Explore over every identifier-rank assignment of C_n
+// (all permutations of {1..n}; only relative identifier order is observable
+// by the algorithms, so ranks cover all real identifier inputs). mk builds
+// the engine for one assignment. Under opt.Symmetry ≥ SymmetryAssignments
+// only canonical orbit representatives are explored and their counts are
+// weighted by exact orbit size; verdict-bearing fields (cycles, violations,
+// AllOk) cover all assignments either way, because every assignment is
+// isomorphic to its representative.
+func SweepExplore[V any](n int, mk func(xs []int) (*sim.Engine[V], error), opt Options, inv Invariant[V]) (SweepReport, error) {
+	return sweep(n, mk, opt, inv, false)
+}
+
+// SweepWorstActivations runs WorstActivations over every identifier-rank
+// assignment of C_n, reducing as SweepExplore does, and folds the
+// per-assignment worst-activation vectors into a per-position supremum.
+// Because an orbit representative's vector is, position-wise, the relabeled
+// vector of every assignment in its orbit, the representative's vector is
+// folded under all 2n automorphisms — the reduced supremum equals the
+// unreduced one exactly (asserted by the differential tests).
+func SweepWorstActivations[V any](n int, mk func(xs []int) (*sim.Engine[V], error), opt Options) (SweepReport, error) {
+	return sweep[V](n, mk, opt, nil, true)
+}
+
+func sweep[V any](n int, mk func(xs []int) (*sim.Engine[V], error), opt Options, inv Invariant[V], worstMode bool) (SweepReport, error) {
+	if n < 3 || n > maxSweepN {
+		return SweepReport{}, fmt.Errorf("model: sweep over C%d: need 3 ≤ n ≤ %d", n, maxSweepN)
+	}
+	opt = opt.withDefaults()
+	opt, cancel := opt.withTimeout()
+	defer cancel()
+	ck := runctl.NewChecker(opt.Context, 0)
+	rep := SweepReport{N: n, Symmetry: opt.Symmetry, AllOk: true}
+	if worstMode {
+		rep.WorstPerProc = make([]int, n)
+	}
+	reduce := opt.Symmetry != SymmetryOff
+	var mkErr error
+	graph.Permutations(n, func(xs []int) bool {
+		if reason, stop := ck.CheckNow(); stop {
+			rep.Partial = true
+			rep.AllOk = false
+			if rep.StopReason == runctl.StopNone {
+				rep.StopReason = reason
+			}
+			return false
+		}
+		weight := 1
+		if reduce {
+			if !graph.IsCanonicalAssignment(xs) {
+				return true // covered by its orbit representative
+			}
+			_, weight = graph.CanonicalAssignment(xs)
+		}
+		e, err := mk(append([]int(nil), xs...))
+		if err != nil {
+			mkErr = fmt.Errorf("model: sweep assignment %v: %w", xs, err)
+			return false
+		}
+		rep.Runs++
+		rep.Assignments += weight
+		if worstMode {
+			vec, ok, r := WorstActivations(e, opt)
+			foldRun(&rep, r, weight)
+			if !ok {
+				rep.AllOk = false
+			}
+			foldWorst(rep.WorstPerProc, vec, reduce)
+		} else {
+			r := Explore(e, opt, inv)
+			foldRun(&rep, r, weight)
+			if !r.Ok() {
+				rep.AllOk = false
+			}
+		}
+		return true
+	})
+	if mkErr != nil {
+		return SweepReport{}, mkErr
+	}
+	for _, w := range rep.WorstPerProc {
+		if w > rep.MaxWorst {
+			rep.MaxWorst = w
+		}
+	}
+	return rep, nil
+}
+
+// foldRun accumulates one per-assignment report, weighted by orbit size.
+func foldRun(rep *SweepReport, r Report, weight int) {
+	rep.States += int64(weight) * int64(r.States)
+	rep.Terminal += int64(weight) * int64(r.Terminal)
+	if r.CycleFound {
+		rep.CycleRuns += int64(weight)
+	}
+	rep.Violations += int64(weight) * int64(len(r.Violations))
+	rep.HashCollisions += r.HashCollisions
+	if r.Partial {
+		rep.Partial = true
+		if rep.StopReason == runctl.StopNone {
+			rep.StopReason = r.StopReason
+		}
+	}
+}
+
+// foldWorst merges one assignment's worst-activation vector into the
+// per-position supremum. Under reduction the representative's vector
+// stands for every assignment in its orbit, whose vectors are its images
+// under the orbit's automorphisms: fold all 2n images. (Unreduced, each
+// assignment contributes its own frame directly.)
+func foldWorst(acc, vec []int, reduce bool) {
+	if vec == nil {
+		return
+	}
+	if !reduce {
+		for i, v := range vec {
+			if v > acc[i] {
+				acc[i] = v
+			}
+		}
+		return
+	}
+	n := len(vec)
+	for _, p := range graph.CycleAutomorphisms(n) {
+		for i := 0; i < n; i++ {
+			if v := vec[p[i]]; v > acc[i] {
+				acc[i] = v
+			}
+		}
+	}
+}

@@ -95,12 +95,12 @@ func (h *FPHasher) Sum128() (uint64, uint64) { return h.a, h.b }
 
 // FingerprintHash returns a compact 64-bit fingerprint of the
 // configuration, covering exactly the state Fingerprint covers: register
-// contents, node states, and termination/crash flags (activation counts
-// and time excluded, since the transition function does not depend on
-// them). Two engines with equal string fingerprints always have equal
-// hashes; the converse holds up to hash collision, which the model
-// checker's visited sets detect via the second lane and resolve exactly
-// (see internal/model).
+// contents, node states, termination/crash flags, and — only for processes
+// armed with a CrashAfter limit — the activation count and limit, since
+// distance-to-crash is then part of the transition function. Two engines
+// with equal string fingerprints always have equal hashes; the converse
+// holds up to hash collision, which the model checker's visited sets detect
+// via the second lane and resolve exactly (see internal/model).
 //
 // The encoding is streamed through a scratch hasher owned by the engine:
 // zero allocations when every node and register type implements Hashable.
@@ -111,10 +111,23 @@ func (e *Engine[V]) FingerprintHash() uint64 {
 
 // FingerprintHash128 returns both lanes of the compact fingerprint.
 func (e *Engine[V]) FingerprintHash128() (uint64, uint64) {
+	return e.FingerprintHashRotated(0)
+}
+
+// FingerprintHashRotated returns both lanes of the compact fingerprint of
+// the configuration relabeled by the cycle rotation i ↦ i-k mod n: position
+// j of the hashed stream carries process (j+k) mod n, mirroring
+// FingerprintRotated. FingerprintHashRotated(0) is FingerprintHash128.
+func (e *Engine[V]) FingerprintHashRotated(k int) (uint64, uint64) {
 	h := &e.fph
 	h.Reset()
-	for i := range e.nodes {
-		h.HashInt(i)
+	n := len(e.nodes)
+	for j := 0; j < n; j++ {
+		i := j + k
+		if i >= n {
+			i -= n
+		}
+		h.HashInt(j)
 		if e.regs[i].Present {
 			h.HashByte(1)
 			hashValue(h, &e.regs[i].Val)
@@ -125,6 +138,11 @@ func (e *Engine[V]) FingerprintHash128() (uint64, uint64) {
 		h.HashBool(e.done[i])
 		h.HashBool(e.crashed[i])
 		h.HashInt(e.outputs[i])
+		if e.limits[i] >= 0 {
+			h.HashByte(1)
+			h.HashInt(e.acts[i])
+			h.HashInt(e.limits[i])
+		}
 	}
 	return h.Sum128()
 }

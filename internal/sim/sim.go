@@ -169,6 +169,7 @@ type Engine[V any] struct {
 	performedBuf []int     // Step's result slice
 	inSetBuf     []bool    // Step's dedup marks, cleared after use
 	fph          FPHasher  // FingerprintHash's streaming state
+	rotH         []uint64  // canonical fingerprint scratch: 2n rotated hash lanes
 
 	met *metrics.Run // optional observability sink; nil = off
 }
@@ -478,6 +479,13 @@ func (e *Engine[V]) CloneInto(dst *Engine[V]) *Engine[V] {
 	dst.met = nil
 	if dst.inSetBuf != nil && len(dst.inSetBuf) != len(e.nodes) {
 		dst.inSetBuf = nil // sized per instance; re-lazily allocated
+	} else {
+		// Step leaves the dedup marks cleared, but a caller scribbling on a
+		// recycled engine (or a future Step variant bailing mid-loop) must
+		// not leak marks into the next instance: clear defensively.
+		for i := range dst.inSetBuf {
+			dst.inSetBuf[i] = false
+		}
 	}
 	return dst
 }
@@ -485,18 +493,39 @@ func (e *Engine[V]) CloneInto(dst *Engine[V]) *Engine[V] {
 // Fingerprint returns a canonical string encoding of the configuration:
 // register contents, node states, and termination/crash flags. Two engines
 // with equal fingerprints behave identically under identical future
-// schedules (activation counts and time are excluded on purpose, since the
-// transition function does not depend on them).
+// schedules. Activation counts and time are excluded when no crash limit is
+// armed, since the transition function then does not depend on them; a
+// process with a CrashAfter limit additionally encodes its activation count
+// and limit, because its distance-to-crash *is* part of the transition
+// function (two configurations differing only in a limited process's count
+// evolve differently). Limit-free fingerprints are byte-identical to the
+// historical encoding.
 func (e *Engine[V]) Fingerprint() string {
+	return e.FingerprintRotated(0)
+}
+
+// FingerprintRotated returns the Fingerprint of the configuration relabeled
+// by the cycle rotation i ↦ i-k mod n: position j of the encoding carries
+// process (j+k) mod n. FingerprintRotated(0) is exactly Fingerprint.
+func (e *Engine[V]) FingerprintRotated(k int) string {
+	n := len(e.nodes)
 	var b strings.Builder
-	for i := range e.nodes {
-		fmt.Fprintf(&b, "%d[", i)
+	for j := 0; j < n; j++ {
+		i := j + k
+		if i >= n {
+			i -= n
+		}
+		fmt.Fprintf(&b, "%d[", j)
 		if e.regs[i].Present {
 			fmt.Fprintf(&b, "r=%v", e.regs[i].Val)
 		} else {
 			b.WriteString("r=⊥")
 		}
-		fmt.Fprintf(&b, " s=%v d=%t c=%t o=%d]", e.nodes[i], e.done[i], e.crashed[i], e.outputs[i])
+		fmt.Fprintf(&b, " s=%v d=%t c=%t o=%d", e.nodes[i], e.done[i], e.crashed[i], e.outputs[i])
+		if e.limits[i] >= 0 {
+			fmt.Fprintf(&b, " a=%d l=%d", e.acts[i], e.limits[i])
+		}
+		b.WriteString("]")
 	}
 	return b.String()
 }

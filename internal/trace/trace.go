@@ -21,8 +21,27 @@ type Event struct {
 	Wrote string `json:"wrote"`
 	// Returned reports whether the process terminated in this round.
 	Returned bool `json:"returned,omitempty"`
-	// Output is the color output if Returned.
+	// Output is the color output if Returned. Presence in JSON is keyed on
+	// Returned, not on the value (see MarshalJSON): color 0 is a legitimate
+	// output and must not be dropped by omitempty.
 	Output int `json:"output,omitempty"`
+}
+
+// MarshalJSON emits the output field exactly when the event is a return.
+// With a plain omitempty tag a round returning color 0 serialized with no
+// output field at all, making a "returned with color 0" event
+// indistinguishable from a malformed one after a JSONL round trip.
+func (ev Event) MarshalJSON() ([]byte, error) {
+	// Shadow type drops the methods so json.Marshal doesn't recurse.
+	type plain Event
+	aux := struct {
+		plain
+		Output *int `json:"output,omitempty"`
+	}{plain: plain(ev)}
+	if ev.Returned {
+		aux.Output = &ev.Output
+	}
+	return json.Marshal(aux)
 }
 
 // Recorder accumulates events via an engine hook. The zero value records

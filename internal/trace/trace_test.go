@@ -122,6 +122,60 @@ func TestWriteJSONL(t *testing.T) {
 	}
 }
 
+// TestJSONLRoundTripColorZero is the regression for the omitempty bug: a
+// round that returns color 0 must serialize with an explicit output field
+// and round-trip to the identical event. (Before the fix, omitempty on a
+// plain int silently dropped the field for color 0, so a legitimate
+// "returned with color 0" event decoded as an event with no output.)
+func TestJSONLRoundTripColorZero(t *testing.T) {
+	events := []trace.Event{
+		{T: 1, Node: 2, Wrote: "w", Returned: true, Output: 0},
+		{T: 2, Node: 3, Wrote: "v", Returned: true, Output: 4},
+		{T: 3, Node: 0, Wrote: "u"},
+	}
+	for _, ev := range events {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Returned && !strings.Contains(string(data), `"output":`) {
+			t.Errorf("returned event lost its output field: %s", data)
+		}
+		if !ev.Returned && strings.Contains(string(data), `"output":`) {
+			t.Errorf("non-returned event grew an output field: %s", data)
+		}
+		var back trace.Event
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != ev {
+			t.Errorf("round trip changed the event: %+v -> %s -> %+v", ev, data, back)
+		}
+	}
+
+	// End to end through the recorder: every returned event in the JSONL
+	// stream must carry an output field, and decoding must reproduce the
+	// recorded events exactly.
+	rec := tracedRun(t, 0)
+	var buf bytes.Buffer
+	if err := rec.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	for i, line := range lines {
+		var back trace.Event
+		if err := json.Unmarshal([]byte(line), &back); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if back != rec.Events()[i] {
+			t.Fatalf("line %d decoded to %+v, recorded %+v", i, back, rec.Events()[i])
+		}
+		if back.Returned != strings.Contains(line, `"output":`) {
+			t.Errorf("line %d: output presence disagrees with returned flag: %s", i, line)
+		}
+	}
+}
+
 // failWriter fails after a byte budget to exercise error paths.
 type failWriter struct{ budget int }
 
