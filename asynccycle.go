@@ -42,7 +42,6 @@ import (
 	"asynccycle/internal/conc"
 	"asynccycle/internal/core"
 	"asynccycle/internal/graph"
-	"asynccycle/internal/ids"
 	"asynccycle/internal/runctl"
 	"asynccycle/internal/schedule"
 	"asynccycle/internal/sim"
@@ -159,58 +158,23 @@ func runOn[V any](g graph.Graph, nodes []sim.Node[V], cfg *Config) (Result, erro
 	return e.Run(cfg.scheduler(), cfg.maxSteps(g.N()))
 }
 
-// validateCycleIDs checks the paper's input precondition on the cycle:
-// non-negative identifiers that properly color it (globally unique
-// identifiers satisfy this; per Remark 3.10 the weaker condition
-// suffices).
-func validateCycleIDs(xs []int) error {
-	if len(xs) < 3 {
-		return fmt.Errorf("%w: cycle needs n ≥ 3, got %d", ErrBadInput, len(xs))
-	}
-	if !ids.ProperOnCycle(xs) {
-		return fmt.Errorf("%w: identifiers must be non-negative and distinct across every cycle edge", ErrBadInput)
-	}
-	return nil
-}
-
 // FiveColorCycle runs Algorithm 2 (wait-free 5-coloring, O(n) rounds) on
 // the cycle whose node i has identifier xs[i] and neighbors (i±1) mod n.
 // Outputs are colors in {0, …, 4}.
 func FiveColorCycle(xs []int, cfg *Config) (Result, error) {
-	if err := validateCycleIDs(xs); err != nil {
-		return Result{}, err
-	}
-	g, err := graph.Cycle(len(xs))
-	if err != nil {
-		return Result{}, err
-	}
-	return runOn(g, core.NewFiveNodes(xs), cfg)
+	return RunProtocol("five", xs, cfg)
 }
 
 // FastColorCycle runs Algorithm 3 (wait-free 5-coloring, O(log* n) rounds)
 // on the cycle. Outputs are colors in {0, …, 4}.
 func FastColorCycle(xs []int, cfg *Config) (Result, error) {
-	if err := validateCycleIDs(xs); err != nil {
-		return Result{}, err
-	}
-	g, err := graph.Cycle(len(xs))
-	if err != nil {
-		return Result{}, err
-	}
-	return runOn(g, core.NewFastNodes(xs), cfg)
+	return RunProtocol("fast", xs, cfg)
 }
 
 // SixColorCycle runs Algorithm 1 (wait-free 6-coloring with color pairs)
 // on the cycle. Outputs are encoded pairs; decode with DecodePairColor.
 func SixColorCycle(xs []int, cfg *Config) (Result, error) {
-	if err := validateCycleIDs(xs); err != nil {
-		return Result{}, err
-	}
-	g, err := graph.Cycle(len(xs))
-	if err != nil {
-		return Result{}, err
-	}
-	return runOn(g, core.NewPairNodes(xs), cfg)
+	return RunProtocol("six", xs, cfg)
 }
 
 // ColorGraph runs Algorithm 4 (wait-free O(Δ²)-coloring) on an arbitrary
@@ -265,16 +229,6 @@ type ConcurrentConfig struct {
 	Context context.Context
 }
 
-// concRun executes the goroutine runtime and normalizes a cancellation
-// into the facade's ErrBudget sentinel.
-func concRun[V any](g graph.Graph, nodes []sim.Node[V], cfg *ConcurrentConfig) (Result, error) {
-	res, err := conc.Run(g, nodes, cfg.options())
-	if errors.Is(err, conc.ErrCancelled) {
-		return res, fmt.Errorf("%w: %v", ErrBudget, err)
-	}
-	return res, err
-}
-
 func (c *ConcurrentConfig) options() conc.Options {
 	if c == nil {
 		return conc.Options{Yield: true}
@@ -290,36 +244,15 @@ func (c *ConcurrentConfig) options() conc.Options {
 
 // FiveColorCycleConcurrent runs Algorithm 2 with one goroutine per process.
 func FiveColorCycleConcurrent(xs []int, cfg *ConcurrentConfig) (Result, error) {
-	if err := validateCycleIDs(xs); err != nil {
-		return Result{}, err
-	}
-	g, err := graph.Cycle(len(xs))
-	if err != nil {
-		return Result{}, err
-	}
-	return concRun(g, core.NewFiveNodes(xs), cfg)
+	return RunProtocolConcurrent("five", xs, cfg)
 }
 
 // FastColorCycleConcurrent runs Algorithm 3 with one goroutine per process.
 func FastColorCycleConcurrent(xs []int, cfg *ConcurrentConfig) (Result, error) {
-	if err := validateCycleIDs(xs); err != nil {
-		return Result{}, err
-	}
-	g, err := graph.Cycle(len(xs))
-	if err != nil {
-		return Result{}, err
-	}
-	return concRun(g, core.NewFastNodes(xs), cfg)
+	return RunProtocolConcurrent("fast", xs, cfg)
 }
 
 // SixColorCycleConcurrent runs Algorithm 1 with one goroutine per process.
 func SixColorCycleConcurrent(xs []int, cfg *ConcurrentConfig) (Result, error) {
-	if err := validateCycleIDs(xs); err != nil {
-		return Result{}, err
-	}
-	g, err := graph.Cycle(len(xs))
-	if err != nil {
-		return Result{}, err
-	}
-	return concRun(g, core.NewPairNodes(xs), cfg)
+	return RunProtocolConcurrent("six", xs, cfg)
 }

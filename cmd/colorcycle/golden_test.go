@@ -1,0 +1,35 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"asynccycle/internal/goldentest"
+)
+
+// TestGoldenDifferential pins the deterministic-engine output of every
+// algorithm across the full prior flag matrix (scheduler, identifier
+// assignment, seed, crashes, tracing). The registry migration must keep
+// these bytes identical for six|five|fast. The -concurrent path is excluded:
+// its interleaving comes from the Go runtime and is inherently
+// nondeterministic run to run.
+func TestGoldenDifferential(t *testing.T) {
+	for _, alg := range []string{"six", "five", "fast"} {
+		for _, rest := range [][]string{
+			{"-n", "12", "-seed", "3"},
+			{"-n", "10", "-ids", "increasing", "-sched", "sync", "-seed", "1"},
+			{"-n", "10", "-ids", "zigzag", "-sched", "rr", "-seed", "2", "-crash", "0.3"},
+			{"-n", "8", "-ids", "spaced-increasing", "-sched", "alt", "-seed", "5", "-trace"},
+			{"-n", "9", "-sched", "burst", "-seed", "7", "-crash", "0.2"},
+			{"-n", "8", "-sched", "one", "-seed", "4"},
+			{"-n", "40", "-ids", "decreasing", "-sched", "random", "-seed", "6"},
+		} {
+			args := append([]string{"-alg", alg}, rest...)
+			t.Run(goldentest.Name(args), func(t *testing.T) {
+				goldentest.Check(t, args, func(a []string, w io.Writer) error {
+					return run(a, w)
+				})
+			})
+		}
+	}
+}

@@ -1,16 +1,19 @@
-// Command colorcycle runs one of the paper's wait-free coloring algorithms
-// on a cycle and prints the resulting coloring, per-process round counts,
-// and the verification verdicts.
+// Command colorcycle runs one registered protocol on its topology and
+// prints the resulting outputs, per-process round counts, and the
+// protocol's verification verdicts.
 //
 // Usage:
 //
-//	colorcycle [-alg fast|five|six] [-n 100] [-ids random|increasing|zigzag]
+//	colorcycle [-alg fast|five|six|...] [-list] [-n 100]
+//	           [-ids random|increasing|zigzag|...]
 //	           [-sched sync|rr|random|one|alt|burst] [-seed 1]
 //	           [-crash 0.2] [-trace] [-concurrent]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
-// With -concurrent the run uses one goroutine per node (the -sched and
-// -trace flags do not apply: scheduling comes from the Go runtime).
+// -list prints the table of registered protocols and exits. With
+// -concurrent the run uses one goroutine per node (the -sched and -trace
+// flags do not apply: scheduling comes from the Go runtime); protocols
+// without a concurrent runtime reject it.
 package main
 
 import (
@@ -19,15 +22,12 @@ import (
 	"io"
 	"os"
 
-	"asynccycle/internal/check"
 	"asynccycle/internal/conc"
-	"asynccycle/internal/core"
-	"asynccycle/internal/graph"
 	"asynccycle/internal/ids"
 	"asynccycle/internal/prof"
+	"asynccycle/internal/protocol"
 	"asynccycle/internal/schedule"
 	"asynccycle/internal/sim"
-	"asynccycle/internal/trace"
 )
 
 func main() {
@@ -39,8 +39,9 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("colorcycle", flag.ContinueOnError)
-	alg := fs.String("alg", "fast", "algorithm: fast (Alg 3), five (Alg 2), six (Alg 1)")
-	n := fs.Int("n", 100, "cycle length (≥ 3)")
+	alg := fs.String("alg", "fast", "protocol to run (see -list)")
+	list := fs.Bool("list", false, "print the registered protocols and exit")
+	n := fs.Int("n", 100, "instance size (cycle length for the cycle protocols)")
 	assign := fs.String("ids", "random", "identifier assignment: random|increasing|decreasing|zigzag|spaced-increasing")
 	sched := fs.String("sched", "random", "scheduler: sync|rr|random|one|alt|burst")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -51,6 +52,9 @@ func run(args []string, w io.Writer) error {
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		return protocol.WriteList(w)
 	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -63,7 +67,11 @@ func run(args []string, w io.Writer) error {
 		}
 	}()
 
-	g, err := graph.Cycle(*n)
+	d, err := protocol.Lookup(*alg)
+	if err != nil {
+		return err
+	}
+	g, err := d.Topology(*n)
 	if err != nil {
 		return err
 	}
@@ -80,74 +88,52 @@ func run(args []string, w io.Writer) error {
 		return err
 	}
 
-	if *concurrent {
-		switch *alg {
-		case "fast":
-			return executeConcurrent(w, g, core.NewFastNodes(xs), *crash, *seed, verdictFive(w, g))
-		case "five":
-			return executeConcurrent(w, g, core.NewFiveNodes(xs), *crash, *seed, verdictFive(w, g))
-		case "six":
-			return executeConcurrent(w, g, core.NewPairNodes(xs), *crash, *seed, verdictSix(w, g))
-		default:
-			return fmt.Errorf("unknown algorithm %q", *alg)
-		}
-	}
-	switch *alg {
-	case "fast":
-		return execute(w, g, core.NewFastNodes(xs), s, *crash, *seed, *withTrace, verdictFive(w, g))
-	case "five":
-		return execute(w, g, core.NewFiveNodes(xs), s, *crash, *seed, *withTrace, verdictFive(w, g))
-	case "six":
-		return execute(w, g, core.NewPairNodes(xs), s, *crash, *seed, *withTrace, verdictSix(w, g))
-	default:
-		return fmt.Errorf("unknown algorithm %q", *alg)
-	}
-}
-
-// executeConcurrent runs the goroutine runtime instead of the
-// deterministic engine.
-func executeConcurrent[V any](w io.Writer, g graph.Graph, nodes []sim.Node[V], crash float64, seed int64, verdict func(sim.Result)) error {
+	// Crash plan: deterministic in the seed, mirroring the historical CLI.
 	crashes := map[int]int{}
-	count := int(crash * float64(g.N()))
+	count := int(*crash * float64(g.N()))
 	for i := 0; i < count; i++ {
-		node := (i*7919 + int(seed)) % g.N()
+		node := (i*7919 + int(*seed)) % g.N()
 		crashes[node] = i % 5
 	}
-	res, err := conc.Run(g, nodes, conc.Options{CrashAfter: crashes, Yield: true, Seed: seed})
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(w, "graph=%s runtime=goroutines\n", g.Name())
-	fmt.Fprintf(w, "terminated=%d/%d crashed=%d max-rounds=%d\n",
-		res.TerminatedCount(), g.N(), crashedCount(res), res.MaxActivations())
-	printColors(w, res)
-	verdict(res)
-	return nil
-}
 
-func execute[V any](w io.Writer, g graph.Graph, nodes []sim.Node[V], s schedule.Scheduler, crash float64, seed int64, withTrace bool, verdict func(sim.Result)) error {
-	e, err := sim.NewEngine(g, nodes)
-	if err != nil {
-		return err
+	verdict := func(res sim.Result) {
+		if d.Checks != nil {
+			for _, c := range d.Checks(g) {
+				report(w, c.Name, c.Check(res))
+			}
+			return
+		}
+		report(w, "validity", d.Validity(g, res))
 	}
-	count := int(crash * float64(g.N()))
-	for i := 0; i < count; i++ {
-		node := (i*7919 + int(seed)) % g.N()
-		e.CrashAfter(node, i%5)
-	}
-	var rec *trace.Recorder[V]
-	if withTrace {
-		rec = &trace.Recorder[V]{}
-		e.AddHook(rec.Hook())
-	}
-	res, err := e.Run(s, 1000*g.N()+100_000)
-	if err != nil {
-		return err
-	}
-	if rec != nil {
-		if err := rec.WriteText(w); err != nil {
+
+	if *concurrent {
+		if d.RunConc == nil {
+			return fmt.Errorf("algorithm %q has no concurrent runtime", *alg)
+		}
+		res, err := d.RunConc(xs, conc.Options{CrashAfter: crashes, Yield: true, Seed: *seed})
+		if err != nil {
 			return err
 		}
+		fmt.Fprintf(w, "graph=%s runtime=goroutines\n", g.Name())
+		fmt.Fprintf(w, "terminated=%d/%d crashed=%d max-rounds=%d\n",
+			res.TerminatedCount(), g.N(), crashedCount(res), res.MaxActivations())
+		printColors(w, res)
+		verdict(res)
+		return nil
+	}
+
+	var traceTo io.Writer
+	if *withTrace {
+		traceTo = w
+	}
+	res, _, err := d.Run(xs, protocol.RunOptions{
+		Scheduler: s,
+		Crashes:   crashes,
+		MaxSteps:  1000*g.N() + 100_000,
+		TraceText: traceTo,
+	})
+	if err != nil {
+		return err
 	}
 	fmt.Fprintf(w, "graph=%s scheduler=%s steps=%d\n", g.Name(), s.Name(), res.Steps)
 	fmt.Fprintf(w, "terminated=%d/%d crashed=%d max-rounds=%d\n",
@@ -184,22 +170,6 @@ func printColors(w io.Writer, res sim.Result) {
 		fmt.Fprintf(w, "… (%d more)", len(res.Outputs)-limit)
 	}
 	fmt.Fprintln(w)
-}
-
-func verdictFive(w io.Writer, g graph.Graph) func(sim.Result) {
-	return func(res sim.Result) {
-		report(w, "proper coloring", check.ProperColoring(g, res))
-		report(w, "palette {0..4}", check.PaletteRange(res, 5))
-		report(w, "survivors terminated", check.SurvivorsTerminated(res))
-	}
-}
-
-func verdictSix(w io.Writer, g graph.Graph) func(sim.Result) {
-	return func(res sim.Result) {
-		report(w, "proper coloring", check.ProperColoring(g, res))
-		report(w, "pair palette a+b≤2", check.PairPalette(res, 2))
-		report(w, "survivors terminated", check.SurvivorsTerminated(res))
-	}
 }
 
 func report(w io.Writer, what string, err error) {

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"asynccycle/internal/goldentest"
+)
+
+// TestGoldenDifferential pins the F1 table (the experiment whose dispatch
+// switch the registry migration replaces) in both text and markdown. E13
+// also dispatches on the algorithm name but runs real goroutine executions,
+// so its measured columns are inherently nondeterministic and cannot be
+// pinned byte-for-byte.
+func TestGoldenDifferential(t *testing.T) {
+	cases := [][]string{
+		{"-only", "F1", "-quick", "-seed", "1"},
+		{"-only", "F1", "-format", "markdown", "-seed", "1"},
+	}
+	for _, args := range cases {
+		t.Run(goldentest.Name(args), func(t *testing.T) {
+			goldentest.Check(t, args, func(a []string, w io.Writer) error {
+				return run(a, w, io.Discard)
+			})
+		})
+	}
+}

@@ -1,10 +1,10 @@
 // Command experiments regenerates every reproduction experiment of
-// DESIGN.md (E1–E17 and finding F1) and prints the tables recorded in
+// DESIGN.md (E1–E19 and finding F1) and prints the tables recorded in
 // EXPERIMENTS.md.
 //
 // Usage:
 //
-//	experiments [-quick] [-seed N] [-only E3,E4] [-format text|markdown|csv]
+//	experiments [-quick] [-list] [-seed N] [-only E3,E4] [-format text|markdown|csv]
 //	            [-parallel N] [-timeout 5m] [-progress 1s] [-metrics-json -]
 //	            [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -25,6 +25,7 @@ import (
 	"asynccycle/internal/expt"
 	"asynccycle/internal/metrics"
 	"asynccycle/internal/prof"
+	"asynccycle/internal/protocol"
 	"asynccycle/internal/runctl"
 )
 
@@ -38,6 +39,7 @@ func main() {
 func run(args []string, w, ew io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "shrink parameter sweeps for a fast run")
+	list := fs.Bool("list", false, "print the registered protocols the experiments draw on and exit")
 	seed := fs.Int64("seed", 1, "random seed for workloads and schedulers")
 	only := fs.String("only", "", "comma-separated experiment IDs to run (e.g. E3,E4,F1)")
 	format := fs.String("format", "text", "output format: text, markdown, or csv")
@@ -49,6 +51,9 @@ func run(args []string, w, ew io.Writer) error {
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		return protocol.WriteList(w)
 	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"asynccycle/internal/protocol"
+)
+
+// TestListCoversRegistry pins the registry cross-check: the -list table of
+// this binary names every registered protocol, so anything reachable from
+// one CLI is visibly reachable from all of them.
+func TestListCoversRegistry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range protocol.Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing protocol %q", name)
+		}
+	}
+}

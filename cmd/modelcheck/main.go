@@ -1,22 +1,28 @@
-// Command modelcheck exhaustively verifies an algorithm on a small cycle
-// over every schedule, reporting safety violations, livelock cycles
-// (non-wait-freedom certificates), and — when feasible — the exact
-// worst-case per-process round counts.
+// Command modelcheck exhaustively verifies a registered protocol on a
+// small instance over every schedule, reporting safety violations,
+// livelock cycles (non-wait-freedom certificates), and — when feasible —
+// the exact worst-case per-process round counts.
 //
 // Usage:
 //
-//	modelcheck [-alg fast|five|six|mis-greedy|mis-impatient|renaming]
+//	modelcheck [-alg fast|five|six|mis-greedy|...] [-list]
 //	           [-n 3] [-mode interleaved|simultaneous] [-worst] [-workers N]
-//	           [-sweep] [-symmetry off|assignments|full]
+//	           [-sweep] [-symmetry off|assignments|full] [-depth N]
 //	           [-timeout 30s] [-max-states N] [-progress 1s] [-metrics-json -]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
-// -sweep checks every identifier-rank assignment of the cycle instead of
-// just the increasing one. -symmetry=assignments quotients that sweep by
-// the dihedral group with exact orbit weighting (requires -sweep);
+// -list prints the table of registered protocols and exits. -sweep checks
+// every identifier-rank assignment of the cycle instead of just the
+// increasing one. -symmetry=assignments quotients that sweep by the
+// dihedral group with exact orbit weighting (requires -sweep);
 // -symmetry=full additionally dedups rotation-equivalent states inside
 // each exploration. Verdicts and weighted counts are identical at every
 // level (see DESIGN.md §6).
+//
+// -depth bounds schedule length. Protocols with an infinite state graph
+// (decoupled-three: the network clock never repeats a value) default to
+// their descriptor's depth horizon and report PARTIAL — the verdict then
+// covers every schedule of at most that many ticks.
 //
 // A run stopped by -timeout or -max-states exits 0 with a report explicitly
 // marked PARTIAL: the verdicts cover exactly the explored region. Safety
@@ -29,15 +35,11 @@ import (
 	"io"
 	"os"
 
-	"asynccycle/internal/check"
-	"asynccycle/internal/core"
-	"asynccycle/internal/graph"
 	"asynccycle/internal/ids"
 	"asynccycle/internal/metrics"
-	"asynccycle/internal/mis"
 	"asynccycle/internal/model"
 	"asynccycle/internal/prof"
-	"asynccycle/internal/renaming"
+	"asynccycle/internal/protocol"
 	"asynccycle/internal/runctl"
 	"asynccycle/internal/schedule"
 	"asynccycle/internal/sim"
@@ -53,12 +55,14 @@ func main() {
 
 func run(args []string, w, ew io.Writer) error {
 	fs := flag.NewFlagSet("modelcheck", flag.ContinueOnError)
-	alg := fs.String("alg", "fast", "algorithm: fast|five|six|mis-greedy|mis-impatient|renaming")
+	alg := fs.String("alg", "fast", "algorithm to verify (see -list)")
+	list := fs.Bool("list", false, "print the registered protocols and exit")
 	n := fs.Int("n", 3, "instance size (3–5 recommended)")
 	modeStr := fs.String("mode", "interleaved", "activation semantics: interleaved|simultaneous")
 	worst := fs.Bool("worst", false, "also compute exact worst-case per-process rounds")
 	symmetryStr := fs.String("symmetry", "off", "symmetry reduction: off|assignments|full (assignments requires -sweep)")
 	sweep := fs.Bool("sweep", false, "check every identifier-rank assignment of the cycle, not just the increasing one (fast|five|six)")
+	depth := fs.Int("depth", 0, "schedule-depth bound (0 = protocol default); deeper states are reported PARTIAL")
 	maxStates := fs.Int("max-states", 5_000_000, "state budget; a tripped budget yields a PARTIAL report")
 	workers := fs.Int("workers", 1, "frontier-parallel exploration workers (1 = serial DFS)")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = none); a tripped budget yields a PARTIAL report, exit 0")
@@ -68,6 +72,9 @@ func run(args []string, w, ew io.Writer) error {
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		return protocol.WriteList(w)
 	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -124,9 +131,27 @@ func run(args []string, w, ew io.Writer) error {
 	if symmetry == model.SymmetryAssignments && !*sweep {
 		return fmt.Errorf("-symmetry=assignments reduces the identifier-assignment sweep: add -sweep")
 	}
+
+	d, err := protocol.Lookup(*alg)
+	if err != nil {
+		return err
+	}
+	if d.Check == nil {
+		return fmt.Errorf("algorithm %q has no branchable instance surface to model-check", *alg)
+	}
+	if len(d.Modes) > 0 && !d.SupportsMode(mode) {
+		return fmt.Errorf("algorithm %q does not support %s semantics", *alg, mode)
+	}
+	if *worst && d.Worst == nil {
+		return fmt.Errorf("algorithm %q does not support -worst (no exact round analysis)", *alg)
+	}
+
 	// Under interleaved semantics, subset schedules are equivalent to
-	// sequences of singleton activations; explore singletons only.
-	single := mode == sim.ModeInterleaved
+	// sequences of singleton activations; explore singletons only. The
+	// reduction needs the protocol to actually have interleaved semantics
+	// — for native-semantics protocols (empty Modes, e.g. the DECOUPLED
+	// tick model, where simultaneity is observable) subsets stay.
+	single := mode == sim.ModeInterleaved && len(d.Modes) > 0
 	opt := model.Options{
 		SingletonsOnly: single,
 		MaxStates:      *maxStates,
@@ -135,111 +160,31 @@ func run(args []string, w, ew io.Writer) error {
 		Budget:         runctl.Budget{Timeout: *timeout},
 		Metrics:        met,
 	}
+	if *depth > 0 {
+		opt.MaxDepth = *depth
+	} else if d.DefaultCheckDepth > 0 {
+		opt.MaxDepth = d.DefaultCheckDepth
+	}
 	xs := ids.MustGenerate(ids.Increasing, *n, 0)
 
 	if *sweep {
-		g, err := graph.Cycle(*n)
-		if err != nil {
-			return err
-		}
-		switch *alg {
-		case "fast":
-			return sweepAlg(w, g, core.NewFastNodes, mode, opt, *worst, colorInvariant[core.FastVal](g, 5))
-		case "five":
-			return sweepAlg(w, g, core.NewFiveNodes, mode, opt, *worst, colorInvariant[core.FiveVal](g, 5))
-		case "six":
-			inv := func(e *sim.Engine[core.PairVal]) error {
-				r := e.Result()
-				if err := check.ProperColoring(g, r); err != nil {
-					return err
-				}
-				return check.PairPalette(r, 2)
-			}
-			return sweepAlg(w, g, core.NewPairNodes, mode, opt, *worst, inv)
-		default:
+		if d.Sweep == nil {
 			return fmt.Errorf("-sweep supports the cycle-coloring algorithms fast|five|six, not %q", *alg)
 		}
+		return sweepAlg(w, d, *n, mode, opt, *worst)
 	}
-
-	switch *alg {
-	case "fast":
-		g, err := graph.Cycle(*n)
-		if err != nil {
-			return err
-		}
-		return checkAlg(w, g, core.NewFastNodes(xs), mode, opt, *worst, colorInvariant[core.FastVal](g, 5))
-	case "five":
-		g, err := graph.Cycle(*n)
-		if err != nil {
-			return err
-		}
-		return checkAlg(w, g, core.NewFiveNodes(xs), mode, opt, *worst, colorInvariant[core.FiveVal](g, 5))
-	case "six":
-		g, err := graph.Cycle(*n)
-		if err != nil {
-			return err
-		}
-		inv := func(e *sim.Engine[core.PairVal]) error {
-			r := e.Result()
-			if err := check.ProperColoring(g, r); err != nil {
-				return err
-			}
-			return check.PairPalette(r, 2)
-		}
-		return checkAlg(w, g, core.NewPairNodes(xs), mode, opt, *worst, inv)
-	case "mis-greedy":
-		g, err := graph.Cycle(*n)
-		if err != nil {
-			return err
-		}
-		return checkAlg(w, g, mis.NewGreedyNodes(xs), mode, opt, *worst, misInvariant(g))
-	case "mis-impatient":
-		g, err := graph.Cycle(*n)
-		if err != nil {
-			return err
-		}
-		return checkAlg(w, g, mis.NewImpatientNodes(xs, 2), mode, opt, *worst, misInvariant(g))
-	case "renaming":
-		g, err := graph.Complete(*n)
-		if err != nil {
-			return err
-		}
-		inv := func(e *sim.Engine[renaming.Val]) error {
-			r := e.Result()
-			seen := map[int]bool{}
-			for i, out := range r.Outputs {
-				if !r.Done[i] {
-					continue
-				}
-				if out < 0 || out > renaming.MaxName(*n) {
-					return fmt.Errorf("name %d outside {0..%d}", out, renaming.MaxName(*n))
-				}
-				if seen[out] {
-					return fmt.Errorf("duplicate name %d", out)
-				}
-				seen[out] = true
-			}
-			return nil
-		}
-		return checkAlg(w, g, renaming.NewNodes(xs), mode, opt, *worst, inv)
-	default:
-		return fmt.Errorf("unknown algorithm %q", *alg)
-	}
+	return checkAlg(w, d, xs, mode, opt, *worst)
 }
 
-// sweepAlg verifies every identifier-rank assignment of the cycle via
-// model.SweepExplore (and, with -worst, SweepWorstActivations): only
-// relative identifier order is observable, so ranks cover all real inputs.
-func sweepAlg[V any](w io.Writer, g graph.Graph, mkNodes func(xs []int) []sim.Node[V], mode sim.Mode, opt model.Options, worst bool, inv model.Invariant[V]) error {
-	mk := func(xs []int) (*sim.Engine[V], error) {
-		e, err := sim.NewEngine(g, mkNodes(xs))
-		if err != nil {
-			return nil, err
-		}
-		e.SetMode(mode)
-		return e, nil
+// sweepAlg verifies every identifier-rank assignment via the descriptor's
+// sweep surface (and, with -worst, its worst-case sweep): only relative
+// identifier order is observable, so ranks cover all real inputs.
+func sweepAlg(w io.Writer, d *protocol.Descriptor, n int, mode sim.Mode, opt model.Options, worst bool) error {
+	g, err := d.Topology(n)
+	if err != nil {
+		return err
 	}
-	rep, err := model.SweepExplore(g.N(), mk, opt, inv)
+	rep, err := d.Sweep(n, mode, opt)
 	if err != nil {
 		return err
 	}
@@ -248,7 +193,7 @@ func sweepAlg[V any](w io.Writer, g graph.Graph, mkNodes func(xs []int) []sim.No
 		fmt.Fprintf(w, "PARTIAL (%s): sweep stopped early; counts cover the processed assignments only\n", rep.StopReason)
 	}
 	if worst {
-		wrep, err := model.SweepWorstActivations(g.N(), mk, opt)
+		wrep, err := d.SweepWorst(n, mode, opt)
 		if err != nil {
 			return err
 		}
@@ -264,33 +209,15 @@ func sweepAlg[V any](w io.Writer, g graph.Graph, mkNodes func(xs []int) []sim.No
 	return nil
 }
 
-func colorInvariant[V any](g graph.Graph, palette int) model.Invariant[V] {
-	return func(e *sim.Engine[V]) error {
-		r := e.Result()
-		if err := check.ProperColoring(g, r); err != nil {
-			return err
-		}
-		return check.PaletteRange(r, palette)
-	}
-}
-
-func misInvariant(g graph.Graph) model.Invariant[mis.Val] {
-	return func(e *sim.Engine[mis.Val]) error {
-		r := e.Result()
-		if v := mis.ViolatesMIS(g.Edges(), g.N(), r.Outputs, r.Done); v != "" {
-			return fmt.Errorf("%s", v)
-		}
-		return nil
-	}
-}
-
-func checkAlg[V any](w io.Writer, g graph.Graph, nodes []sim.Node[V], mode sim.Mode, opt model.Options, worst bool, inv model.Invariant[V]) error {
-	e, err := sim.NewEngine(g, nodes)
+func checkAlg(w io.Writer, d *protocol.Descriptor, xs []int, mode sim.Mode, opt model.Options, worst bool) error {
+	g, err := d.Topology(len(xs))
 	if err != nil {
 		return err
 	}
-	e.SetMode(mode)
-	rep := model.Explore(e, opt, inv)
+	rep, err := d.Check(xs, mode, opt)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "graph=%s mode=%s %s\n", g.Name(), mode, rep)
 	for _, v := range rep.Violations {
 		fmt.Fprintln(w, "violation:", v)
@@ -312,12 +239,10 @@ func checkAlg[V any](w io.Writer, g graph.Graph, nodes []sim.Node[V], mode sim.M
 		fmt.Fprintf(w, "PARTIAL (%s): exploration stopped early; verdicts cover the explored region only\n", rep.StopReason)
 	}
 	if worst {
-		e2, err := sim.NewEngine(g, cloneNodes(nodes))
+		vec, ok, wrep, err := d.Worst(xs, mode, opt)
 		if err != nil {
 			return err
 		}
-		e2.SetMode(mode)
-		vec, ok, wrep := model.WorstActivations(e2, opt)
 		if ok {
 			fmt.Fprintf(w, "exact worst-case rounds per process: %v (max %d)\n", vec, stats.MaxInt(vec))
 		} else {
@@ -328,14 +253,4 @@ func checkAlg[V any](w io.Writer, g graph.Graph, nodes []sim.Node[V], mode sim.M
 		return fmt.Errorf("verification failed")
 	}
 	return nil
-}
-
-// cloneNodes duplicates node state machines so the two analyses start from
-// identical initial configurations.
-func cloneNodes[V any](nodes []sim.Node[V]) []sim.Node[V] {
-	out := make([]sim.Node[V], len(nodes))
-	for i, n := range nodes {
-		out[i] = n.Clone()
-	}
-	return out
 }

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"asynccycle/internal/goldentest"
+)
+
+// TestGoldenDifferential pins full campaign reports — including the
+// violation/witness rendering of the simultaneous-mode F1 case — for every
+// algorithm the fuzzer accepted before the protocol registry. The registry
+// migration must keep these bytes identical for six|five|fast.
+func TestGoldenDifferential(t *testing.T) {
+	cases := [][]string{
+		{"-alg", "six", "-seed", "1", "-campaign-size", "64"},
+		{"-alg", "five", "-seed", "1", "-campaign-size", "64"},
+		{"-alg", "fast", "-seed", "1", "-campaign-size", "64"},
+		{"-alg", "five", "-n", "5", "-mode", "simultaneous", "-seed", "5", "-campaign-size", "32"},
+	}
+	for _, args := range cases {
+		t.Run(goldentest.Name(args), func(t *testing.T) {
+			goldentest.Check(t, args, func(a []string, w io.Writer) error {
+				return run(a, w, io.Discard)
+			})
+		})
+	}
+}

@@ -7,9 +7,16 @@
 //
 // Usage:
 //
-//	schedfuzz [-alg fast|five|six] [-n 0] [-mode interleaved|simultaneous]
+//	schedfuzz [-alg fast|five|six|mis-greedy|...] [-list] [-n 0]
+//	          [-mode interleaved|simultaneous]
 //	          [-seed 1] [-campaign-size 128] [-parallel N] [-conc-every 16]
 //	          [-timeout 30s] [-progress 1s] [-metrics-json -]
+//
+// Any registered protocol with an instance surface is fuzzable; -list
+// prints the registry table (the "fuzz" capability marks eligibility).
+// The oracle legs adapt to the descriptor: the wait-freedom bound leg is
+// skipped for protocols documented as not wait-free, and protocols whose
+// expectation is "unsafe" report their own violations by design.
 //
 // The report is byte-reproducible: for a fixed seed it is identical at
 // every -parallel setting. A run stopped by -timeout exits 0 with a report
@@ -26,6 +33,7 @@ import (
 
 	"asynccycle/internal/fuzzsched"
 	"asynccycle/internal/metrics"
+	"asynccycle/internal/protocol"
 	"asynccycle/internal/runctl"
 	"asynccycle/internal/sim"
 )
@@ -40,7 +48,8 @@ func main() {
 func run(args []string, w, ew io.Writer) error {
 	fs := flag.NewFlagSet("schedfuzz", flag.ContinueOnError)
 	fs.SetOutput(ew)
-	alg := fs.String("alg", "fast", "algorithm: fast|five|six")
+	alg := fs.String("alg", "fast", "algorithm to fuzz (see -list)")
+	list := fs.Bool("list", false, "print the registered protocols and exit")
 	n := fs.Int("n", 0, "cycle size; 0 varies it per schedule in [3, 12]")
 	modeStr := fs.String("mode", "interleaved", "primary activation semantics: interleaved|simultaneous")
 	seed := fs.Int64("seed", 1, "campaign seed; the full report is a deterministic function of it")
@@ -52,6 +61,9 @@ func run(args []string, w, ew io.Writer) error {
 	metricsJSON := fs.String("metrics-json", "", "write the final metrics snapshot as JSON to this file (\"-\" = stderr)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *list {
+		return protocol.WriteList(w)
 	}
 
 	var mode sim.Mode

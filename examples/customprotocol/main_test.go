@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCustomProtocolEndToEnd pins the demo's full path: registration,
+// facade run with a crash, exhaustive check, and fuzz campaign all succeed
+// and the deterministic numbers stay put.
+func TestCustomProtocolEndToEnd(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb); err != nil {
+		t.Fatalf("run: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"facade: terminated=5/6 outputs=[0 1 0 1 -1 1]",
+		"modelcheck: states=729 violations=0 livelock=false",
+		"schedfuzz: schedules=32 violations=0 divergences=0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestParityPrecondition pins the ValidateIDs promise: odd length, short
+// cycles, negative identifiers, and parity collisions are all rejected
+// through the facade with ErrBadInput semantics.
+func TestParityPrecondition(t *testing.T) {
+	for _, xs := range [][]int{
+		{0, 1, 2},          // odd n
+		{0, 1},             // too short
+		{0, 1, 2, -3},      // negative
+		{0, 2, 1, 3},       // parity collision on an edge
+		{1, 2, 3, 4, 5, 7}, // parity collision on the last interior edge
+	} {
+		if err := validateParityIDs(xs); err == nil {
+			t.Errorf("validateParityIDs(%v) accepted invalid input", xs)
+		}
+	}
+	for _, xs := range [][]int{{4, 1, 8, 3}, {0, 1, 2, 3, 4, 5}} {
+		if err := validateParityIDs(xs); err != nil {
+			t.Errorf("validateParityIDs(%v) rejected a valid assignment: %v", xs, err)
+		}
+	}
+}

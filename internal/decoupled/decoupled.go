@@ -21,6 +21,7 @@ package decoupled
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"asynccycle/internal/graph"
 	"asynccycle/internal/schedule"
@@ -46,6 +47,9 @@ type Message[V any] struct {
 // the layer will relay for it from now on, plus its decision.
 type Proc[V any] interface {
 	Step(now int, buffered []Message[V]) (emit V, done bool, output int)
+	// Clone returns a deep copy, used by the bounded model checker and the
+	// schedule fuzzer to branch executions.
+	Clone() Proc[V]
 }
 
 // Result mirrors the state-model result for DECOUPLED executions.
@@ -224,6 +228,86 @@ func (e *Engine[V]) allSettled() bool {
 		}
 	}
 	return true
+}
+
+// AllSettled reports whether every process terminated or crashed — the
+// execution cannot evolve further.
+func (e *Engine[V]) AllSettled() bool { return e.allSettled() }
+
+// AllDone reports whether every process terminated with an output.
+func (e *Engine[V]) AllDone() bool {
+	for _, d := range e.done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns the current execution state as a Result, even if the
+// execution has not settled.
+func (e *Engine[V]) Snapshot() Result { return e.result() }
+
+// Clone deep-copies the engine (including process states via Proc.Clone
+// and the in-flight communication buffers), for execution branching by the
+// bounded model checker and the schedule fuzzer.
+func (e *Engine[V]) Clone() *Engine[V] {
+	n := len(e.procs)
+	d := &Engine[V]{
+		g:       e.g,
+		procs:   make([]Proc[V], n),
+		emit:    append([]V(nil), e.emit...),
+		started: append([]bool(nil), e.started...),
+		buffers: make([][]Message[V], n),
+		done:    append([]bool(nil), e.done...),
+		crashed: append([]bool(nil), e.crashed...),
+		outputs: append([]int(nil), e.outputs...),
+		acts:    append([]int(nil), e.acts...),
+		limits:  append([]int(nil), e.limits...),
+		tick:    e.tick,
+	}
+	for i, p := range e.procs {
+		d.procs[i] = p.Clone()
+	}
+	for i, buf := range e.buffers {
+		if len(buf) > 0 {
+			d.buffers[i] = append([]Message[V](nil), buf...)
+		}
+	}
+	return d
+}
+
+// Fingerprint returns a canonical string encoding of the configuration:
+// the network clock, every process's state machine and emitted value, the
+// undelivered buffer contents, and termination/crash bookkeeping. Unlike
+// the state model the tick is always included — the communication layer's
+// round number is common knowledge and part of the transition function.
+// Two engines with equal fingerprints behave identically under identical
+// future schedules.
+func (e *Engine[V]) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%d", e.tick)
+	for i := range e.procs {
+		fmt.Fprintf(&b, ";%d[", i)
+		if e.started[i] {
+			fmt.Fprintf(&b, "e=%v", e.emit[i])
+		} else {
+			b.WriteString("e=⊥")
+		}
+		fmt.Fprintf(&b, " s=%v d=%t c=%t o=%d", e.procs[i], e.done[i], e.crashed[i], e.outputs[i])
+		if e.limits[i] >= 0 {
+			fmt.Fprintf(&b, " a=%d l=%d", e.acts[i], e.limits[i])
+		}
+		b.WriteString(" b=(")
+		for j, m := range e.buffers[i] {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%d@%d:%v", m.From, m.Round, m.Value)
+		}
+		b.WriteString(")]")
+	}
+	return b.String()
 }
 
 func (e *Engine[V]) result() Result {

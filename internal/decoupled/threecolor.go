@@ -105,6 +105,13 @@ func (t *ThreeColor) Step(now int, buffered []Message[ThreeColorVal]) (ThreeColo
 	return v, false, 0
 }
 
+// Clone implements Proc.
+func (t *ThreeColor) Clone() Proc[ThreeColorVal] {
+	c := *t
+	c.seen = append([]neighborInfo(nil), t.seen...)
+	return &c
+}
+
 // hasPriority reports whether the neighbor outranks this process: it woke
 // strictly earlier, or in the same round with a larger identifier.
 func (t *ThreeColor) hasPriority(info neighborInfo) bool {

@@ -233,6 +233,7 @@ func Runners() []Runner {
 		{"E16", E16ProgressClasses},
 		{"E17", E17Ablations},
 		{"E18", E18SymmetrySweep},
+		{"E19", E19RegistryProtocols},
 		{"F1", F1Livelock},
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"asynccycle/internal/locale"
 	"asynccycle/internal/mis"
 	"asynccycle/internal/model"
+	"asynccycle/internal/protocol"
 	"asynccycle/internal/renaming"
 	"asynccycle/internal/schedule"
 	"asynccycle/internal/sim"
@@ -1001,16 +1002,11 @@ func E13Concurrent(o Options) *Table {
 		xs := ids.MustGenerate(ids.Random, c.n, seed)
 		crashes := crashPlan(c.n, 0.2, seed)
 		opt := conc.Options{CrashAfter: crashes, Yield: true, Jitter: 50 * time.Microsecond, Seed: seed}
-		var res sim.Result
-		var err error
-		switch c.alg {
-		case "five":
-			res, err = conc.Run(g, core.NewFiveNodes(xs), opt)
-		case "fast":
-			res, err = conc.Run(g, core.NewFastNodes(xs), opt)
-		case "pair":
-			res, err = conc.Run(g, core.NewPairNodes(xs), opt)
+		d, err := protocol.Lookup(c.alg)
+		if err != nil {
+			return result{note: fmt.Sprintf("n=%d %s: %v", c.n, c.alg, err)}
 		}
+		res, err := d.RunConc(xs, opt)
 		if err != nil {
 			return result{note: fmt.Sprintf("n=%d %s: %v", c.n, c.alg, err)}
 		}
@@ -1082,23 +1078,17 @@ func F1Livelock(o Options) *Table {
 		}
 	}
 	results, done := mapCells(o, t, cells, func(_ int, c cell) model.Report {
-		g := graph.MustCycle(c.n)
 		xs := ids.MustGenerate(ids.Increasing, c.n, 0)
 		mopt := model.Options{SingletonsOnly: c.cfg.single}
-		switch c.alg {
-		case "pair":
-			e, _ := sim.NewEngine(g, core.NewPairNodes(xs))
-			e.SetMode(c.cfg.mode)
-			return model.Explore(e, mopt, nil)
-		case "five":
-			e, _ := sim.NewEngine(g, core.NewFiveNodes(xs))
-			e.SetMode(c.cfg.mode)
-			return model.Explore(e, mopt, nil)
-		default:
-			e, _ := sim.NewEngine(g, core.NewFastNodes(xs))
-			e.SetMode(c.cfg.mode)
-			return model.Explore(e, mopt, nil)
+		d, err := protocol.Lookup(c.alg)
+		if err != nil {
+			return model.Report{}
 		}
+		rep, err := d.Check(xs, c.cfg.mode, mopt)
+		if err != nil {
+			return model.Report{}
+		}
+		return rep
 	})
 	for i, c := range cells {
 		if !done[i] {
@@ -1108,5 +1098,88 @@ func F1Livelock(o Options) *Table {
 	}
 	t.AddNote("safety (proper coloring, palette) holds in BOTH modes for all three algorithms — only liveness differs")
 	t.AddNote("the concrete witness: C5, odd-class-first two-phase lockstep schedule, Algorithm 2 oscillates with period 2 (see TestF1 in the root test suite)")
+	return t
+}
+
+// E19RegistryProtocols verifies the protocols that the registry made
+// reachable from the model checker for the first time — the MIS pair, the
+// renaming algorithm, and the DECOUPLED three-coloring — through the same
+// descriptor surface the CLIs use: exhaustive state counts, livelock and
+// violation verdicts, and (where the protocol is wait-free) the exact
+// worst-case activation vector.
+func E19RegistryProtocols(o Options) *Table {
+	t := &Table{
+		ID:      "E19",
+		Title:   "Registry-driven verification of the newly reachable protocols",
+		Columns: []string{"protocol", "graph", "states", "terminal", "livelock", "violations", "exact worst rounds"},
+	}
+	type cell struct {
+		alg string
+		n   int
+	}
+	var cells []cell
+	sizes := []int{4}
+	if !o.Quick {
+		sizes = append(sizes, 5)
+	}
+	for _, n := range sizes {
+		for _, alg := range []string{"mis-greedy", "mis-impatient", "renaming"} {
+			cells = append(cells, cell{alg: alg, n: n})
+		}
+	}
+	// The DECOUPLED tick graph is infinite, so its cell is depth-bounded
+	// by the descriptor horizon and kept at C4 (C5 exceeds the state
+	// budget even at shallow depth).
+	cells = append(cells, cell{alg: "decoupled-three", n: 4})
+	type result struct {
+		graph   string
+		rep     model.Report
+		worst   []int
+		worstOK bool
+		note    string
+	}
+	results, done := mapCells(o, t, cells, func(_ int, c cell) result {
+		d, err := protocol.Lookup(c.alg)
+		if err != nil {
+			return result{note: fmt.Sprintf("%s: %v", c.alg, err)}
+		}
+		g, err := d.Topology(c.n)
+		if err != nil {
+			return result{note: fmt.Sprintf("%s n=%d: %v", c.alg, c.n, err)}
+		}
+		xs := ids.MustGenerate(ids.Increasing, c.n, 0)
+		opt := model.Options{SingletonsOnly: len(d.Modes) > 0, MaxDepth: d.DefaultCheckDepth}
+		rep, err := d.Check(xs, sim.ModeInterleaved, opt)
+		if err != nil {
+			return result{note: fmt.Sprintf("%s n=%d: %v", c.alg, c.n, err)}
+		}
+		r := result{graph: g.Name(), rep: rep}
+		if d.Worst != nil && !rep.CycleFound {
+			r.worst, r.worstOK, _, _ = d.Worst(xs, sim.ModeInterleaved, opt)
+		}
+		return r
+	})
+	for i, c := range cells {
+		if !done[i] {
+			continue
+		}
+		r := results[i]
+		if r.note != "" {
+			t.AddNote("%s", r.note)
+			continue
+		}
+		worst := "—"
+		switch {
+		case r.rep.CycleFound:
+			worst = "unbounded (livelock)"
+		case r.worstOK:
+			worst = fmt.Sprintf("%v", r.worst)
+		case r.rep.Truncated:
+			worst = fmt.Sprintf("≤ depth %d (tick horizon)", r.rep.DeepestPath)
+		}
+		t.AddRow(c.alg, r.graph, r.rep.States, r.rep.Terminal, r.rep.CycleFound, len(r.rep.Violations), worst)
+	}
+	t.AddNote("every cell dispatches through internal/protocol descriptors — the same surface the four CLIs share")
+	t.AddNote("mis-impatient's violations are the expected unsafety (Theorem 4.1 direction: wait-free MIS must give up safety); mis-greedy's livelock is the complementary direction")
 	return t
 }

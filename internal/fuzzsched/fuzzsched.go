@@ -7,21 +7,27 @@
 // A campaign is a fixed number of cells. Each cell derives every random
 // decision (instance size, identifiers, crash plan, schedule) from the
 // campaign seed and its own index through an avalanche mix (internal/rnd),
-// runs the generated schedule on the simulation engine under the primary
-// semantics while a liveness oracle watches per-process activation bounds,
-// and then cross-checks the recorded schedule along independent legs:
+// runs the generated schedule on the protocol's engine under the primary
+// semantics while a liveness oracle watches per-process activation bounds
+// (protocols whose descriptor carries no wait-freedom bound run without
+// the oracle), and then cross-checks the recorded schedule along the
+// independent legs the descriptor supports:
 //
 //   - replay: a fresh engine replaying the recorded steps must reproduce
 //     the primary run bit-exactly (scheduler/replay round-trip fidelity);
 //   - clone-step: an engine advanced via Clone-then-Step at every step —
 //     the model checker's branching primitive — must match the directly
 //     stepped engine fingerprint-for-fingerprint (CloneInto fidelity);
-//   - secondary mode: the same schedule under the other activation
-//     semantics must stay safe (coloring and palette; liveness is not
-//     compared across modes, where finding F1 shows they legitimately
-//     differ);
-//   - conc (sampled): the real-concurrency runtime must solve the same
-//     instance and satisfy the same safety and fault-tolerance oracle.
+//   - secondary mode (engine protocols): the same schedule under the
+//     other activation semantics must stay safe (liveness is not compared
+//     across modes, where finding F1 shows they legitimately differ);
+//   - conc (sampled, protocols with a concurrent surface): the
+//     real-concurrency runtime must solve the same instance and satisfy
+//     the same safety and fault-tolerance oracle.
+//
+// The algorithm under test is any protocol registered in
+// internal/protocol that exposes an instance surface; the safety oracle is
+// the descriptor's Validity and the liveness bound its Bound.
 //
 // Oracle failures on the primary run are violations: the recorded schedule
 // is shrunk (see shrink.go) to a minimal replayable witness. Leg
@@ -50,10 +56,9 @@ import (
 
 	"asynccycle/internal/check"
 	"asynccycle/internal/conc"
-	"asynccycle/internal/core"
-	"asynccycle/internal/graph"
 	"asynccycle/internal/metrics"
 	"asynccycle/internal/par"
+	"asynccycle/internal/protocol"
 	"asynccycle/internal/rnd"
 	"asynccycle/internal/runctl"
 	"asynccycle/internal/schedule"
@@ -62,7 +67,9 @@ import (
 
 // Config parameterizes a campaign.
 type Config struct {
-	// Alg selects the algorithm under test: "six", "five", or "fast".
+	// Alg selects the algorithm under test: any protocol registered in
+	// internal/protocol whose descriptor exposes an instance surface
+	// (NewInstance), by name or alias.
 	Alg string
 	// N fixes the cycle size; N <= 0 varies it per cell in [3, 12].
 	N int
@@ -172,18 +179,21 @@ func (r Report) Write(w io.Writer) {
 }
 
 // Bound returns the per-process activation bound the liveness oracle
-// enforces for alg on an n-cycle: the paper's wait-freedom bounds —
-// ⌊3n/2⌋+4 for Algorithm 1 (Theorem 3.1), 3n+8 for Algorithm 2
-// (Theorem 3.11), and an O(log* n) budget for Algorithm 3.
+// enforces for alg on an n-process instance. It reads the registered
+// protocol descriptor — the paper's wait-freedom bounds for the coloring
+// algorithms (⌊3n/2⌋+4 for Algorithm 1, 3n+8 for Algorithm 2, an
+// O(log* n) budget for Algorithm 3) — and falls back to the Algorithm 3
+// formula for unregistered names, preserving its historical behavior.
+// A non-positive result means the protocol carries no wait-freedom bound
+// and the liveness oracle is disabled.
 func Bound(alg string, n int) int {
-	switch alg {
-	case "six":
-		return 3*n/2 + 4
-	case "five":
-		return 3*n + 8
-	default: // fast
-		return 8 * (logStar(float64(n)) + 4)
+	if d, err := protocol.Lookup(alg); err == nil {
+		if d.Bound == nil {
+			return 0
+		}
+		return d.Bound(n)
 	}
+	return 8 * (logStar(float64(n)) + 4)
 }
 
 // logStar is the iterated binary logarithm.
@@ -194,14 +204,6 @@ func logStar(x float64) int {
 		s++
 	}
 	return s
-}
-
-// rig bundles the algorithm-specific pieces of a cell: node construction,
-// the safety oracle, and the liveness bound.
-type rig[V any] struct {
-	mk     func(xs []int) []sim.Node[V]
-	safety func(g graph.Graph, r sim.Result) error
-	bound  func(n int) int
 }
 
 // cellResult is one cell's contribution, merged in cell order.
@@ -283,62 +285,60 @@ func Campaign(ctx context.Context, cfg Config) (Report, error) {
 	return rep, nil
 }
 
-// cellRunner resolves the algorithm rig and returns the per-cell worker.
+// cellRunner resolves the protocol descriptor and returns the per-cell
+// worker. Any registered protocol with an instance surface is fuzzable;
+// the safety oracle and the liveness bound come from the descriptor.
 func cellRunner(cfg Config) (func(cell int) cellResult, error) {
-	switch cfg.Alg {
-	case "six":
-		r := rig[core.PairVal]{
-			mk: core.NewPairNodes,
-			safety: func(g graph.Graph, res sim.Result) error {
-				if err := check.ProperColoring(g, res); err != nil {
-					return err
-				}
-				return check.PairPalette(res, 2)
-			},
-			bound: func(n int) int { return Bound("six", n) },
-		}
-		return func(cell int) cellResult { return runCell(cfg, cell, r) }, nil
-	case "five":
-		r := rig[core.FiveVal]{
-			mk: core.NewFiveNodes,
-			safety: func(g graph.Graph, res sim.Result) error {
-				if err := check.ProperColoring(g, res); err != nil {
-					return err
-				}
-				return check.PaletteRange(res, 5)
-			},
-			bound: func(n int) int { return Bound("five", n) },
-		}
-		return func(cell int) cellResult { return runCell(cfg, cell, r) }, nil
-	case "fast":
-		r := rig[core.FastVal]{
-			mk: core.NewFastNodes,
-			safety: func(g graph.Graph, res sim.Result) error {
-				if err := check.ProperColoring(g, res); err != nil {
-					return err
-				}
-				return check.PaletteRange(res, 5)
-			},
-			bound: func(n int) int { return Bound("fast", n) },
-		}
-		return func(cell int) cellResult { return runCell(cfg, cell, r) }, nil
-	default:
-		return nil, fmt.Errorf("fuzzsched: unknown algorithm %q (want six|five|fast)", cfg.Alg)
+	d, err := protocol.Lookup(cfg.Alg)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzsched: %w", err)
 	}
+	if d.NewInstance == nil {
+		return nil, fmt.Errorf("fuzzsched: algorithm %q has no branchable instance surface", cfg.Alg)
+	}
+	if !d.SupportsMode(cfg.Mode) {
+		return nil, fmt.Errorf("fuzzsched: algorithm %q does not support %s semantics", cfg.Alg, cfg.Mode)
+	}
+	return func(cell int) cellResult { return runCell(cfg, cell, d) }, nil
 }
 
 // runCell executes one cell: generate, run with the oracle watching,
-// cross-check the recorded schedule along the differential legs, and
-// shrink any violation to a minimal witness.
-func runCell[V any](cfg Config, cell int, r rig[V]) cellResult {
+// cross-check the recorded schedule along the differential legs the
+// descriptor supports, and shrink any violation to a minimal witness.
+func runCell(cfg Config, cell int, d *protocol.Descriptor) cellResult {
 	rng := rand.New(rand.NewSource(rnd.Derive(cfg.Seed, cell)))
 	n := cfg.N
 	if n <= 0 {
 		n = 3 + rng.Intn(10)
 	}
-	g := graph.MustCycle(n)
-	xs := rng.Perm(4 * n)[:n]
-	bound := r.bound(n)
+	if d.FixN != nil {
+		n = d.FixN(n)
+	}
+	if n < d.MinN {
+		n = d.MinN
+	}
+	g, err := d.Topology(n)
+	if err != nil {
+		panic(fmt.Sprintf("fuzzsched: topology for %q at n=%d: %v", d.Name, n, err))
+	}
+	var xs []int
+	if d.FuzzIDs != nil {
+		xs = d.FuzzIDs(rng, n)
+	} else {
+		xs = rng.Perm(4 * n)[:n]
+	}
+	safety := func(r sim.Result) error { return d.Validity(g, r) }
+	bound := 0
+	if d.Bound != nil {
+		bound = d.Bound(n)
+	}
+	// capB stands in for the wait-freedom bound wherever one is needed for
+	// pacing (schedule-length caps, long fuzz phases, conc round limits)
+	// when the protocol carries none; the liveness oracle itself stays off.
+	capB := bound
+	if capB <= 0 {
+		capB = 4*n + 16
+	}
 
 	// Crash plan: occasionally crash a few processes after a small number
 	// of rounds (0 = never wakes, its register stays ⊥).
@@ -352,23 +352,26 @@ func runCell[V any](cfg Config, cell int, r rig[V]) cellResult {
 
 	// Primary run: generate adversarially, record, and watch the liveness
 	// oracle after every step so a bound breach stops the schedule at the
-	// first offending activation (keeping the raw witness short).
-	maxSteps := runctl.Min(3*n*bound+64, cfg.Budget.MaxSteps)
-	e := newEngine(g, r.mk(xs), cfg.Mode, crashes)
-	rec := schedule.NewRecording(newGen(rng, bound))
+	// first offending activation (keeping the raw witness short). A
+	// protocol without a wait-freedom bound runs without the oracle.
+	maxSteps := runctl.Min(3*n*capB+64, cfg.Budget.MaxSteps)
+	e := newInstance(d, xs, cfg.Mode, crashes)
+	rec := schedule.NewRecording(newGen(rng, capB))
 	vioKind, vioDetail := "", ""
 	for t := 0; !e.AllSettled() && t < maxSteps; t++ {
 		e.Step(rec.Next(e))
-		if i := overBound(e, n, bound); i >= 0 {
-			vioKind = "liveness"
-			vioDetail = fmt.Sprintf("process %d performed %d rounds without returning, exceeding the wait-freedom bound %d",
-				i, e.Activations(i), bound)
-			break
+		if bound > 0 {
+			if i := overBound(e, n, bound); i >= 0 {
+				vioKind = "liveness"
+				vioDetail = fmt.Sprintf("process %d performed %d rounds without returning, exceeding the wait-freedom bound %d",
+					i, e.Activations(i), bound)
+				break
+			}
 		}
 	}
 	res := e.Result()
 	if vioKind == "" {
-		if err := r.safety(g, res); err != nil {
+		if err := safety(res); err != nil {
 			vioKind, vioDetail = "safety", err.Error()
 		}
 	}
@@ -378,19 +381,19 @@ func runCell[V any](cfg Config, cell int, r rig[V]) cellResult {
 
 	// Leg 1: scheduler-driven replay under the primary mode must reproduce
 	// the run bit-exactly.
-	if res1 := playSteps(newEngine(g, r.mk(xs), cfg.Mode, crashes), steps); !sameResult(res, res1) {
+	if res1 := playSteps(newInstance(d, xs, cfg.Mode, crashes), steps); !sameResult(res, res1) {
 		out.divs = append(out.divs, Divergence{cell, "replay",
 			fmt.Sprintf("replayed result differs from recorded run (steps %d vs %d)", res1.Steps, res.Steps)})
 	}
 
 	// Leg 2: clone-per-step replay — the model checker's branching
-	// primitive. Engine b advances only through CloneInto copies; its
-	// compact fingerprint must match the directly stepped engine a after
+	// primitive. Instance b advances only through CloneInto copies; its
+	// compact fingerprint must match the directly stepped instance a after
 	// every step.
 	{
-		a := newEngine(g, r.mk(xs), cfg.Mode, crashes)
-		b := newEngine(g, r.mk(xs), cfg.Mode, crashes)
-		var scratch *sim.Engine[V]
+		a := newInstance(d, xs, cfg.Mode, crashes)
+		b := newInstance(d, xs, cfg.Mode, crashes)
+		var scratch sim.Instance
 		for _, s := range steps {
 			if a.AllSettled() {
 				break
@@ -412,25 +415,29 @@ func runCell[V any](cfg Config, cell int, r rig[V]) cellResult {
 	}
 
 	// Leg 3: the same schedule under the other activation semantics must
-	// stay safe. Liveness is deliberately not compared across modes:
-	// finding F1 shows the two semantics legitimately disagree on it.
-	other := sim.ModeSimultaneous
-	if cfg.Mode == sim.ModeSimultaneous {
-		other = sim.ModeInterleaved
-	}
-	if res3 := playSteps(newEngine(g, r.mk(xs), other, crashes), steps); r.safety(g, res3) != nil {
-		out.divs = append(out.divs, Divergence{cell, "secondary-mode",
-			fmt.Sprintf("schedule safe under %s but unsafe under %s: %v", cfg.Mode, other, r.safety(g, res3))})
+	// stay safe — for protocols that have one. Liveness is deliberately not
+	// compared across modes: finding F1 shows the two semantics
+	// legitimately disagree on it.
+	if len(d.Modes) == 2 {
+		other := sim.ModeSimultaneous
+		if cfg.Mode == sim.ModeSimultaneous {
+			other = sim.ModeInterleaved
+		}
+		if res3 := playSteps(newInstance(d, xs, other, crashes), steps); safety(res3) != nil {
+			out.divs = append(out.divs, Divergence{cell, "secondary-mode",
+				fmt.Sprintf("schedule safe under %s but unsafe under %s: %v", cfg.Mode, other, safety(res3))})
+		}
 	}
 
-	// Leg 4 (sampled): the real-concurrency runtime on the same instance.
-	// Its interleaving comes from the Go scheduler, so only the oracle
-	// verdict feeds the report — a failure is a layer disagreement.
-	if cfg.ConcEvery > 0 && cell%cfg.ConcEvery == 0 {
+	// Leg 4 (sampled): the real-concurrency runtime on the same instance,
+	// for protocols with a concurrent surface. Its interleaving comes from
+	// the Go scheduler, so only the oracle verdict feeds the report — a
+	// failure is a layer disagreement.
+	if cfg.ConcEvery > 0 && cell%cfg.ConcEvery == 0 && d.RunConc != nil {
 		out.concRan = true
-		cres, err := conc.Run(g, r.mk(xs), conc.Options{
+		cres, err := d.RunConc(xs, conc.Options{
 			CrashAfter: crashes,
-			MaxRounds:  2*bound + 16,
+			MaxRounds:  2*capB + 16,
 			Yield:      true,
 			Jitter:     20 * time.Microsecond,
 			Seed:       rnd.Derive(cfg.Seed, cell),
@@ -438,8 +445,8 @@ func runCell[V any](cfg Config, cell int, r rig[V]) cellResult {
 		switch {
 		case err != nil:
 			out.divs = append(out.divs, Divergence{cell, "conc", err.Error()})
-		case r.safety(g, cres) != nil:
-			out.divs = append(out.divs, Divergence{cell, "conc", r.safety(g, cres).Error()})
+		case safety(cres) != nil:
+			out.divs = append(out.divs, Divergence{cell, "conc", safety(cres).Error()})
 		case check.SurvivorsTerminated(cres) != nil:
 			out.divs = append(out.divs, Divergence{cell, "conc", check.SurvivorsTerminated(cres).Error()})
 		}
@@ -448,11 +455,11 @@ func runCell[V any](cfg Config, cell int, r rig[V]) cellResult {
 	// Shrink the violation, if any, to a minimal replayable witness.
 	if vioKind != "" {
 		test := func(cand [][]int) bool {
-			resT := playSteps(newEngine(g, r.mk(xs), cfg.Mode, crashes), cand)
+			resT := playSteps(newInstance(d, xs, cfg.Mode, crashes), cand)
 			if vioKind == "liveness" {
 				return overBoundResult(resT, bound) >= 0
 			}
-			return r.safety(g, resT) != nil
+			return safety(resT) != nil
 		}
 		shrunk, iters := shrink(steps, test, 4000)
 		out.shrinkIters = int64(iters)
@@ -467,22 +474,20 @@ func runCell[V any](cfg Config, cell int, r rig[V]) cellResult {
 	return out
 }
 
-// newEngine builds an engine with the given mode and crash plan. The node
-// count matches the graph by construction, so errors are programming bugs.
-func newEngine[V any](g graph.Graph, nodes []sim.Node[V], mode sim.Mode, crashes map[int]int) *sim.Engine[V] {
-	e, err := sim.NewEngine(g, nodes)
+// newInstance builds a fresh protocol instance with the given mode and
+// crash plan. The inputs are generated to satisfy the descriptor's
+// preconditions, so errors are programming bugs.
+func newInstance(d *protocol.Descriptor, xs []int, mode sim.Mode, crashes map[int]int) sim.Instance {
+	inst, err := d.NewInstance(xs, mode, crashes)
 	if err != nil {
-		panic(err)
+		panic(fmt.Sprintf("fuzzsched: instance for %q: %v", d.Name, err))
 	}
-	e.SetMode(mode)
-	for i, k := range crashes {
-		e.CrashAfter(i, k)
-	}
-	return e
+	return inst
 }
 
-// playSteps replays a fixed schedule on e and returns the final result.
-func playSteps[V any](e *sim.Engine[V], steps [][]int) sim.Result {
+// playSteps replays a fixed schedule on a fresh instance and returns the
+// final result.
+func playSteps(e sim.Instance, steps [][]int) sim.Result {
 	for _, s := range steps {
 		if e.AllSettled() {
 			break
@@ -496,7 +501,7 @@ func playSteps[V any](e *sim.Engine[V], steps [][]int) sim.Result {
 // wait-freedom bound, or -1. It counts terminated and crashed processes
 // too, matching check.ActivationBound (crash limits are below the bound by
 // construction, so in practice only working processes can trip it).
-func overBound[V any](e *sim.Engine[V], n, bound int) int {
+func overBound(e sim.Instance, n, bound int) int {
 	for i := 0; i < n; i++ {
 		if e.Activations(i) > bound {
 			return i

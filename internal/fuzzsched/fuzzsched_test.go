@@ -44,7 +44,7 @@ func TestGenDeterministic(t *testing.T) {
 	record := func() [][]int {
 		g := graph.MustCycle(7)
 		xs := []int{3, 9, 1, 12, 6, 0, 8}
-		e := newEngine(g, core.NewFiveNodes(xs), sim.ModeInterleaved, nil)
+		e := newTypedEngine(g, core.NewFiveNodes(xs), sim.ModeInterleaved, nil)
 		rec := schedule.NewRecording(newGen(rand.New(rand.NewSource(99)), Bound("five", 7)))
 		for t := 0; !e.AllSettled() && t < 10_000; t++ {
 			e.Step(rec.Next(e))
@@ -65,7 +65,7 @@ func TestGenDeterministic(t *testing.T) {
 func TestGenNeverEmptyWhileWorking(t *testing.T) {
 	g := graph.MustCycle(9)
 	xs := rand.New(rand.NewSource(4)).Perm(36)[:9]
-	e := newEngine(g, core.NewFastNodes(xs), sim.ModeInterleaved, nil)
+	e := newTypedEngine(g, core.NewFastNodes(xs), sim.ModeInterleaved, nil)
 	gen := newGen(rand.New(rand.NewSource(4)), Bound("fast", 9))
 	for t2 := 0; !e.AllSettled() && t2 < 5_000; t2++ {
 		set := gen.Next(e)
@@ -160,7 +160,7 @@ func TestCampaignRediscoversF1Livelock(t *testing.T) {
 	// runs Algorithm 2 into the step limit under simultaneous semantics.
 	ids := []int{0, 1, 2, 3, 4}
 	g := graph.MustCycle(5)
-	eF1 := newEngine(g, core.NewFiveNodes(ids), sim.ModeSimultaneous, nil)
+	eF1 := newTypedEngine(g, core.NewFiveNodes(ids), sim.ModeSimultaneous, nil)
 	recF1 := schedule.NewRecording(schedule.NewSleep([]int{0, 2, 4}, 2, schedule.Alternating{}))
 	if _, err := eF1.Run(recF1, 5_000); !errors.Is(err, sim.ErrStepLimit) {
 		t.Fatalf("F1 witness setup: err = %v, want ErrStepLimit", err)
@@ -180,8 +180,8 @@ func TestCampaignRediscoversF1Livelock(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	e := newEngine(graph.MustCycle(v.N), core.NewFiveNodes(v.IDs), sim.ModeSimultaneous, v.Crashes)
-	res := playSteps(e, steps)
+	e := newTypedEngine(graph.MustCycle(v.N), core.NewFiveNodes(v.IDs), sim.ModeSimultaneous, v.Crashes)
+	res := playSteps(sim.InstanceOf(e), steps)
 	if err := check.ActivationBound(res, Bound("five", v.N)); err == nil {
 		t.Fatal("shrunk witness does not reproduce the bound breach")
 	}

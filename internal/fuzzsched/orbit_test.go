@@ -21,6 +21,21 @@ import (
 	"asynccycle/internal/sim"
 )
 
+// newTypedEngine is the typed engine constructor the production code used
+// before the registry migration; the orbit tests still drive the five
+// engine directly.
+func newTypedEngine[V any](g graph.Graph, nodes []sim.Node[V], mode sim.Mode, crashes map[int]int) *sim.Engine[V] {
+	e, err := sim.NewEngine(g, nodes)
+	if err != nil {
+		panic(err)
+	}
+	e.SetMode(mode)
+	for i, k := range crashes {
+		e.CrashAfter(i, k)
+	}
+	return e
+}
+
 // invPerm returns p's inverse.
 func invPerm(p []int) []int {
 	inv := make([]int, len(p))
@@ -62,7 +77,7 @@ func permuteWitness(xs []int, steps [][]int, crashes map[int]int, p []int) ([]in
 func TestF1WitnessOrbitClosure(t *testing.T) {
 	ids := []int{0, 1, 2, 3, 4}
 	n := len(ids)
-	e := newEngine(graph.MustCycle(n), core.NewFiveNodes(ids), sim.ModeSimultaneous, nil)
+	e := newTypedEngine(graph.MustCycle(n), core.NewFiveNodes(ids), sim.ModeSimultaneous, nil)
 	rec := schedule.NewRecording(schedule.NewSleep([]int{0, 2, 4}, 2, schedule.Alternating{}))
 	if _, err := e.Run(rec, 2_000); !errors.Is(err, sim.ErrStepLimit) {
 		t.Fatalf("F1 witness setup: err = %v, want ErrStepLimit", err)
@@ -74,8 +89,8 @@ func TestF1WitnessOrbitClosure(t *testing.T) {
 	}
 	for pi, p := range graph.CycleAutomorphisms(n) {
 		pxs, psteps, _ := permuteWitness(ids, steps, nil, p)
-		pe := newEngine(graph.MustCycle(n), core.NewFiveNodes(pxs), sim.ModeSimultaneous, nil)
-		res := playSteps(pe, psteps)
+		pe := newTypedEngine(graph.MustCycle(n), core.NewFiveNodes(pxs), sim.ModeSimultaneous, nil)
+		res := playSteps(sim.InstanceOf(pe), psteps)
 		if err := check.ActivationBound(res, bound); err == nil {
 			t.Errorf("automorphism %d (%v): image of the F1 witness satisfies the bound — orbit not closed", pi, p)
 		}
@@ -104,8 +119,8 @@ func TestCampaignWitnessOrbitClosure(t *testing.T) {
 		bound := Bound("five", v.N)
 		for pi, p := range graph.CycleAutomorphisms(v.N) {
 			pxs, psteps, pcrashes := permuteWitness(v.IDs, steps, v.Crashes, p)
-			pe := newEngine(graph.MustCycle(v.N), core.NewFiveNodes(pxs), sim.ModeSimultaneous, pcrashes)
-			res := playSteps(pe, psteps)
+			pe := newTypedEngine(graph.MustCycle(v.N), core.NewFiveNodes(pxs), sim.ModeSimultaneous, pcrashes)
+			res := playSteps(sim.InstanceOf(pe), psteps)
 			if err := check.ActivationBound(res, bound); err == nil {
 				t.Errorf("violation %d, automorphism %d (%v): image witness satisfies the bound — orbit not closed", vi, pi, p)
 			}

@@ -1,0 +1,87 @@
+package fuzzsched
+
+// Seeded campaigns over the protocols the registry made fuzzable: the MIS
+// candidates, renaming, and the DECOUPLED three-coloring. Counts are exact
+// deterministic pins (the report is a function of the seed alone), so any
+// drift in descriptor wiring, RNG consumption order, or oracle derivation
+// fails here before it reaches CI.
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"asynccycle/internal/sim"
+)
+
+func runPinnedCampaign(t *testing.T, alg string) Report {
+	t.Helper()
+	rep, err := Campaign(context.Background(), Config{
+		Alg: alg, Mode: sim.ModeInterleaved,
+		Seed: 1, Campaign: 48, Workers: 4, ConcEvery: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedules != 48 {
+		t.Fatalf("%s: schedules = %d, want 48", alg, rep.Schedules)
+	}
+	return rep
+}
+
+// TestCampaignMISGreedy: safe but not wait-free — the fuzzer's finite
+// schedules never catch the livelock (that is the model checker's job,
+// E19), and the safety oracle never trips.
+func TestCampaignMISGreedy(t *testing.T) {
+	rep := runPinnedCampaign(t, "mis-greedy")
+	if len(rep.Violations) != 0 || len(rep.Divergences) != 0 {
+		t.Errorf("mis-greedy: violations=%d divergences=%d, want 0/0", len(rep.Violations), len(rep.Divergences))
+	}
+}
+
+// TestCampaignMISImpatient: unsafe by design — the campaign must find the
+// adjacent-membership violations, shrink them, and report the divergences
+// its own unsafety induces on the cross-checking legs. Exact counts pinned.
+func TestCampaignMISImpatient(t *testing.T) {
+	rep := runPinnedCampaign(t, "mis-impatient")
+	if len(rep.Violations) != 37 || len(rep.Divergences) != 31 {
+		t.Errorf("mis-impatient: violations=%d divergences=%d, want 37/31 (seed-1 pin)", len(rep.Violations), len(rep.Divergences))
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v.Detail, "both in MIS") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("mis-impatient violations never mention adjacent MIS membership")
+	}
+}
+
+// TestCampaignRenaming: wait-free and safe on K_n; the campaign stays clean
+// and the bound leg (n+2) never trips.
+func TestCampaignRenaming(t *testing.T) {
+	rep := runPinnedCampaign(t, "renaming")
+	if len(rep.Violations) != 0 || len(rep.Divergences) != 0 {
+		t.Errorf("renaming: violations=%d divergences=%d, want 0/0", len(rep.Violations), len(rep.Divergences))
+	}
+}
+
+// TestCampaignDecoupledThree: the non-register-model instance adapter (tick
+// engine behind sim.Instance) survives the clone-step and replay legs.
+func TestCampaignDecoupledThree(t *testing.T) {
+	rep := runPinnedCampaign(t, "decoupled-three")
+	if len(rep.Violations) != 0 || len(rep.Divergences) != 0 {
+		t.Errorf("decoupled-three: violations=%d divergences=%d, want 0/0", len(rep.Violations), len(rep.Divergences))
+	}
+}
+
+// TestCampaignRejectsNonFuzzable: protocols without an instance surface
+// (local-cv) are a configuration error, not a silent no-op.
+func TestCampaignRejectsNonFuzzable(t *testing.T) {
+	_, err := Campaign(context.Background(), Config{Alg: "local-cv", Seed: 1, Campaign: 4})
+	if err == nil || !strings.Contains(err.Error(), "no branchable instance surface") {
+		t.Errorf("local-cv campaign error = %v, want no-branchable-instance-surface", err)
+	}
+}

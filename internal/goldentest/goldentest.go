@@ -1,0 +1,67 @@
+// Package goldentest pins CLI output byte-for-byte: each pinned invocation
+// renders its full stdout (and error, if any) into a golden file under the
+// caller's testdata/golden directory. Regenerate with GOLDEN_UPDATE=1; any
+// later refactor of the command's dispatch path must reproduce the files
+// exactly, which is how the registry migration proves six|five|fast output
+// unchanged at every prior flag combination.
+package goldentest
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Name derives a stable file name from an argument vector.
+func Name(args []string) string {
+	if len(args) == 0 {
+		return "default"
+	}
+	s := strings.Join(args, "_")
+	s = strings.NewReplacer("-", "", ".", "p", "/", "").Replace(s)
+	return s
+}
+
+// Render serializes one invocation: the argument vector, the produced
+// output, and the returned error (if any) in a fixed layout.
+func Render(args []string, out string, err error) string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "# args: %s\n", strings.Join(args, " "))
+	b.WriteString(out)
+	if err != nil {
+		fmt.Fprintf(&b, "# err: %v\n", err)
+	}
+	return b.String()
+}
+
+// Check runs one pinned invocation and compares it against its golden
+// file. With GOLDEN_UPDATE=1 in the environment it (re)writes the file
+// instead and skips the comparison.
+func Check(t *testing.T, args []string, run func(args []string, w io.Writer) error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(args, &out)
+	got := Render(args, out.String(), err)
+	path := filepath.Join("testdata", "golden", Name(args)+".txt")
+
+	if os.Getenv("GOLDEN_UPDATE") == "1" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatalf("missing golden file %s (regenerate with GOLDEN_UPDATE=1 go test): %v", path, rerr)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

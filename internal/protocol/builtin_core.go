@@ -1,0 +1,126 @@
+package protocol
+
+import (
+	"fmt"
+
+	"asynccycle/internal/check"
+	"asynccycle/internal/core"
+	"asynccycle/internal/cv"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/sim"
+)
+
+// cycleTopology builds C_n; the shared topology of the paper's algorithms.
+func cycleTopology(n int) (graph.Graph, error) { return graph.Cycle(n) }
+
+// cycleIDs is the paper's input precondition on the cycle: non-negative
+// identifiers that properly color it (Remark 3.10).
+func cycleIDs(xs []int) error {
+	if len(xs) < 3 {
+		return fmt.Errorf("cycle needs n ≥ 3, got %d", len(xs))
+	}
+	if !ids.ProperOnCycle(xs) {
+		return fmt.Errorf("identifiers must be non-negative and distinct across every cycle edge")
+	}
+	return nil
+}
+
+// fiveValidity is the specification shared by Algorithms 2 and 3: a proper
+// coloring of the terminated subgraph with colors in {0..4}, at every
+// reachable configuration.
+func fiveValidity(g graph.Graph, r sim.Result) error {
+	if err := check.ProperColoring(g, r); err != nil {
+		return err
+	}
+	return check.PaletteRange(r, 5)
+}
+
+// sixValidity is Algorithm 1's specification: proper coloring with pair
+// colors (a, b), a+b ≤ 2.
+func sixValidity(g graph.Graph, r sim.Result) error {
+	if err := check.ProperColoring(g, r); err != nil {
+		return err
+	}
+	return check.PairPalette(r, 2)
+}
+
+func fiveChecks(g graph.Graph) []NamedCheck {
+	return []NamedCheck{
+		{"proper coloring", func(r sim.Result) error { return check.ProperColoring(g, r) }},
+		{"palette {0..4}", func(r sim.Result) error { return check.PaletteRange(r, 5) }},
+		{"survivors terminated", check.SurvivorsTerminated},
+	}
+}
+
+func sixChecks(g graph.Graph) []NamedCheck {
+	return []NamedCheck{
+		{"proper coloring", func(r sim.Result) error { return check.ProperColoring(g, r) }},
+		{"pair palette a+b≤2", func(r sim.Result) error { return check.PairPalette(r, 2) }},
+		{"survivors terminated", check.SurvivorsTerminated},
+	}
+}
+
+func registerCore() {
+	MustRegisterEngine(EngineSpec[core.PairVal]{
+		Meta: Descriptor{
+			Name:         "six",
+			Aliases:      []string{"pair", "alg1"},
+			Problem:      "6-coloring of the cycle",
+			Source:       "Algorithm 1 (Thm 3.1)",
+			TopologyName: "cycle",
+			MinN:         3,
+			Palette:      "pairs (a,b), a+b ≤ 2",
+			BoundDesc:    "⌊3n/2⌋+4",
+			Expectation:  "wait-free and safe under every schedule",
+			Bound:        func(n int) int { return 3*n/2 + 4 },
+			Topology:     cycleTopology,
+			ValidateIDs:  cycleIDs,
+			FormatOutput: func(c int) string { a, b := core.DecodePair(c); return fmt.Sprintf("(%d,%d)", a, b) },
+			Validity:     sixValidity,
+			Checks:       sixChecks,
+		},
+		New:   core.NewPairNodes,
+		Sweep: true,
+	})
+	MustRegisterEngine(EngineSpec[core.FiveVal]{
+		Meta: Descriptor{
+			Name:         "five",
+			Aliases:      []string{"alg2"},
+			Problem:      "5-coloring of the cycle (optimal palette)",
+			Source:       "Algorithm 2 (Thm 3.4)",
+			TopologyName: "cycle",
+			MinN:         3,
+			Palette:      "{0..4}",
+			BoundDesc:    "3n+8",
+			Expectation:  "wait-free and safe under every schedule",
+			Bound:        func(n int) int { return 3*n + 8 },
+			Topology:     cycleTopology,
+			ValidateIDs:  cycleIDs,
+			Validity:     fiveValidity,
+			Checks:       fiveChecks,
+		},
+		New:   core.NewFiveNodes,
+		Sweep: true,
+	})
+	MustRegisterEngine(EngineSpec[core.FastVal]{
+		Meta: Descriptor{
+			Name:         "fast",
+			Aliases:      []string{"alg3"},
+			Problem:      "5-coloring of the cycle in O(log* n) rounds",
+			Source:       "Algorithm 3 (Thm 4.4)",
+			TopologyName: "cycle",
+			MinN:         3,
+			Palette:      "{0..4}",
+			BoundDesc:    "8·(log* n + 4)",
+			Expectation:  "wait-free and safe under every schedule",
+			Bound:        func(n int) int { return 8 * (cv.LogStar(float64(n)) + 4) },
+			Topology:     cycleTopology,
+			ValidateIDs:  cycleIDs,
+			Validity:     fiveValidity,
+			Checks:       fiveChecks,
+		},
+		New:   core.NewFastNodes,
+		Sweep: true,
+	})
+}

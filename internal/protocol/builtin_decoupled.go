@@ -1,0 +1,178 @@
+package protocol
+
+import (
+	"fmt"
+
+	"asynccycle/internal/check"
+	"asynccycle/internal/decoupled"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/model"
+	"asynccycle/internal/runctl"
+	"asynccycle/internal/schedule"
+	"asynccycle/internal/sim"
+)
+
+// decoupledInstance adapts the DECOUPLED engine to the type-erased
+// sim.Instance surface, making the communication-layer model checkable and
+// fuzzable through the same registry entry points as the state model.
+type decoupledInstance struct {
+	e *decoupled.Engine[decoupled.ThreeColorVal]
+}
+
+func (x *decoupledInstance) N() int                  { return x.e.N() }
+func (x *decoupledInstance) Time() int               { return x.e.Time() }
+func (x *decoupledInstance) Working(i int) bool      { return x.e.Working(i) }
+func (x *decoupledInstance) Activations(i int) int   { return x.e.Activations(i) }
+func (x *decoupledInstance) AllDone() bool           { return x.e.AllDone() }
+func (x *decoupledInstance) AllSettled() bool        { return x.e.AllSettled() }
+func (x *decoupledInstance) Step(active []int) []int { return x.e.Tick(active) }
+func (x *decoupledInstance) Result() sim.Result      { return convDecoupled(x.e.Snapshot()) }
+func (x *decoupledInstance) Fingerprint() string     { return x.e.Fingerprint() }
+
+func (x *decoupledInstance) FingerprintHash128() (uint64, uint64) {
+	var h sim.FPHasher
+	h.Reset()
+	h.HashString(x.e.Fingerprint())
+	return h.Sum128()
+}
+
+func (x *decoupledInstance) Clone() sim.Instance { return &decoupledInstance{e: x.e.Clone()} }
+
+// CloneInto falls back to Clone: the DECOUPLED engine's buffers vary in
+// length per configuration, so storage reuse buys nothing measurable.
+func (x *decoupledInstance) CloneInto(dst sim.Instance) sim.Instance { return x.Clone() }
+
+// convDecoupled maps a DECOUPLED result onto the state-model result shape;
+// Steps counts communication-layer ticks.
+func convDecoupled(r decoupled.Result) sim.Result {
+	return sim.Result{
+		Outputs:     r.Outputs,
+		Done:        r.Done,
+		Crashed:     r.Crashed,
+		Activations: r.Activations,
+		Steps:       r.CommRounds,
+	}
+}
+
+// decoupledThreeValidity is the ThreeColor specification: a proper
+// coloring of the terminated subgraph with only 3 colors — beating the
+// state model's 5-color lower bound by exploiting the synchronous layer.
+func decoupledThreeValidity(g graph.Graph, r sim.Result) error {
+	if err := check.ProperColoring(g, r); err != nil {
+		return err
+	}
+	return check.PaletteRange(r, 3)
+}
+
+func registerDecoupled() {
+	mk := func(xs []int, crashes map[int]int) (*decoupled.Engine[decoupled.ThreeColorVal], graph.Graph, error) {
+		g, err := cycleTopology(len(xs))
+		if err != nil {
+			return nil, graph.Graph{}, err
+		}
+		e, err := decoupled.NewEngine(g, decoupled.NewThreeColorNodes(xs))
+		if err != nil {
+			return nil, graph.Graph{}, err
+		}
+		for i, k := range crashes {
+			if i < 0 || i >= g.N() {
+				return nil, graph.Graph{}, fmt.Errorf("crash index %d out of range", i)
+			}
+			e.CrashAfter(i, k)
+		}
+		return e, g, nil
+	}
+
+	MustRegister(&Descriptor{
+		Name:         "decoupled-three",
+		Aliases:      []string{"three"},
+		Problem:      "3-coloring of the cycle in the DECOUPLED model",
+		Source:       "ThreeColor over the synchronous layer (§1.4, [13])",
+		TopologyName: "cycle (synchronous reliable layer)",
+		MinN:         3,
+		Palette:      "{0..2}",
+		BoundDesc:    "—",
+		Expectation:  "safe; 3 colors are impossible in the state model — wake-then-crash still blocks",
+		Topology:     cycleTopology,
+		ValidateIDs:  misIDs,
+		Validity:     decoupledThreeValidity,
+
+		// The tick counter makes the state graph infinite; without a
+		// depth horizon Check runs straight to its state budget.
+		DefaultCheckDepth: 6,
+		Checks: func(g graph.Graph) []NamedCheck {
+			return []NamedCheck{
+				{"proper coloring", func(r sim.Result) error { return check.ProperColoring(g, r) }},
+				{"palette {0..2}", func(r sim.Result) error { return check.PaletteRange(r, 3) }},
+				{"survivors terminated", check.SurvivorsTerminated},
+			}
+		},
+
+		NewInstance: func(xs []int, mode sim.Mode, crashes map[int]int) (sim.Instance, error) {
+			e, _, err := mk(xs, crashes)
+			if err != nil {
+				return nil, err
+			}
+			return &decoupledInstance{e: e}, nil
+		},
+
+		// Run drives the tick loop directly. The network clock is part of
+		// the model, so MaxSteps bounds communication rounds, not process
+		// steps; the budgeted path mirrors the state engine's idle-streak
+		// crash rule (Budget.MaxActivations is not supported here).
+		Run: func(xs []int, o RunOptions) (sim.Result, runctl.StopReason, error) {
+			e, _, err := mk(xs, o.Crashes)
+			if err != nil {
+				return sim.Result{}, runctl.StopNone, err
+			}
+			if o.TraceText != nil {
+				return sim.Result{}, runctl.StopNone, fmt.Errorf("decoupled-three does not support trace output")
+			}
+			sched := o.Scheduler
+			if sched == nil {
+				sched = schedule.Synchronous{}
+			}
+			if o.budgeted() {
+				ck := runctl.NewChecker(o.Context, o.Budget.Timeout)
+				maxTicks := runctl.Min(o.MaxSteps, o.Budget.MaxSteps)
+				empties := 0
+				for !e.AllSettled() {
+					if reason, stop := ck.Check(); stop {
+						return convDecoupled(e.Snapshot()), reason, nil
+					}
+					if e.Time()-1 >= maxTicks {
+						return convDecoupled(e.Snapshot()), runctl.StopMaxSteps, nil
+					}
+					if performed := e.Tick(sched.Next(e)); len(performed) == 0 {
+						if empties++; empties >= 2048 {
+							for i := 0; i < e.N(); i++ {
+								if e.Working(i) {
+									e.CrashAfter(i, 0)
+								}
+							}
+						}
+					} else {
+						empties = 0
+					}
+				}
+				return convDecoupled(e.Snapshot()), runctl.StopNone, nil
+			}
+			res, err := e.Run(sched, o.MaxSteps)
+			return convDecoupled(res), runctl.StopNone, err
+		},
+
+		// Check explores the tick-transition system. The clock makes the
+		// reachable graph infinite and acyclic, so callers should bound
+		// Options.MaxDepth and read Truncated reports as verdicts over all
+		// schedules of at most MaxDepth ticks.
+		Check: func(xs []int, mode sim.Mode, opt model.Options) (model.Report, error) {
+			e, g, err := mk(xs, nil)
+			if err != nil {
+				return model.Report{}, err
+			}
+			inst := &decoupledInstance{e: e}
+			inv := func(i sim.Instance) error { return decoupledThreeValidity(g, i.Result()) }
+			return model.ExploreInstance(inst, opt, inv), nil
+		},
+	})
+}

@@ -1,0 +1,71 @@
+package protocol
+
+import (
+	"fmt"
+
+	"asynccycle/internal/check"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/locale"
+	"asynccycle/internal/runctl"
+	"asynccycle/internal/sim"
+)
+
+// localeValidity is the synchronous LOCAL baseline specification: a proper
+// 3-coloring of the whole cycle.
+func localeValidity(g graph.Graph, r sim.Result) error {
+	if err := check.ProperColoring(g, r); err != nil {
+		return err
+	}
+	return check.PaletteRange(r, 3)
+}
+
+func registerLocale() {
+	MustRegister(&Descriptor{
+		Name:         "local-cv",
+		Aliases:      []string{"locale"},
+		Problem:      "3-coloring of the cycle in the synchronous LOCAL model",
+		Source:       "Cole-Vishkin baseline (§2, comparison point)",
+		TopologyName: "cycle (synchronous, crash-free)",
+		MinN:         3,
+		Palette:      "{0..2}",
+		BoundDesc:    "O(log* n) synchronous rounds",
+		Expectation:  "crash-free baseline: what the asynchronous model must give up",
+		Topology:     cycleTopology,
+		ValidateIDs:  misIDs,
+		Validity:     localeValidity,
+		Checks: func(g graph.Graph) []NamedCheck {
+			return []NamedCheck{
+				{"proper coloring", func(r sim.Result) error { return check.ProperColoring(g, r) }},
+				{"palette {0..2}", func(r sim.Result) error { return check.PaletteRange(r, 3) }},
+				{"all terminated", check.AllTerminated},
+			}
+		},
+
+		// Run executes the synchronous algorithm directly: the LOCAL model
+		// has no adversary, so Scheduler, Mode, and Budget do not apply,
+		// and crashes are rejected — that absence is the point of the
+		// baseline.
+		Run: func(xs []int, o RunOptions) (sim.Result, runctl.StopReason, error) {
+			if len(o.Crashes) > 0 {
+				return sim.Result{}, runctl.StopNone, fmt.Errorf("local-cv is crash-free: the LOCAL model has no adversary")
+			}
+			colors, rounds, err := locale.ThreeColorCycle(xs)
+			if err != nil {
+				return sim.Result{}, runctl.StopNone, err
+			}
+			n := len(xs)
+			res := sim.Result{
+				Outputs:     colors,
+				Done:        make([]bool, n),
+				Crashed:     make([]bool, n),
+				Activations: make([]int, n),
+				Steps:       rounds,
+			}
+			for i := range res.Done {
+				res.Done[i] = true
+				res.Activations[i] = rounds
+			}
+			return res, runctl.StopNone, nil
+		},
+	})
+}

@@ -1,0 +1,86 @@
+package protocol
+
+import (
+	"fmt"
+
+	"asynccycle/internal/check"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/mis"
+	"asynccycle/internal/sim"
+)
+
+// misPatience is the pinned patience of the impatient MIS candidate: the
+// number of rounds it waits for lower-identifier neighbors before deciding
+// unilaterally. The model checker historically used 2.
+const misPatience = 2
+
+// distinctIDs is the global input precondition of the identifier-comparing
+// protocols: distinct non-negative identifiers.
+func distinctIDs(xs []int) error {
+	if !ids.Unique(xs) {
+		return fmt.Errorf("identifiers must be distinct and non-negative")
+	}
+	return nil
+}
+
+// misValidity checks the maximal-independent-set conditions on the
+// terminated processes.
+func misValidity(g graph.Graph, r sim.Result) error {
+	if v := mis.ViolatesMIS(g.Edges(), g.N(), r.Outputs, r.Done); v != "" {
+		return fmt.Errorf("%s", v)
+	}
+	return nil
+}
+
+func misChecks(g graph.Graph) []NamedCheck {
+	return []NamedCheck{
+		{"maximal independent set", func(r sim.Result) error { return misValidity(g, r) }},
+		{"survivors terminated", check.SurvivorsTerminated},
+	}
+}
+
+func misIDs(xs []int) error {
+	if len(xs) < 3 {
+		return fmt.Errorf("cycle needs n ≥ 3, got %d", len(xs))
+	}
+	return distinctIDs(xs)
+}
+
+func registerMIS() {
+	MustRegisterEngine(EngineSpec[mis.Val]{
+		Meta: Descriptor{
+			Name:         "mis-greedy",
+			Problem:      "maximal independent set of the cycle",
+			Source:       "greedy candidate (§ MIS case study)",
+			TopologyName: "cycle",
+			MinN:         3,
+			Palette:      "{out=0, in=1}",
+			BoundDesc:    "—",
+			Expectation:  "safe but NOT wait-free: waiting on a crashed lower-id neighbor livelocks",
+			Topology:     cycleTopology,
+			ValidateIDs:  misIDs,
+			Validity:     misValidity,
+			Checks:       misChecks,
+		},
+		New: mis.NewGreedyNodes,
+	})
+	MustRegisterEngine(EngineSpec[mis.Val]{
+		Meta: Descriptor{
+			Name:         "mis-impatient",
+			Problem:      "maximal independent set of the cycle",
+			Source:       fmt.Sprintf("impatient candidate, patience=%d (§ MIS case study)", misPatience),
+			TopologyName: "cycle",
+			MinN:         3,
+			Palette:      "{out=0, in=1}",
+			BoundDesc:    "patience+3",
+			Expectation:  "wait-free but UNSAFE: adjacent processes can both join the set",
+			Bound:        func(n int) int { return misPatience + 3 },
+			Topology:     cycleTopology,
+			ValidateIDs:  misIDs,
+			Validity:     misValidity,
+			Checks:       misChecks,
+		},
+		New: func(xs []int) []sim.Node[mis.Val] { return mis.NewImpatientNodes(xs, misPatience) },
+	})
+}

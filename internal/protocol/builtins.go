@@ -1,0 +1,12 @@
+package protocol
+
+// The builtin protocols register in one fixed order — it is the order the
+// -list tables print and tests pin, independent of source-file names.
+func init() {
+	registerCore()
+	registerMIS()
+	registerRenaming()
+	registerSSB()
+	registerDecoupled()
+	registerLocale()
+}

@@ -1,0 +1,116 @@
+package protocol
+
+// Registry-completeness guard: every internal package that defines sim.Node
+// state machines must be represented in the registry, and every registered
+// protocol must trace back to such a package. The test scans the source
+// tree, so adding a new algorithm package without registering a descriptor
+// (or registering one from thin air) fails here with instructions.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// nodePackages maps each internal package exposing a sim.Node constructor
+// to the canonical names of the protocols it backs. A package listed with
+// no protocols is a deliberate exception and needs a reason.
+var nodePackages = map[string][]string{
+	"core":      {"six", "five", "fast"},
+	"mis":       {"mis-greedy", "mis-impatient"},
+	"renaming":  {"renaming"},
+	"ssb":       {"ssb-greedy", "ssb-impatient"},
+	"decoupled": {"decoupled-three"},
+	// locale has no sim.Node machines (it is a direct synchronous
+	// computation) but registers local-cv through a custom Run closure.
+	// ablation's node variants are deliberately broken copies of Algorithm
+	// 3 for experiment E17 — they exist to fail verification, so they are
+	// not protocols and stay out of the registry.
+	"ablation": {},
+}
+
+// extraProtocols are registered protocols not backed by a node-constructor
+// package found by the scan.
+var extraProtocols = map[string]string{
+	"local-cv": "internal/locale, synchronous baseline without sim.Node machines",
+}
+
+// The scan matches slice-of-process constructors in both state models:
+// []sim.Node[V] factories and wrappers (core, mis, renaming, ssb) and the
+// DECOUPLED model's []Proc[V] factories.
+var nodeCtorRe = regexp.MustCompile(`func (New|Wrap)\w*(\[[^\]]*\])?\([^)]*\) \[\](sim\.Node|Proc)\[`)
+
+func TestRegistryCoversEveryNodePackage(t *testing.T) {
+	root := filepath.Join("..", "..")
+	entries, err := os.ReadDir(filepath.Join(root, "internal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]bool{}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		pkg := e.Name()
+		files, err := filepath.Glob(filepath.Join(root, "internal", pkg, "*.go"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range files {
+			if strings.HasSuffix(f, "_test.go") {
+				continue
+			}
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if nodeCtorRe.Match(src) {
+				found[pkg] = true
+				break
+			}
+		}
+	}
+	if len(found) == 0 {
+		t.Fatal("source scan found no sim.Node constructors at all — scan broken")
+	}
+
+	registered := map[string]bool{}
+	for _, name := range Names() {
+		registered[name] = true
+	}
+	for pkg := range found {
+		protos, ok := nodePackages[pkg]
+		if !ok {
+			t.Errorf("internal/%s defines sim.Node constructors but is not in nodePackages: register its protocols in internal/protocol and list them here", pkg)
+			continue
+		}
+		for _, p := range protos {
+			if !registered[p] {
+				t.Errorf("nodePackages maps internal/%s to %q, which is not registered", pkg, p)
+			}
+		}
+	}
+	for pkg := range nodePackages {
+		if !found[pkg] {
+			t.Errorf("nodePackages lists internal/%s but the scan found no sim.Node constructor there — stale entry?", pkg)
+		}
+	}
+
+	// The reverse direction: every registered protocol is accounted for.
+	accounted := map[string]bool{}
+	for _, protos := range nodePackages {
+		for _, p := range protos {
+			accounted[p] = true
+		}
+	}
+	for p := range extraProtocols {
+		accounted[p] = true
+	}
+	for _, name := range Names() {
+		if !accounted[name] {
+			t.Errorf("registered protocol %q is not mapped to any node package (or extraProtocols)", name)
+		}
+	}
+}

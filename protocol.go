@@ -1,0 +1,148 @@
+package asynccycle
+
+// Generic protocol entry points: every algorithm registered in
+// internal/protocol is runnable by name through one facade surface. The
+// typed helpers (FiveColorCycle, …) are thin wrappers over RunProtocol
+// with their historical names pinned.
+
+import (
+	"errors"
+	"fmt"
+
+	"asynccycle/internal/conc"
+	"asynccycle/internal/protocol"
+	"asynccycle/internal/runctl"
+)
+
+// ProtocolInfo describes one registered protocol: its registry name and
+// aliases, the problem it solves, the graph family it runs on, its output
+// palette, its per-process round bound (empty when the protocol is not
+// wait-free), and the comma-separated capability set
+// ("run,conc,check,worst,sweep,fuzz" for the fully supported algorithms).
+type ProtocolInfo struct {
+	Name         string
+	Aliases      []string
+	Problem      string
+	Graph        string
+	Palette      string
+	Bound        string
+	Expectation  string
+	Capabilities string
+}
+
+// Protocols lists every registered protocol in registration order.
+func Protocols() []ProtocolInfo {
+	ds := protocol.All()
+	out := make([]ProtocolInfo, len(ds))
+	for i, d := range ds {
+		out[i] = ProtocolInfo{
+			Name:         d.Name,
+			Aliases:      append([]string(nil), d.Aliases...),
+			Problem:      d.Problem,
+			Graph:        d.TopologyName,
+			Palette:      d.Palette,
+			Bound:        d.BoundDesc,
+			Expectation:  d.Expectation,
+			Capabilities: d.Capabilities(),
+		}
+	}
+	return out
+}
+
+// lookupProtocol resolves a registry name or alias, folding the failure
+// into the facade's input-error sentinel.
+func lookupProtocol(name string) (*protocol.Descriptor, error) {
+	d, err := protocol.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return d, nil
+}
+
+// validateProtocolInput applies the protocol's identifier precondition and
+// the facade's crash-plan validation, both under ErrBadInput.
+func validateProtocolInput(d *protocol.Descriptor, xs []int, crashes map[int]int) error {
+	if d.ValidateIDs != nil {
+		if err := d.ValidateIDs(xs); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadInput, err)
+		}
+	}
+	for i := range crashes {
+		if i < 0 || i >= len(xs) {
+			return fmt.Errorf("%w: crash index %d out of range", ErrBadInput, i)
+		}
+	}
+	return nil
+}
+
+// RunProtocol runs the named protocol (any registry name or alias listed
+// by Protocols) on the identifier vector xs under cfg, with the same
+// semantics as the typed helpers: deterministic given the scheduler,
+// ErrBadInput for precondition violations, ErrStepLimit (wrapped) when the
+// step budget runs out, and ErrBudget (wrapped) with a valid partial
+// Result when Config.Context or Config.Budget stops the run early.
+func RunProtocol(name string, xs []int, cfg *Config) (Result, error) {
+	d, err := lookupProtocol(name)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := validateProtocolInput(d, xs, cfg.crashes()); err != nil {
+		return Result{}, err
+	}
+	var mode Mode
+	if cfg != nil {
+		mode = cfg.Mode
+	}
+	if len(d.Modes) > 0 && !d.SupportsMode(mode) {
+		return Result{}, fmt.Errorf("%w: protocol %q does not support %s semantics", ErrBadInput, name, mode)
+	}
+	o := protocol.RunOptions{
+		Scheduler: cfg.scheduler(),
+		Mode:      mode,
+		Crashes:   cfg.crashes(),
+		MaxSteps:  cfg.maxSteps(len(xs)),
+	}
+	if cfg != nil {
+		o.Context = cfg.Context
+		o.Budget = cfg.Budget
+	}
+	res, reason, err := d.Run(xs, o)
+	if err != nil {
+		return res, err
+	}
+	if reason != runctl.StopNone {
+		return res, fmt.Errorf("%w: %s", ErrBudget, reason)
+	}
+	return res, nil
+}
+
+// RunProtocolConcurrent runs the named protocol with one goroutine per
+// process. Protocols without a concurrent runtime (decoupled-three,
+// local-cv) return ErrBadInput.
+func RunProtocolConcurrent(name string, xs []int, cfg *ConcurrentConfig) (Result, error) {
+	d, err := lookupProtocol(name)
+	if err != nil {
+		return Result{}, err
+	}
+	// Crash indices are not range-checked here: the goroutine runtime has
+	// always ignored out-of-range keys, and the typed Concurrent helpers
+	// preserve that behavior.
+	if err := validateProtocolInput(d, xs, nil); err != nil {
+		return Result{}, err
+	}
+	if d.RunConc == nil {
+		return Result{}, fmt.Errorf("%w: protocol %q has no concurrent runtime", ErrBadInput, name)
+	}
+	res, err := d.RunConc(xs, cfg.options())
+	if errors.Is(err, conc.ErrCancelled) {
+		return res, fmt.Errorf("%w: %v", ErrBudget, err)
+	}
+	return res, err
+}
+
+func (c *Config) crashes() map[int]int {
+	if c == nil {
+		return nil
+	}
+	return c.CrashAfter
+}

@@ -1,0 +1,103 @@
+package asynccycle_test
+
+import (
+	"errors"
+	"testing"
+
+	"asynccycle"
+)
+
+// TestRunProtocolMatchesTypedHelpers pins the facade refactor: the typed
+// helpers are thin wrappers, so running by name (including aliases) is
+// step-for-step identical.
+func TestRunProtocolMatchesTypedHelpers(t *testing.T) {
+	xs := []int{7, 2, 9, 4, 11, 0}
+	cfg := func() *asynccycle.Config {
+		return &asynccycle.Config{Scheduler: asynccycle.RoundRobin(1), CrashAfter: map[int]int{2: 1}}
+	}
+	typed, err := asynccycle.FiveColorCycle(xs, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"five", "alg2", "FIVE"} {
+		named, err := asynccycle.RunProtocol(name, xs, cfg())
+		if err != nil {
+			t.Fatalf("RunProtocol(%q): %v", name, err)
+		}
+		if named.Steps != typed.Steps {
+			t.Errorf("RunProtocol(%q).Steps = %d, want %d", name, named.Steps, typed.Steps)
+		}
+		for i := range xs {
+			if named.Outputs[i] != typed.Outputs[i] {
+				t.Errorf("RunProtocol(%q).Outputs[%d] = %d, want %d", name, i, named.Outputs[i], typed.Outputs[i])
+			}
+		}
+	}
+}
+
+// TestRunProtocolRegistryProtocols smoke-runs each non-cycle-coloring
+// protocol through the generic facade on its own topology.
+func TestRunProtocolRegistryProtocols(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		xs   []int
+	}{
+		{"mis-greedy", []int{3, 1, 4, 0, 2}},
+		{"mis-impatient", []int{3, 1, 4, 0, 2}},
+		{"renaming", []int{9, 5, 7, 1}},
+		{"ssb-greedy", []int{3, 1, 4, 0, 2}},
+		{"decoupled-three", []int{5, 0, 3, 2}},
+		{"local-cv", []int{6, 2, 9, 1, 7}},
+	} {
+		res, err := asynccycle.RunProtocol(c.name, c.xs, nil)
+		if err != nil {
+			t.Errorf("RunProtocol(%q): %v", c.name, err)
+			continue
+		}
+		if res.TerminatedCount() != len(c.xs) {
+			t.Errorf("RunProtocol(%q): terminated=%d/%d under the synchronous scheduler", c.name, res.TerminatedCount(), len(c.xs))
+		}
+	}
+}
+
+func TestRunProtocolErrors(t *testing.T) {
+	if _, err := asynccycle.RunProtocol("no-such", []int{1, 2, 3}, nil); !errors.Is(err, asynccycle.ErrBadInput) {
+		t.Errorf("unknown protocol: err = %v, want ErrBadInput", err)
+	}
+	if _, err := asynccycle.RunProtocol("five", []int{1, 1, 2}, nil); !errors.Is(err, asynccycle.ErrBadInput) {
+		t.Errorf("bad identifiers: err = %v, want ErrBadInput", err)
+	}
+	if _, err := asynccycle.RunProtocol("five", []int{1, 2, 3}, &asynccycle.Config{CrashAfter: map[int]int{9: 0}}); !errors.Is(err, asynccycle.ErrBadInput) {
+		t.Errorf("crash index out of range: err = %v, want ErrBadInput", err)
+	}
+	if _, err := asynccycle.RunProtocolConcurrent("local-cv", []int{6, 2, 9, 1, 7}, nil); !errors.Is(err, asynccycle.ErrBadInput) {
+		t.Errorf("local-cv has no concurrent runtime: err = %v, want ErrBadInput", err)
+	}
+}
+
+// TestProtocolsTable pins the public registry listing: names, order, and
+// the capability surface the README documents.
+func TestProtocolsTable(t *testing.T) {
+	infos := asynccycle.Protocols()
+	var names []string
+	caps := map[string]string{}
+	for _, in := range infos {
+		names = append(names, in.Name)
+		caps[in.Name] = in.Capabilities
+	}
+	want := []string{"six", "five", "fast", "mis-greedy", "mis-impatient", "renaming", "ssb-greedy", "ssb-impatient", "decoupled-three", "local-cv"}
+	if len(names) < len(want) {
+		t.Fatalf("Protocols() lists %d protocols, want at least %d", len(names), len(want))
+	}
+	for i, w := range want {
+		if names[i] != w {
+			t.Errorf("Protocols()[%d] = %q, want %q (registration order is part of the contract)", i, names[i], w)
+		}
+	}
+	if caps["five"] != "run,conc,check,worst,sweep,fuzz" {
+		t.Errorf("five capabilities = %q", caps["five"])
+	}
+	if caps["local-cv"] != "run" {
+		t.Errorf("local-cv capabilities = %q", caps["local-cv"])
+	}
+}
