@@ -19,13 +19,17 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
+	"asynccycle/internal/bigsim"
 	"asynccycle/internal/core"
 	"asynccycle/internal/expt"
 	"asynccycle/internal/graph"
 	"asynccycle/internal/ids"
 	"asynccycle/internal/model"
 	"asynccycle/internal/prof"
+	"asynccycle/internal/protocol"
+	"asynccycle/internal/runctl"
 	"asynccycle/internal/sim"
 )
 
@@ -37,11 +41,34 @@ type entry struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
+// bigRun records one large-cycle execution on the struct-of-arrays engine:
+// throughput (rounds/sec), per-node memory footprint, and the observed
+// round complexity against the paper's bound.
+type bigRun struct {
+	Alg          string  `json:"alg"`
+	N            int     `json:"n"`
+	Sched        string  `json:"sched"`
+	Workers      int     `json:"workers"`
+	Steps        int64   `json:"steps"`
+	Rounds       int64   `json:"rounds"`
+	MaxRounds    int     `json:"max_rounds"`
+	Bound        int     `json:"bound"`
+	Seconds      float64 `json:"seconds"`
+	RoundsPerSec float64 `json:"rounds_per_sec"`
+	BytesPerNode int     `json:"bytes_per_node"`
+}
+
 type report struct {
-	GoVersion  string  `json:"go_version"`
-	GOMAXPROCS int     `json:"gomaxprocs"`
-	Quick      bool    `json:"quick"`
-	Benchmarks []entry `json:"benchmarks"`
+	GoVersion string `json:"go_version"`
+	// GOMAXPROCS is the value at entry; the parallel benchmarks raise it to
+	// NumCPU for their duration (GOMAXPROCSParallel) so the file actually
+	// demonstrates the parallel paths even when launched with GOMAXPROCS=1.
+	GOMAXPROCS         int      `json:"gomaxprocs"`
+	GOMAXPROCSParallel int      `json:"gomaxprocs_parallel"`
+	NumCPU             int      `json:"num_cpu"`
+	Quick              bool     `json:"quick"`
+	Benchmarks         []entry  `json:"benchmarks"`
+	BigRuns            []bigRun `json:"big_runs"`
 }
 
 func main() {
@@ -67,9 +94,20 @@ func main() {
 
 func run(out string, quick bool) error {
 	rep := report{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Quick:      quick,
+		GoVersion:          runtime.Version(),
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		GOMAXPROCSParallel: runtime.NumCPU(),
+		NumCPU:             runtime.NumCPU(),
+		Quick:              quick,
+	}
+
+	// atRealProcs runs f with GOMAXPROCS raised to the machine's CPU count
+	// and restores the entry value after — the serial benchmarks keep their
+	// historical single-P environment, the parallel ones get real cores.
+	atRealProcs := func(f func()) {
+		prev := runtime.GOMAXPROCS(runtime.NumCPU())
+		defer runtime.GOMAXPROCS(prev)
+		f()
 	}
 
 	n := 4096
@@ -93,18 +131,20 @@ func run(out string, quick bool) error {
 
 	// The tentpole pair #1: the experiment harness, serial vs parallel.
 	// Tables are byte-identical between the two; only wall-clock differs.
-	for _, c := range []struct {
-		name    string
-		workers int
-	}{{"e2_table_serial", 1}, {"e2_table_parallel", 0}} {
-		c := c
-		add(c.name, func(b *testing.B) {
+	add("e2_table_serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			expt.E2Alg2Linear(expt.Options{Quick: true, Seed: 1, Parallelism: 1})
+		}
+	})
+	atRealProcs(func() {
+		add("e2_table_parallel", func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				expt.E2Alg2Linear(expt.Options{Quick: true, Seed: 1, Parallelism: c.workers})
+				expt.E2Alg2Linear(expt.Options{Quick: true, Seed: 1, Parallelism: 0})
 			}
 		})
-	}
+	})
 
 	// The tentpole pair #2: the model checker, exact string fingerprints vs
 	// compact 128-bit hashes (identical state counts, fewer allocations).
@@ -190,6 +230,87 @@ func run(out string, quick bool) error {
 			e.Step(subset)
 		}
 	})
+
+	// Large-cycle scenarios on the struct-of-arrays engine: six/five/fast
+	// on C_10^5 (plus C_10^6 in full mode), once under the batched serial
+	// round-robin schedule and once under the sharded parallel executor at
+	// real core count, incremental safety checking on throughout. These are
+	// single timed executions, not testing.Benchmark loops: one run already
+	// performs millions of rounds, and the recorded quantity is throughput.
+	bigNs := []int{100_000}
+	if !quick {
+		bigNs = append(bigNs, 1_000_000)
+	}
+	addBig := func(alg string, bound int, e *bigsim.Engine, sched string, workers int, secs float64) {
+		s := e.Summarize()
+		br := bigRun{
+			Alg:          alg,
+			N:            s.N,
+			Sched:        sched,
+			Workers:      workers,
+			Steps:        s.Steps,
+			Rounds:       s.Rounds,
+			MaxRounds:    s.MaxRounds,
+			Bound:        bound,
+			Seconds:      secs,
+			RoundsPerSec: float64(s.Rounds) / secs,
+			BytesPerNode: s.BytesPerNode,
+		}
+		rep.BigRuns = append(rep.BigRuns, br)
+		fmt.Printf("big %-5s n=%-8d %-16s %10.0f rounds/sec  %6.2fs  %2d bytes/node  max-rounds %d/%d\n",
+			alg, s.N, sched, br.RoundsPerSec, secs, s.BytesPerNode, s.MaxRounds, bound)
+	}
+	bigBudget := runctl.Budget{Timeout: 300 * time.Second}
+	for _, alg := range []string{"six", "five", "fast"} {
+		d, err := protocol.Lookup(alg)
+		if err != nil {
+			return err
+		}
+		for _, bn := range bigNs {
+			bxs := ids.MustGenerate(ids.Random, bn, 1)
+			k, err := d.BigKernel(bxs)
+			if err != nil {
+				return err
+			}
+			e := bigsim.New(k)
+			e.SetIncremental(true)
+
+			start := time.Now()
+			reason, err := e.RunBudget(nil, bigsim.NewRR(1), bigBudget)
+			secs := time.Since(start).Seconds()
+			if err != nil {
+				return fmt.Errorf("big %s n=%d rr: %w", alg, bn, err)
+			}
+			if reason != runctl.StopNone {
+				return fmt.Errorf("big %s n=%d rr stopped early: %s", alg, bn, reason)
+			}
+			if err := e.VerifyFull(); err != nil {
+				return fmt.Errorf("big %s n=%d rr: %w", alg, bn, err)
+			}
+			addBig(alg, d.Bound(bn), e, "round-robin(1)", 1, secs)
+
+			if err := e.Reset(bxs); err != nil {
+				return err
+			}
+			e.SetIncremental(true)
+			workers := runtime.NumCPU()
+			atRealProcs(func() {
+				start = time.Now()
+				reason, err = e.RunSharded(nil, workers, bigBudget)
+				secs = time.Since(start).Seconds()
+			})
+			if err != nil {
+				return fmt.Errorf("big %s n=%d sharded: %w", alg, bn, err)
+			}
+			if reason != runctl.StopNone {
+				return fmt.Errorf("big %s n=%d sharded stopped early: %s", alg, bn, reason)
+			}
+			if err := e.VerifyFull(); err != nil {
+				return fmt.Errorf("big %s n=%d sharded: %w", alg, bn, err)
+			}
+			addBig(alg, d.Bound(bn), e, fmt.Sprintf("sharded-rr(%d)", workers), workers, secs)
+		}
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

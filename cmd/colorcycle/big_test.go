@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunBigMatchesSim pins the CLI surface of the big engine against the
+// deterministic engine: identical instance, scheduler family, seed, and
+// crash plan must print the same terminated/colors/verdict lines (only the
+// header line differs — it carries the engine marker).
+func TestRunBigMatchesSim(t *testing.T) {
+	for _, alg := range []string{"fast", "five", "six"} {
+		for _, sched := range []string{"sync", "rr", "random", "one", "alt", "burst"} {
+			base := []string{"-alg", alg, "-n", "48", "-sched", sched, "-seed", "3", "-crash", "0.2"}
+			var ref, big strings.Builder
+			if err := run(base, &ref); err != nil {
+				t.Fatalf("%s/%s ref: %v", alg, sched, err)
+			}
+			if err := run(append(base, "-big"), &big); err != nil {
+				t.Fatalf("%s/%s big: %v", alg, sched, err)
+			}
+			refLines := strings.SplitN(ref.String(), "\n", 2)
+			bigLines := strings.SplitN(big.String(), "\n", 2)
+			if refLines[1] != bigLines[1] {
+				t.Errorf("%s/%s: outputs diverge\n--- sim ---\n%s\n--- big ---\n%s",
+					alg, sched, ref.String(), big.String())
+			}
+			if !strings.Contains(bigLines[0], "engine=big") {
+				t.Errorf("%s/%s: header missing engine marker: %s", alg, sched, bigLines[0])
+			}
+		}
+	}
+}
+
+// TestRunBigSharded exercises the parallel executor through the CLI.
+func TestRunBigSharded(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-alg", "fast", "-n", "512", "-big", "-workers", "4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"scheduler=sharded-rr(4)", "terminated=512/512", "ok   proper coloring"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunBigErrors pins the flag incompatibilities and the capability gate.
+func TestRunBigErrors(t *testing.T) {
+	cases := [][]string{
+		{"-big", "-trace", "-n", "10"},
+		{"-big", "-concurrent", "-n", "10"},
+		{"-big", "-alg", "local-cv", "-n", "10"}, // no "big" capability
+	}
+	for _, args := range cases {
+		var b strings.Builder
+		if err := run(args, &b); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}

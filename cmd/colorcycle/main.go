@@ -8,12 +8,20 @@
 //	           [-ids random|increasing|zigzag|...]
 //	           [-sched sync|rr|random|one|alt|burst] [-seed 1]
 //	           [-crash 0.2] [-trace] [-concurrent]
+//	           [-big] [-workers 1]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // -list prints the table of registered protocols and exits. With
 // -concurrent the run uses one goroutine per node (the -sched and -trace
 // flags do not apply: scheduling comes from the Go runtime); protocols
 // without a concurrent runtime reject it.
+//
+// -big selects the struct-of-arrays engine for protocols with the "big"
+// capability — the path for large cycles (n up to 10⁶ and beyond), with
+// incremental safety checking instead of a final O(n) scan per verdict
+// line. -workers k > 1 additionally runs the sharded parallel executor
+// under its canonical sharded round-robin schedule (-sched is then
+// ignored). -trace and -concurrent do not combine with -big.
 package main
 
 import (
@@ -22,10 +30,13 @@ import (
 	"io"
 	"os"
 
+	"asynccycle/internal/bigsim"
 	"asynccycle/internal/conc"
+	"asynccycle/internal/graph"
 	"asynccycle/internal/ids"
 	"asynccycle/internal/prof"
 	"asynccycle/internal/protocol"
+	"asynccycle/internal/runctl"
 	"asynccycle/internal/schedule"
 	"asynccycle/internal/sim"
 )
@@ -48,6 +59,8 @@ func run(args []string, w io.Writer) error {
 	crash := fs.Float64("crash", 0, "fraction of processes to crash at adversarial times")
 	withTrace := fs.Bool("trace", false, "print the execution trace")
 	concurrent := fs.Bool("concurrent", false, "run with one goroutine per node instead of the deterministic engine")
+	big := fs.Bool("big", false, "run on the struct-of-arrays large-cycle engine")
+	workers := fs.Int("workers", 1, "with -big: >1 runs the sharded parallel executor")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -106,6 +119,13 @@ func run(args []string, w io.Writer) error {
 		report(w, "validity", d.Validity(g, res))
 	}
 
+	if *big {
+		if *withTrace || *concurrent {
+			return fmt.Errorf("-big does not combine with -trace or -concurrent")
+		}
+		return runBig(w, d, xs, *sched, *seed, *workers, crashes, g, verdict)
+	}
+
 	if *concurrent {
 		if d.RunConc == nil {
 			return fmt.Errorf("algorithm %q has no concurrent runtime", *alg)
@@ -141,6 +161,82 @@ func run(args []string, w io.Writer) error {
 	printColors(w, res)
 	verdict(res)
 	return nil
+}
+
+// runBig executes on the struct-of-arrays engine: native zero-alloc
+// schedulers, incremental safety checking during the run, and optionally
+// the sharded parallel executor. The printed surface matches the
+// deterministic path so existing tooling parses both.
+func runBig(w io.Writer, d *protocol.Descriptor, xs []int, sched string, seed int64, workers int,
+	crashes map[int]int, g graph.Graph, verdict func(sim.Result)) error {
+	if d.BigKernel == nil {
+		return fmt.Errorf("algorithm %q has no big-run surface (capability \"big\")", d.Name)
+	}
+	k, err := d.BigKernel(xs)
+	if err != nil {
+		return err
+	}
+	e := bigsim.New(k)
+	e.SetIncremental(true)
+	for i, c := range crashes {
+		if i < 0 || i >= g.N() {
+			return fmt.Errorf("crash index %d out of range", i)
+		}
+		e.CrashAfter(i, c)
+	}
+	maxSteps := int64(1000*g.N() + 100_000)
+
+	var schedName string
+	if workers > 1 {
+		schedName = fmt.Sprintf("sharded-rr(%d)", workers)
+		reason, err := e.RunSharded(nil, workers, runctl.Budget{MaxSteps: int(maxSteps)})
+		if err != nil {
+			return err
+		}
+		if reason != runctl.StopNone {
+			return fmt.Errorf("sharded run stopped early: %s", reason)
+		}
+	} else {
+		s, err := parseBigScheduler(sched, seed)
+		if err != nil {
+			return err
+		}
+		schedName = s.Name()
+		if err := e.Run(s, maxSteps); err != nil {
+			return err
+		}
+	}
+
+	res := e.Result()
+	sum := e.Summarize()
+	fmt.Fprintf(w, "graph=%s scheduler=%s steps=%d engine=big workers=%d bytes/node=%d\n",
+		g.Name(), schedName, res.Steps, workers, sum.BytesPerNode)
+	fmt.Fprintf(w, "terminated=%d/%d crashed=%d max-rounds=%d\n",
+		sum.Terminated, g.N(), sum.Crashed, sum.MaxRounds)
+	printColors(w, res)
+	verdict(res)
+	return nil
+}
+
+// parseBigScheduler mirrors parseScheduler on the native big-engine
+// schedulers (same families, same seeds, same decision streams).
+func parseBigScheduler(s string, seed int64) (bigsim.Sched, error) {
+	switch s {
+	case "sync":
+		return bigsim.NewSync(), nil
+	case "rr":
+		return bigsim.NewRR(1), nil
+	case "random":
+		return bigsim.NewRandomSubset(0.4, seed), nil
+	case "one":
+		return bigsim.NewRandomOne(seed), nil
+	case "alt":
+		return bigsim.NewAlt(), nil
+	case "burst":
+		return bigsim.NewBurst(4), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", s)
+	}
 }
 
 func crashedCount(res sim.Result) int {

@@ -1,0 +1,224 @@
+package bigsim_test
+
+import (
+	"fmt"
+	"testing"
+
+	"asynccycle/internal/bigsim"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/protocol"
+	"asynccycle/internal/runctl"
+	"asynccycle/internal/schedule"
+	"asynccycle/internal/sim"
+)
+
+// diffMaxSteps is generous: every differential instance terminates in well
+// under 2^20 steps, so hitting the limit is itself a failure.
+const diffMaxSteps = 1 << 20
+
+// schedPair builds one scheduler per engine — fresh instances with the
+// same seed, so both sides consume identical decision streams.
+type schedPair struct {
+	name string
+	ref  func() schedule.Scheduler
+	big  func() bigsim.Sched
+}
+
+// schedPairs covers every built-in scheduler family, including the
+// batched round-robin path (rr1), the non-batched wide round-robin (rr3),
+// and the Wrap adapter (sharded3 drives bigsim through the unmodified
+// internal/schedule implementation).
+func schedPairs() []schedPair {
+	const seed = 12345
+	return []schedPair{
+		{"sync",
+			func() schedule.Scheduler { return schedule.Synchronous{} },
+			func() bigsim.Sched { return bigsim.NewSync() }},
+		{"rr1",
+			func() schedule.Scheduler { return schedule.NewRoundRobin(1) },
+			func() bigsim.Sched { return bigsim.NewRR(1) }},
+		{"rr3",
+			func() schedule.Scheduler { return schedule.NewRoundRobin(3) },
+			func() bigsim.Sched { return bigsim.NewRR(3) }},
+		{"alt",
+			func() schedule.Scheduler { return schedule.Alternating{} },
+			func() bigsim.Sched { return bigsim.NewAlt() }},
+		{"burst4",
+			func() schedule.Scheduler { return schedule.NewBurst(4) },
+			func() bigsim.Sched { return bigsim.NewBurst(4) }},
+		{"random",
+			func() schedule.Scheduler { return schedule.NewRandomSubset(0.4, seed) },
+			func() bigsim.Sched { return bigsim.NewRandomSubset(0.4, seed) }},
+		{"one",
+			func() schedule.Scheduler { return schedule.NewRandomOne(seed) },
+			func() bigsim.Sched { return bigsim.NewRandomOne(seed) }},
+		{"sharded3",
+			func() schedule.Scheduler { return schedule.NewShardedRoundRobin(3) },
+			func() bigsim.Sched { return bigsim.Wrap(schedule.NewShardedRoundRobin(3)) }},
+		{"sleep",
+			func() schedule.Scheduler {
+				return schedule.NewSleep([]int{0, 1}, 50, schedule.NewRoundRobin(1))
+			},
+			func() bigsim.Sched {
+				return bigsim.Wrap(schedule.NewSleep([]int{0, 1}, 50, schedule.NewRoundRobin(1)))
+			}},
+	}
+}
+
+// TestEmptyStreakEquivalence pins the abandonment rule differentially: a
+// scheduler that starves everyone forever must make both engines declare
+// the whole cycle crashed after the same number of empty steps.
+func TestEmptyStreakEquivalence(t *testing.T) {
+	const n = 16
+	xs := ids.RandomIDs(n, 5)
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	mkSleep := func() *schedule.Sleep {
+		return schedule.NewSleep(all, 1<<30, schedule.Synchronous{})
+	}
+	ref := runRef(t, "six", xs, sim.ModeInterleaved, nil, mkSleep())
+	big := runBig(t, "six", xs, sim.ModeInterleaved, nil, bigsim.Wrap(mkSleep()))
+	diffResults(t, ref, big)
+	for i := range ref.Crashed {
+		if !ref.Crashed[i] {
+			t.Fatalf("node %d not crashed by the starvation schedule", i)
+		}
+	}
+}
+
+// runRef executes the reference internal/sim engine through the registry.
+func runRef(t *testing.T, alg string, xs []int, mode sim.Mode, crashes map[int]int, s schedule.Scheduler) sim.Result {
+	t.Helper()
+	d, err := protocol.Lookup(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, reason, err := d.Run(xs, protocol.RunOptions{
+		Scheduler: s,
+		Mode:      mode,
+		Crashes:   crashes,
+		MaxSteps:  diffMaxSteps,
+	})
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if reason != "" {
+		t.Fatalf("reference run stopped early: %s", reason)
+	}
+	return res
+}
+
+// runBig executes the struct-of-arrays engine on the same instance.
+func runBig(t *testing.T, alg string, xs []int, mode sim.Mode, crashes map[int]int, s bigsim.Sched) sim.Result {
+	t.Helper()
+	d, err := protocol.Lookup(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := d.BigKernel(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := bigsim.New(k)
+	e.SetMode(mode)
+	e.SetIncremental(true)
+	for i, c := range crashes {
+		e.CrashAfter(i, c)
+	}
+	if err := e.Run(s, diffMaxSteps); err != nil {
+		t.Fatalf("big run: %v", err)
+	}
+	if err := e.VerifyFull(); err != nil {
+		t.Fatalf("full verification after run: %v", err)
+	}
+	return e.Result()
+}
+
+// diffResults asserts byte-identical executions: same step count and the
+// same per-node outputs, termination, crash, and activation vectors.
+func diffResults(t *testing.T, ref, big sim.Result) {
+	t.Helper()
+	if ref.Steps != big.Steps {
+		t.Errorf("steps: ref %d, big %d", ref.Steps, big.Steps)
+	}
+	for i := range ref.Outputs {
+		switch {
+		case ref.Done[i] != big.Done[i]:
+			t.Errorf("node %d: done ref %v, big %v", i, ref.Done[i], big.Done[i])
+		case ref.Crashed[i] != big.Crashed[i]:
+			t.Errorf("node %d: crashed ref %v, big %v", i, ref.Crashed[i], big.Crashed[i])
+		case ref.Activations[i] != big.Activations[i]:
+			t.Errorf("node %d: activations ref %d, big %d", i, ref.Activations[i], big.Activations[i])
+		case ref.Done[i] && ref.Outputs[i] != big.Outputs[i]:
+			t.Errorf("node %d: output ref %d, big %d", i, ref.Outputs[i], big.Outputs[i])
+		}
+	}
+}
+
+// TestBigEquivalence is the pinned differential: for every core protocol,
+// scheduler family, activation mode, instance size, and crash plan, the
+// struct-of-arrays engine must reproduce internal/sim byte for byte.
+func TestBigEquivalence(t *testing.T) {
+	for _, alg := range []string{"six", "five", "fast"} {
+		for _, n := range []int{5, 17, 64} {
+			xs := ids.RandomIDs(n, int64(7*n+1))
+			for _, mode := range []sim.Mode{sim.ModeInterleaved, sim.ModeSimultaneous} {
+				for _, crashes := range []map[int]int{nil, {0: 0, 3: 2, n - 1: 5}} {
+					for _, sp := range schedPairs() {
+						label := fmt.Sprintf("%s/n=%d/mode=%d/crashes=%v/%s", alg, n, mode, crashes != nil, sp.name)
+						t.Run(label, func(t *testing.T) {
+							ref := runRef(t, alg, xs, mode, crashes, sp.ref())
+							big := runBig(t, alg, xs, mode, crashes, sp.big())
+							diffResults(t, ref, big)
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedEquivalence pins the three-way agreement behind the parallel
+// executor: internal/sim driven by the canonical sharded round-robin
+// schedule, the big engine driven serially by the same schedule through
+// Wrap, and the big engine's parallel RunSharded must all produce the
+// same execution. n is large enough for ShardBounds to cut real arcs.
+func TestShardedEquivalence(t *testing.T) {
+	const n = 512
+	for _, alg := range []string{"six", "five", "fast"} {
+		for _, workers := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/workers=%d", alg, workers), func(t *testing.T) {
+				xs := ids.RandomIDs(n, 99)
+				ref := runRef(t, alg, xs, sim.ModeInterleaved, nil,
+					schedule.NewShardedRoundRobin(workers))
+				serial := runBig(t, alg, xs, sim.ModeInterleaved, nil,
+					bigsim.Wrap(schedule.NewShardedRoundRobin(workers)))
+				diffResults(t, ref, serial)
+
+				d, err := protocol.Lookup(alg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				k, err := d.BigKernel(xs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				e := bigsim.New(k)
+				e.SetIncremental(true)
+				reason, err := e.RunSharded(nil, workers, runctl.Budget{})
+				if err != nil {
+					t.Fatalf("sharded run: %v", err)
+				}
+				if reason != "" {
+					t.Fatalf("sharded run stopped early: %s", reason)
+				}
+				if err := e.VerifyFull(); err != nil {
+					t.Fatalf("full verification after sharded run: %v", err)
+				}
+				diffResults(t, ref, e.Result())
+			})
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package bigsim
+
+import (
+	"context"
+	"sync"
+
+	"asynccycle/internal/runctl"
+	"asynccycle/internal/schedule"
+)
+
+// shardStat is one worker's merge-free statistics: each worker writes only
+// its own (cacheline-padded) entry during the interior phase, and the
+// coordinator folds the entries into the engine counters at the
+// super-round barrier — no atomics, no contention on the warm path.
+type shardStat struct {
+	performed int64
+	settled   int64 // nodes that left the working set (terminated or crashed)
+	checkErr  error
+	_         [24]byte // pad to a cacheline so adjacent workers don't false-share
+}
+
+// RunSharded drives the engine to completion with one worker goroutine per
+// arc of schedule.ShardBounds(n, workers), replaying the canonical
+// sharded round-robin schedule (schedule.ShardedRoundRobin) in parallel:
+// each super-round activates every working interior node — arcs
+// concurrently, ascending within an arc — and then every working boundary
+// node serially in ascending order.
+//
+// The parallel replay is state-for-state equal to the serial schedule:
+// singleton activations write only the activated node's slots and bitset
+// bits, interior nodes of one arc read registers only inside their own arc
+// [lo, hi), and the 64-aligned cuts keep concurrent bitset word writes on
+// disjoint words — so the per-arc interior subsequences commute with each
+// other (full argument in DESIGN.md §11). Singleton steps also make the
+// interleaved/simultaneous distinction vanish (publish-then-observe of a
+// single node is one fused round either way), so RunSharded serves both
+// modes.
+//
+// Budget and safety stops are detected at super-round granularity: a
+// Timeout/MaxSteps/MaxActivations trip or an incremental-checker violation
+// surfaces after the super-round that crossed it completes.
+func (e *Engine) RunSharded(ctx context.Context, workers int, b runctl.Budget) (runctl.StopReason, error) {
+	bounds := schedule.ShardBounds(e.n, workers)
+	arcs := len(bounds) - 1
+	stats := make([]shardStat, arcs)
+	ck := runctl.NewChecker(ctx, b.Timeout)
+	start := e.total
+
+	for !e.AllSettled() {
+		if reason, stop := ck.CheckNow(); stop {
+			return reason, nil
+		}
+		if b.MaxSteps > 0 && e.t >= int64(b.MaxSteps) {
+			return runctl.StopMaxSteps, nil
+		}
+		if b.MaxActivations > 0 && e.total-start >= int64(b.MaxActivations) {
+			return runctl.StopActivations, nil
+		}
+
+		// Interior phase: arcs in parallel, arc 0 inline on this goroutine.
+		var wg sync.WaitGroup
+		for w := 1; w < arcs; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				e.runInterior(bounds[w], bounds[w+1], &stats[w])
+			}(w)
+		}
+		e.runInterior(bounds[0], bounds[1], &stats[0])
+		wg.Wait()
+
+		// Barrier merge: fold the per-arc statistics into the engine
+		// counters, lowest arc first so a violation report is deterministic.
+		var performed int64
+		for w := 0; w < arcs; w++ {
+			performed += stats[w].performed
+			e.total += stats[w].performed
+			e.nWork -= int(stats[w].settled)
+			if stats[w].checkErr != nil && e.checkErr == nil {
+				e.checkErr = stats[w].checkErr
+			}
+			stats[w] = shardStat{}
+		}
+		e.t += performed
+		if e.checkErr != nil {
+			return runctl.StopNone, e.checkErr
+		}
+
+		// Boundary phase: the 2·arcs cut-adjacent nodes, serial and
+		// ascending (bounds are ascending and hi−1 < next lo, so the nested
+		// order lo_0, hi_0−1, lo_1, … is globally ascending).
+		for w := 0; w < arcs; w++ {
+			for _, i := range [2]int{bounds[w], bounds[w+1] - 1} {
+				if !bitGet(e.work, i) {
+					continue
+				}
+				done, out := e.k.Round(int32(i))
+				e.t++
+				performed++
+				e.account(int32(i), done, out)
+				if e.checkErr != nil {
+					return runctl.StopNone, e.checkErr
+				}
+			}
+		}
+		if e.met != nil {
+			e.met.Steps.Add(performed)
+			e.met.Activations.Add(performed)
+		}
+	}
+	return runctl.StopNone, nil
+}
+
+// runInterior performs one interior pass over arc [lo, hi): every node in
+// [lo+1, hi−2] whose working bit is set at phase start executes one fused
+// round, in ascending order. All engine state it writes — kernel slots,
+// acts, outputs, and the work/done/crashed bitset words covering
+// [lo+1, hi−2] — is private to this arc during the phase; totals and the
+// working count are deferred to st for the coordinator to merge.
+func (e *Engine) runInterior(lo, hi int, st *shardStat) {
+	if hi-2 < lo+1 {
+		return
+	}
+	var performed, settled int64
+	wlo, whi := (lo+1)>>6, (hi-2)>>6
+	for w := wlo; w <= whi; w++ {
+		word := e.work[w]
+		if w == wlo {
+			word &= ^uint64(0) << (uint(lo+1) & 63)
+		}
+		if w == whi {
+			if tail := uint(hi-2) & 63; tail != 63 {
+				word &= (uint64(1) << (tail + 1)) - 1
+			}
+		}
+		// The snapshot is taken before any activation in this word: a node
+		// can only leave the working set by its own activation, and each
+		// node is activated at most once per phase, so snapshot membership
+		// equals activation-time membership — the serial scan behaves
+		// identically.
+		for word != 0 {
+			i := w<<6 + trailingZeros(word)
+			word &= word - 1
+			done, out := e.k.Round(int32(i))
+			e.acts[i]++
+			performed++
+			if done {
+				bitSet(e.done, i)
+				e.outputs[i] = out
+				bitClear(e.work, i)
+				settled++
+				if e.incremental && st.checkErr == nil {
+					st.checkErr = e.terminationViolation(int32(i), out)
+				}
+			} else if e.limits != nil && e.limits[i] >= 0 && e.acts[i] >= e.limits[i] {
+				bitSet(e.crashed, i)
+				bitClear(e.work, i)
+				settled++
+			}
+		}
+	}
+	st.performed = performed
+	st.settled = settled
+}

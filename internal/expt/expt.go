@@ -234,6 +234,7 @@ func Runners() []Runner {
 		{"E17", E17Ablations},
 		{"E18", E18SymmetrySweep},
 		{"E19", E19RegistryProtocols},
+		{"E20", E20RoundCurves},
 		{"F1", F1Livelock},
 	}
 }

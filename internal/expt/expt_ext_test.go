@@ -116,3 +116,34 @@ func TestE18ShapeSymmetryAgreement(t *testing.T) {
 		t.Errorf("weighted states differ between off (%s) and assignments (%s)", a, b)
 	}
 }
+
+// TestE20ShapeWithinBounds: every protocol at every size terminates within
+// its registered wait-freedom bound on the big engine, every cell survives
+// safety checking (a violation would surface as a note and a missing row),
+// and the fast protocol's measured rounds stay flat while n grows 10×.
+func TestE20ShapeWithinBounds(t *testing.T) {
+	tb := E20RoundCurves(Options{Quick: true})
+	if tb.Partial {
+		t.Fatalf("quick E20 marked partial:\n%s", tb)
+	}
+	if want := 3 * 2 * 2; len(tb.Rows) != want {
+		t.Fatalf("quick E20 has %d rows, want %d (3 protocols × 2 sizes × 2 schedulers):\n%s", len(tb.Rows), want, tb)
+	}
+	fastMax := 0
+	for r := range tb.Rows {
+		maxRounds := atoi(t, cell(t, tb, r, "max rounds"))
+		bound := atoi(t, cell(t, tb, r, "bound"))
+		if maxRounds > bound {
+			t.Errorf("row %d (%s n=%s %s): max rounds %d exceeds bound %d", r,
+				cell(t, tb, r, "protocol"), cell(t, tb, r, "n"), cell(t, tb, r, "scheduler"), maxRounds, bound)
+		}
+		if cell(t, tb, r, "protocol") == "fast" && maxRounds > fastMax {
+			fastMax = maxRounds
+		}
+	}
+	// Θ(log* n): at n = 10⁴ the fast protocol is still an order of
+	// magnitude under its ⌈8(log* n + 4)⌉ = 64-round ceiling.
+	if fastMax == 0 || fastMax > 32 {
+		t.Errorf("fast max rounds = %d, want within (0, 32]", fastMax)
+	}
+}

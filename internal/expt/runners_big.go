@@ -1,0 +1,111 @@
+package expt
+
+import (
+	"fmt"
+
+	"asynccycle/internal/bigsim"
+	"asynccycle/internal/ids"
+	"asynccycle/internal/protocol"
+	"asynccycle/internal/runctl"
+)
+
+// bigSchedSpec mirrors schedSpec for the struct-of-arrays engine's native
+// schedulers: cells construct private instances from coordinate-derived
+// seeds and merges refer to the stable name.
+type bigSchedSpec struct {
+	name string
+	mk   func(seed int64) bigsim.Sched
+}
+
+func bigSchedSpecs() []bigSchedSpec {
+	return []bigSchedSpec{
+		{"round-robin(1)", func(int64) bigsim.Sched { return bigsim.NewRR(1) }},
+		{"random-subset(p=0.40)", func(s int64) bigsim.Sched { return bigsim.NewRandomSubset(0.4, s) }},
+	}
+}
+
+// E20RoundCurves measures the empirical round complexity of the three core
+// protocols at large n on the struct-of-arrays engine: the maximum
+// activations any node needs before terminating, under the fair schedules
+// the paper's adversary generalizes (one round-robin sweep and i.i.d.
+// random subsets), against the adversarial Theorem 3.1 / Theorem 3.11 /
+// Corollary 3.13 bounds the registry records. The bounds are worst-case
+// over all schedules and identifier assignments; with random identifiers
+// the monotone chains that force the linear bounds have logarithmic
+// length, so the measured curves for six and five sit far below their
+// ⌊3n/2⌋+4 and 3n+8 lines while fast tracks its Θ(log* n) bound.
+// Safety is checked incrementally during each run and re-verified with
+// the O(n) scan afterwards.
+func E20RoundCurves(o Options) *Table {
+	t := &Table{
+		ID:      "E20",
+		Title:   "Large-cycle round complexity (big engine): measured max rounds vs paper bounds",
+		Columns: []string{"protocol", "n", "scheduler", "steps", "activations", "max rounds", "bound", "max/bound"},
+	}
+	sizes := []int{1_000, 10_000}
+	if !o.Quick {
+		sizes = append(sizes, 100_000, 1_000_000)
+	}
+	type cell struct {
+		alg  string
+		n    int
+		spec bigSchedSpec
+	}
+	var cells []cell
+	for _, alg := range []string{"six", "five", "fast"} {
+		for _, n := range sizes {
+			for _, sp := range bigSchedSpecs() {
+				cells = append(cells, cell{alg: alg, n: n, spec: sp})
+			}
+		}
+	}
+	type result struct {
+		sum   bigsim.Summary
+		bound int
+		note  string
+	}
+	results, done := mapCells(o, t, cells, func(_ int, c cell) result {
+		d, err := protocol.Lookup(c.alg)
+		if err != nil {
+			return result{note: fmt.Sprintf("%s: %v", c.alg, err)}
+		}
+		xs := ids.MustGenerate(ids.Random, c.n, cellSeed(o.seed(), "E20", c.alg, c.n))
+		k, err := d.BigKernel(xs)
+		if err != nil {
+			return result{note: fmt.Sprintf("%s n=%d: %v", c.alg, c.n, err)}
+		}
+		e := bigsim.New(k)
+		e.SetIncremental(true)
+		s := c.spec.mk(cellSeed(o.seed(), "E20", c.alg, c.n, c.spec.name))
+		reason, err := e.RunBudget(o.Context, s, runctl.Budget{MaxSteps: 500*c.n + 100_000})
+		if err != nil {
+			return result{note: fmt.Sprintf("%s n=%d %s: %v", c.alg, c.n, c.spec.name, err)}
+		}
+		if reason != runctl.StopNone {
+			return result{note: fmt.Sprintf("%s n=%d %s: stopped early (%s)", c.alg, c.n, c.spec.name, reason)}
+		}
+		if err := e.VerifyFull(); err != nil {
+			return result{note: fmt.Sprintf("%s n=%d %s: SAFETY: %v", c.alg, c.n, c.spec.name, err)}
+		}
+		sum := e.Summarize()
+		if sum.Terminated != c.n {
+			return result{note: fmt.Sprintf("%s n=%d %s: only %d/%d terminated", c.alg, c.n, c.spec.name, sum.Terminated, c.n)}
+		}
+		return result{sum: sum, bound: d.Bound(c.n)}
+	})
+	for i, c := range cells {
+		if !done[i] {
+			continue
+		}
+		r := results[i]
+		if r.note != "" {
+			t.AddNote("%s", r.note)
+			continue
+		}
+		t.AddRow(c.alg, c.n, c.spec.name, r.sum.Steps, r.sum.Rounds, r.sum.MaxRounds, r.bound,
+			fmt.Sprintf("%.1e", float64(r.sum.MaxRounds)/float64(r.bound)))
+	}
+	t.AddNote("paper: Theorem 3.1 (six ≤ ⌊3n/2⌋+4), Theorem 3.11 (five ≤ 3n+8), Corollary 3.13 (fast = O(log* n)); bounds are adversarial worst cases over schedules and identifiers")
+	t.AddNote("random identifiers keep monotone chains to O(log n), so six/five terminate in far fewer rounds than their linear bounds under these fair schedules")
+	return t
+}

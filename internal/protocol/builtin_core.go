@@ -3,6 +3,7 @@ package protocol
 import (
 	"fmt"
 
+	"asynccycle/internal/bigsim"
 	"asynccycle/internal/check"
 	"asynccycle/internal/core"
 	"asynccycle/internal/cv"
@@ -79,6 +80,7 @@ func registerCore() {
 			FormatOutput: func(c int) string { a, b := core.DecodePair(c); return fmt.Sprintf("(%d,%d)", a, b) },
 			Validity:     sixValidity,
 			Checks:       sixChecks,
+			BigKernel:    bigsim.NewSixKernel,
 		},
 		New:   core.NewPairNodes,
 		Sweep: true,
@@ -99,6 +101,7 @@ func registerCore() {
 			ValidateIDs:  cycleIDs,
 			Validity:     fiveValidity,
 			Checks:       fiveChecks,
+			BigKernel:    bigsim.NewFiveKernel,
 		},
 		New:   core.NewFiveNodes,
 		Sweep: true,
@@ -119,6 +122,7 @@ func registerCore() {
 			ValidateIDs:  cycleIDs,
 			Validity:     fiveValidity,
 			Checks:       fiveChecks,
+			BigKernel:    bigsim.NewFastKernel,
 		},
 		New:   core.NewFastNodes,
 		Sweep: true,

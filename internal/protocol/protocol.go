@@ -21,6 +21,7 @@ import (
 	"sync"
 	"text/tabwriter"
 
+	"asynccycle/internal/bigsim"
 	"asynccycle/internal/conc"
 	"asynccycle/internal/graph"
 	"asynccycle/internal/model"
@@ -130,6 +131,11 @@ type Descriptor struct {
 	Sweep func(n int, mode sim.Mode, opt model.Options) (model.SweepReport, error)
 	// SweepWorst computes worst-case rounds over all assignments.
 	SweepWorst func(n int, mode sim.Mode, opt model.Options) (model.SweepReport, error)
+	// BigKernel builds the protocol's struct-of-arrays kernel for the
+	// high-throughput large-cycle engine (internal/bigsim). Nil means the
+	// protocol has no big-run surface; cmd/colorcycle and cmd/bench gate
+	// their large-n paths on it.
+	BigKernel func(xs []int) (bigsim.Kernel, error)
 
 	// Modes lists the activation semantics the protocol supports; empty
 	// means it has a single native semantics and ignores RunOptions.Mode.
@@ -184,6 +190,9 @@ func (d *Descriptor) Capabilities() string {
 	}
 	if d.NewInstance != nil {
 		caps = append(caps, "fuzz")
+	}
+	if d.BigKernel != nil {
+		caps = append(caps, "big")
 	}
 	return strings.Join(caps, ",")
 }

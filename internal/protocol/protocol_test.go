@@ -74,9 +74,9 @@ func TestRegisterValidation(t *testing.T) {
 
 func TestCapabilitiesAndModes(t *testing.T) {
 	caps := map[string]string{
-		"six":             "run,conc,check,worst,sweep,fuzz",
-		"five":            "run,conc,check,worst,sweep,fuzz",
-		"fast":            "run,conc,check,worst,sweep,fuzz",
+		"six":             "run,conc,check,worst,sweep,fuzz,big",
+		"five":            "run,conc,check,worst,sweep,fuzz,big",
+		"fast":            "run,conc,check,worst,sweep,fuzz,big",
 		"mis-greedy":      "run,conc,check,worst,fuzz",
 		"renaming":        "run,conc,check,worst,fuzz",
 		"decoupled-three": "run,check,fuzz",

@@ -94,7 +94,7 @@ func TestProtocolsTable(t *testing.T) {
 			t.Errorf("Protocols()[%d] = %q, want %q (registration order is part of the contract)", i, names[i], w)
 		}
 	}
-	if caps["five"] != "run,conc,check,worst,sweep,fuzz" {
+	if caps["five"] != "run,conc,check,worst,sweep,fuzz,big" {
 		t.Errorf("five capabilities = %q", caps["five"])
 	}
 	if caps["local-cv"] != "run" {
