@@ -21,6 +21,7 @@ import (
 	"testing"
 	"time"
 
+	"asynccycle/internal/atomicio"
 	"asynccycle/internal/bigsim"
 	"asynccycle/internal/core"
 	"asynccycle/internal/expt"
@@ -316,7 +317,9 @@ func run(out string, quick bool) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+	// Atomic replace: an interrupted or crashed bench must not truncate the
+	// committed baseline.
+	if err := atomicio.WriteFile(out, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
 	fmt.Println("wrote", out)

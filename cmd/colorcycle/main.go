@@ -88,7 +88,7 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	assignment, err := parseAssignment(*assign)
+	assignment, err := ids.Parse(*assign)
 	if err != nil {
 		return err
 	}
@@ -96,7 +96,7 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	s, err := parseScheduler(*sched, *seed)
+	s, err := schedule.Parse(*sched, *seed)
 	if err != nil {
 		return err
 	}
@@ -197,7 +197,7 @@ func runBig(w io.Writer, d *protocol.Descriptor, xs []int, sched string, seed in
 			return fmt.Errorf("sharded run stopped early: %s", reason)
 		}
 	} else {
-		s, err := parseBigScheduler(sched, seed)
+		s, err := bigsim.ParseSched(sched, seed)
 		if err != nil {
 			return err
 		}
@@ -216,27 +216,6 @@ func runBig(w io.Writer, d *protocol.Descriptor, xs []int, sched string, seed in
 	printColors(w, res)
 	verdict(res)
 	return nil
-}
-
-// parseBigScheduler mirrors parseScheduler on the native big-engine
-// schedulers (same families, same seeds, same decision streams).
-func parseBigScheduler(s string, seed int64) (bigsim.Sched, error) {
-	switch s {
-	case "sync":
-		return bigsim.NewSync(), nil
-	case "rr":
-		return bigsim.NewRR(1), nil
-	case "random":
-		return bigsim.NewRandomSubset(0.4, seed), nil
-	case "one":
-		return bigsim.NewRandomOne(seed), nil
-	case "alt":
-		return bigsim.NewAlt(), nil
-	case "burst":
-		return bigsim.NewBurst(4), nil
-	default:
-		return nil, fmt.Errorf("unknown scheduler %q", s)
-	}
 }
 
 func crashedCount(res sim.Result) int {
@@ -273,33 +252,5 @@ func report(w io.Writer, what string, err error) {
 		fmt.Fprintf(w, "FAIL %s: %v\n", what, err)
 	} else {
 		fmt.Fprintf(w, "ok   %s\n", what)
-	}
-}
-
-func parseAssignment(s string) (ids.Assignment, error) {
-	for _, a := range ids.All() {
-		if a.String() == s {
-			return a, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown assignment %q", s)
-}
-
-func parseScheduler(s string, seed int64) (schedule.Scheduler, error) {
-	switch s {
-	case "sync":
-		return schedule.Synchronous{}, nil
-	case "rr":
-		return schedule.NewRoundRobin(1), nil
-	case "random":
-		return schedule.NewRandomSubset(0.4, seed), nil
-	case "one":
-		return schedule.NewRandomOne(seed), nil
-	case "alt":
-		return schedule.Alternating{}, nil
-	case "burst":
-		return schedule.NewBurst(4), nil
-	default:
-		return nil, fmt.Errorf("unknown scheduler %q", s)
 	}
 }

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestServeAndDrain boots the daemon in-process, submits jobs over real
+// HTTP, cancels the signal context mid-flight, and verifies the drain
+// contract: run exits nil (exit 0), the accepted job is not dropped, and
+// the final stats line is flushed.
+func TestServeAndDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	addrCh := make(chan string, 1)
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-workers", "2",
+			"-queue", "8",
+			"-default-timeout", "5s",
+			"-drain-grace", "5s",
+		}, &out, func(a string) { addrCh <- a })
+	}()
+
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-errCh:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"kind":"run","alg":"six","n":32,"sched":"rr"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || view.ID == "" {
+		t.Fatalf("submit: status %d, view %+v", resp.StatusCode, view)
+	}
+
+	cancel() // the signal path
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("drain did not exit cleanly: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain hung")
+	}
+
+	logs := out.String()
+	for _, want := range []string{"listening on", "draining", "stats", "drained, exiting"} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("log missing %q:\n%s", want, logs)
+		}
+	}
+	var st struct {
+		Accepted  int64 `json:"accepted"`
+		Completed int64 `json:"completed"`
+		Partial   int64 `json:"partial"`
+	}
+	line := logs[strings.LastIndex(logs, "stats "):]
+	line = strings.TrimPrefix(line[:strings.IndexByte(line, '\n')], "stats ")
+	if err := json.Unmarshal([]byte(line), &st); err != nil {
+		t.Fatalf("final stats line unparseable: %v: %s", err, line)
+	}
+	if st.Accepted != 1 || st.Completed+st.Partial != 1 {
+		t.Fatalf("accepted job dropped across drain: %+v", st)
+	}
+}
+
+// syncBuffer serializes writes: run's server goroutines and the progress
+// ticker may log concurrently with the test's reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

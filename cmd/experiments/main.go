@@ -20,7 +20,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"asynccycle/internal/expt"
 	"asynccycle/internal/metrics"
@@ -30,13 +32,22 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// Ctrl-C / SIGTERM cancel the root context: cut-short sweeps print
+	// [PARTIAL: cancelled] tables, unstarted experiments are stubbed, and
+	// the process exits 0 — interrupted work is reported, not discarded.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runContext(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
 func run(args []string, w, ew io.Writer) error {
+	return runContext(context.Background(), args, w, ew)
+}
+
+func runContext(root context.Context, args []string, w, ew io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "shrink parameter sweeps for a fast run")
 	list := fs.Bool("list", false, "print the registered protocols the experiments draw on and exit")
@@ -66,10 +77,10 @@ func run(args []string, w, ew io.Writer) error {
 		}
 	}()
 
-	var ctx context.Context
+	ctx := root
 	if *timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(context.Background(), *timeout)
+		ctx, cancel = context.WithTimeout(root, *timeout)
 		defer cancel()
 	}
 	var met *metrics.Run

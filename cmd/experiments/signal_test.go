@@ -1,0 +1,31 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestCancelledContextYieldsPartial pins the Ctrl-C contract: with the
+// root context cancelled, every requested experiment still appears in the
+// output — stubbed or cut short, marked PARTIAL — and the process exits 0.
+func TestCancelledContextYieldsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var b bytes.Buffer
+	err := runContext(ctx, []string{"-quick", "-only", "E1,E5"}, &b, io.Discard)
+	if err != nil {
+		t.Fatalf("cancelled run must exit 0, got %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "PARTIAL") || !strings.Contains(out, "cancelled") {
+		t.Fatalf("tables not marked PARTIAL/cancelled:\n%s", out)
+	}
+	for _, id := range []string{"E1", "E5"} {
+		if !strings.Contains(out, id) {
+			t.Fatalf("experiment %s missing from cancelled output:\n%s", id, out)
+		}
+	}
+}

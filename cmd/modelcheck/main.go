@@ -30,10 +30,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"asynccycle/internal/ids"
 	"asynccycle/internal/metrics"
@@ -47,13 +50,22 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// Ctrl-C / SIGTERM cancel the root context: the exploration stops
+	// between expansions and the report comes back [PARTIAL: cancelled]
+	// with exit 0 — interrupted work is reported, not discarded.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runContext(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "modelcheck:", err)
 		os.Exit(1)
 	}
 }
 
 func run(args []string, w, ew io.Writer) error {
+	return runContext(context.Background(), args, w, ew)
+}
+
+func runContext(ctx context.Context, args []string, w, ew io.Writer) error {
 	fs := flag.NewFlagSet("modelcheck", flag.ContinueOnError)
 	alg := fs.String("alg", "fast", "algorithm to verify (see -list)")
 	list := fs.Bool("list", false, "print the registered protocols and exit")
@@ -157,6 +169,7 @@ func run(args []string, w, ew io.Writer) error {
 		MaxStates:      *maxStates,
 		Workers:        *workers,
 		Symmetry:       symmetry,
+		Context:        ctx,
 		Budget:         runctl.Budget{Timeout: *timeout},
 		Metrics:        met,
 	}

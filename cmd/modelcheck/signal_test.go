@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestCancelledContextYieldsPartial pins the Ctrl-C contract: a cancelled
+// root context stops the exploration, the report is explicitly PARTIAL
+// with the cancellation reason, and the process exits 0 (nil error).
+func TestCancelledContextYieldsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var b bytes.Buffer
+	err := runContext(ctx, []string{"-alg", "fast", "-n", "5"}, &b, io.Discard)
+	if err != nil {
+		t.Fatalf("cancelled run must exit 0, got %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "PARTIAL") || !strings.Contains(out, "cancelled") {
+		t.Fatalf("report not marked PARTIAL/cancelled:\n%s", out)
+	}
+}

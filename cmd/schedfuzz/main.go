@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"asynccycle/internal/fuzzsched"
 	"asynccycle/internal/metrics"
@@ -39,13 +41,22 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	// Ctrl-C / SIGTERM cancel the root context: the campaign stops after
+	// the in-flight cells and the report comes back [PARTIAL: cancelled]
+	// with exit 0 — interrupted work is reported, not discarded.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runContext(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "schedfuzz:", err)
 		os.Exit(1)
 	}
 }
 
 func run(args []string, w, ew io.Writer) error {
+	return runContext(context.Background(), args, w, ew)
+}
+
+func runContext(ctx context.Context, args []string, w, ew io.Writer) error {
 	fs := flag.NewFlagSet("schedfuzz", flag.ContinueOnError)
 	fs.SetOutput(ew)
 	alg := fs.String("alg", "fast", "algorithm to fuzz (see -list)")
@@ -104,7 +115,7 @@ func run(args []string, w, ew io.Writer) error {
 		}()
 	}
 
-	rep, err := fuzzsched.Campaign(context.Background(), fuzzsched.Config{
+	rep, err := fuzzsched.Campaign(ctx, fuzzsched.Config{
 		Alg:       *alg,
 		N:         *n,
 		Mode:      mode,

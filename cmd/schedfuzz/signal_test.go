@@ -1,0 +1,26 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestCancelledContextYieldsPartial pins the Ctrl-C contract: a cancelled
+// root context stops the campaign after the in-flight cells, the report
+// is explicitly [PARTIAL: cancelled], and the process exits 0.
+func TestCancelledContextYieldsPartial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var b bytes.Buffer
+	err := runContext(ctx, []string{"-alg", "fast", "-campaign-size", "512", "-seed", "1"}, &b, io.Discard)
+	if err != nil {
+		t.Fatalf("cancelled campaign must exit 0, got %v", err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "PARTIAL") || !strings.Contains(out, "cancelled") {
+		t.Fatalf("report not marked [PARTIAL: cancelled]:\n%s", out)
+	}
+}

@@ -1,0 +1,264 @@
+// Command serveload is the load generator for colorserved: it sustains a
+// configurable number of concurrent mixed-protocol job requests (six,
+// five, and fast on the sim engine plus bigsim-scale fast runs, with
+// check and fuzz jobs sprinkled in), follows every accepted job to
+// completion, and writes latency percentiles, throughput, and shed/error
+// counts to BENCH_serve.json.
+//
+// Usage:
+//
+//	serveload [-addr host:port] [-requests 1000] [-concurrency 128]
+//	          [-out BENCH_serve.json] [-seed 1]
+//	          [-workers 4] [-queue 256] [-default-timeout 30s]
+//
+// Without -addr, serveload boots an in-process server (tuned by -workers,
+// -queue, -default-timeout) and drives it over a real TCP loopback — the
+// self-contained benchmark mode CI uses. Shed submissions (429) are the
+// server's documented backpressure and are counted, not retried; the run
+// fails if any *accepted* job is dropped (accepted ≠ completed+partial)
+// or any submission errors outside the shed path.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"asynccycle/internal/atomicio"
+	"asynccycle/internal/runctl"
+	"asynccycle/internal/serve"
+	"asynccycle/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "serveload:", err)
+		os.Exit(1)
+	}
+}
+
+// workload is the mixed request set: mostly sim runs across the three
+// core protocols, plus bigsim-scale runs and check/fuzz jobs so every
+// capability surface is under load at once. Seeds are filled per request.
+var workload = []string{
+	`{"kind":"run","alg":"six","n":32,"sched":"random","seed":%d}`,
+	`{"kind":"run","alg":"five","n":24,"sched":"rr","seed":%d}`,
+	`{"kind":"run","alg":"fast","n":64,"sched":"random","seed":%d}`,
+	`{"kind":"run","alg":"six","n":48,"sched":"burst","seed":%d}`,
+	`{"kind":"run","alg":"fast","n":20000,"engine":"big","seed":%d}`,
+	`{"kind":"run","alg":"fast","n":50000,"engine":"big","workers":2,"seed":%d}`,
+	`{"kind":"check","alg":"fast","n":3,"seed":%d}`,
+	`{"kind":"fuzz","alg":"fast","campaign":4,"seed":%d}`,
+}
+
+// Report is the BENCH_serve.json shape.
+type Report struct {
+	Addr        string  `json:"addr"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	ElapsedSec  float64 `json:"elapsed_seconds"`
+	Throughput  float64 `json:"jobs_per_second"` // completed jobs / elapsed
+
+	Accepted  int64 `json:"accepted"`
+	Shed      int64 `json:"shed"`
+	Errors    int64 `json:"errors"`
+	Completed int64 `json:"completed"`
+	Partial   int64 `json:"partial"`
+	Failed    int64 `json:"failed"`
+	// Dropped counts accepted jobs that never reached a terminal state —
+	// the drain/queue contract says this must be zero.
+	Dropped int64 `json:"dropped"`
+
+	SubmitP50MS float64 `json:"submit_p50_ms"`
+	SubmitP99MS float64 `json:"submit_p99_ms"`
+	E2EP50MS    float64 `json:"e2e_p50_ms"`
+	E2EP99MS    float64 `json:"e2e_p99_ms"`
+
+	ByKind map[string]int64 `json:"by_kind"`
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("serveload", flag.ContinueOnError)
+	addr := fs.String("addr", "", "target colorserved address (empty = boot an in-process server)")
+	requests := fs.Int("requests", 1000, "total job submissions")
+	concurrency := fs.Int("concurrency", 128, "concurrent client goroutines")
+	out := fs.String("out", "BENCH_serve.json", "report path (written atomically)")
+	seed := fs.Int64("seed", 1, "base seed mixed into every request")
+	workers := fs.Int("workers", 4, "in-process server: worker pool size")
+	queue := fs.Int("queue", 256, "in-process server: queue depth")
+	defaultTimeout := fs.Duration("default-timeout", 30*time.Second, "in-process server: default job budget")
+	fs.SetOutput(w)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *requests <= 0 || *concurrency <= 0 {
+		return fmt.Errorf("requests and concurrency must be positive")
+	}
+
+	base := "http://" + *addr
+	if *addr == "" {
+		s := serve.New(serve.Options{
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			DefaultTimeout: *defaultTimeout,
+			MaxBudget:      runctl.Budget{Timeout: 4 * *defaultTimeout},
+		})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		httpSrv := &http.Server{Handler: s.Handler()}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		defer s.Drain(0)
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(w, "serveload: in-process server on %s (workers=%d queue=%d)\n",
+			ln.Addr(), *workers, *queue)
+	}
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *concurrency * 2,
+		MaxIdleConnsPerHost: *concurrency * 2,
+	}}
+
+	rep := Report{
+		Addr:        base,
+		Requests:    *requests,
+		Concurrency: *concurrency,
+		ByKind:      map[string]int64{},
+	}
+	var mu sync.Mutex // guards rep counters and the latency slices
+	var submitMS, e2eMS []float64
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < *concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				spec := fmt.Sprintf(workload[i%len(workload)], *seed+int64(i))
+				oneRequest(client, base, spec, &mu, &rep, &submitMS, &e2eMS)
+			}
+		}()
+	}
+	for i := 0; i < *requests; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	rep.ElapsedSec = time.Since(start).Seconds()
+	if rep.ElapsedSec > 0 {
+		rep.Throughput = float64(rep.Completed+rep.Partial) / rep.ElapsedSec
+	}
+	rep.Dropped = rep.Accepted - (rep.Completed + rep.Partial + rep.Failed)
+
+	sort.Float64s(submitMS)
+	sort.Float64s(e2eMS)
+	rep.SubmitP50MS = stats.Percentile(submitMS, 0.50)
+	rep.SubmitP99MS = stats.Percentile(submitMS, 0.99)
+	rep.E2EP50MS = stats.Percentile(e2eMS, 0.50)
+	rep.E2EP99MS = stats.Percentile(e2eMS, 0.99)
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := atomicio.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "serveload: %d requests in %.2fs: accepted=%d shed=%d errors=%d completed=%d partial=%d failed=%d dropped=%d\n",
+		rep.Requests, rep.ElapsedSec, rep.Accepted, rep.Shed, rep.Errors,
+		rep.Completed, rep.Partial, rep.Failed, rep.Dropped)
+	fmt.Fprintf(w, "serveload: submit p50=%.2fms p99=%.2fms  e2e p50=%.2fms p99=%.2fms  throughput=%.1f jobs/s  -> %s\n",
+		rep.SubmitP50MS, rep.SubmitP99MS, rep.E2EP50MS, rep.E2EP99MS, rep.Throughput, *out)
+
+	if rep.Dropped != 0 {
+		return fmt.Errorf("%d accepted jobs were dropped without a terminal state", rep.Dropped)
+	}
+	if rep.Errors != 0 {
+		return fmt.Errorf("%d submissions errored outside the shed path", rep.Errors)
+	}
+	return nil
+}
+
+// oneRequest submits one job and, when accepted, follows it to its
+// terminal state via the blocking ?wait=1 view.
+func oneRequest(client *http.Client, base, spec string,
+	mu *sync.Mutex, rep *Report, submitMS, e2eMS *[]float64) {
+	t0 := time.Now()
+	resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader([]byte(spec)))
+	if err != nil {
+		mu.Lock()
+		rep.Errors++
+		mu.Unlock()
+		return
+	}
+	submitLat := time.Since(t0)
+	var view struct {
+		ID   string `json:"id"`
+		Kind string `json:"kind"`
+	}
+	decodeErr := json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		if decodeErr != nil || view.ID == "" {
+			mu.Lock()
+			rep.Errors++
+			mu.Unlock()
+			return
+		}
+	case http.StatusTooManyRequests:
+		mu.Lock()
+		rep.Shed++
+		mu.Unlock()
+		return
+	default:
+		mu.Lock()
+		rep.Errors++
+		mu.Unlock()
+		return
+	}
+
+	mu.Lock()
+	rep.Accepted++
+	rep.ByKind[view.Kind]++
+	*submitMS = append(*submitMS, float64(submitLat.Microseconds())/1000)
+	mu.Unlock()
+
+	final, err := client.Get(base + "/jobs/" + view.ID + "?wait=1")
+	if err != nil {
+		return // counted as dropped via the accepted/terminal delta
+	}
+	var done struct {
+		Status  string `json:"status"`
+		Outcome string `json:"outcome"`
+	}
+	decodeErr = json.NewDecoder(final.Body).Decode(&done)
+	final.Body.Close()
+	if decodeErr != nil || done.Status != serve.StatusDone {
+		return
+	}
+	mu.Lock()
+	switch done.Outcome {
+	case serve.OutcomeOK:
+		rep.Completed++
+	case serve.OutcomePartial:
+		rep.Partial++
+	default:
+		rep.Failed++
+	}
+	*e2eMS = append(*e2eMS, float64(time.Since(t0).Microseconds())/1000)
+	mu.Unlock()
+}

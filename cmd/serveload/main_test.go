@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadSmallBurst drives the in-process mode end to end: a burst of
+// mixed-protocol requests against a deliberately small pool, verifying
+// the report invariants — every accepted job reaches a terminal state
+// (zero dropped), sheds are counted separately, and the JSON lands on
+// disk with sane percentiles.
+func TestLoadSmallBurst(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-requests", "64",
+		"-concurrency", "16",
+		"-workers", "2",
+		"-queue", "8", // small on purpose: force some 429s
+		"-out", out,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("serveload: %v\n%s", err, buf.String())
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report not JSON: %v\n%s", err, data)
+	}
+	if rep.Requests != 64 {
+		t.Fatalf("requests = %d", rep.Requests)
+	}
+	if rep.Accepted+rep.Shed+rep.Errors != 64 {
+		t.Fatalf("accounting leak: %+v", rep)
+	}
+	if rep.Dropped != 0 || rep.Errors != 0 {
+		t.Fatalf("dropped/errored jobs: %+v", rep)
+	}
+	if rep.Accepted == 0 || rep.Completed+rep.Partial == 0 {
+		t.Fatalf("nothing ran: %+v", rep)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("jobs failed under load: %+v", rep)
+	}
+	if rep.E2EP99MS < rep.E2EP50MS || rep.E2EP50MS <= 0 {
+		t.Fatalf("percentiles inconsistent: %+v", rep)
+	}
+	if len(rep.ByKind) < 2 {
+		t.Fatalf("workload not mixed: %+v", rep.ByKind)
+	}
+}

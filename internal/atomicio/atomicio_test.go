@@ -1,0 +1,68 @@
+package atomicio
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileCreatesAndReplaces(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "report.json")
+
+	if err := WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+
+	if err := WriteFile(path, []byte("v2 longer payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = os.ReadFile(path)
+	if err != nil || string(got) != "v2 longer payload" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+}
+
+func TestWriteFileLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Errorf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want 1", len(entries))
+	}
+}
+
+// TestWriteFileFailureKeepsOldContent pins the whole point of the helper:
+// a failed write must leave the previous complete file untouched (the
+// os.WriteFile it replaces truncates the destination before writing).
+func TestWriteFileFailureKeepsOldContent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "keep.json")
+	if err := WriteFile(path, []byte("precious baseline"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Force a failure: write into a directory that does not exist.
+	if err := WriteFile(filepath.Join(dir, "missing", "x.json"), []byte("y"), 0o644); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "precious baseline" {
+		t.Fatalf("old file damaged: %q, %v", got, err)
+	}
+}

@@ -299,3 +299,25 @@ func (s *RandomOne) Next(e *Engine, buf []int32) []int32 {
 	}
 	return buf
 }
+
+// ParseSched resolves a native scheduler family by the short name the
+// CLIs and the job server share — the same names, seeds, and parameters
+// as schedule.Parse, decision-stream-identical to the generic families.
+func ParseSched(name string, seed int64) (Sched, error) {
+	switch name {
+	case "sync":
+		return NewSync(), nil
+	case "rr":
+		return NewRR(1), nil
+	case "random":
+		return NewRandomSubset(0.4, seed), nil
+	case "one":
+		return NewRandomOne(seed), nil
+	case "alt":
+		return NewAlt(), nil
+	case "burst":
+		return NewBurst(4), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", name)
+	}
+}

@@ -197,3 +197,14 @@ func LongestMonotoneChain(xs []int) int {
 	}
 	return best
 }
+
+// Parse resolves an assignment strategy by its String name ("random",
+// "increasing", …) — the dialect the CLIs and the job server share.
+func Parse(s string) (Assignment, error) {
+	for _, a := range All() {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("%w %q", ErrUnknownAssignment, s)
+}

@@ -223,8 +223,10 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 
 // StartProgress spawns a goroutine printing r.Snapshot() to w every
 // interval, prefixed with "progress: ". The returned stop function halts
-// the ticker, prints one final line, and waits for the goroutine to exit;
-// it is safe to call once. interval <= 0 defaults to one second.
+// the ticker, prints one final line, and waits for the goroutine to exit.
+// It is idempotent: calling it again — the natural thing to do from both a
+// defer and a signal handler — is a no-op, not a close-of-closed-channel
+// panic. interval <= 0 defaults to one second.
 func StartProgress(w io.Writer, interval time.Duration, r *Run) (stop func()) {
 	if interval <= 0 {
 		interval = time.Second
@@ -245,9 +247,12 @@ func StartProgress(w io.Writer, interval time.Duration, r *Run) (stop func()) {
 			}
 		}
 	}()
+	var once sync.Once
 	return func() {
-		close(done)
-		wg.Wait()
-		fmt.Fprintf(w, "progress: %s (final)\n", r.Snapshot())
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			fmt.Fprintf(w, "progress: %s (final)\n", r.Snapshot())
+		})
 	}
 }

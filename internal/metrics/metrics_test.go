@@ -123,6 +123,103 @@ func TestStartProgress(t *testing.T) {
 	}
 }
 
+// TestStartProgressStopTwice is the regression for the double-stop panic:
+// the stop function is naturally called from both a defer and a signal
+// handler, so the second (and any concurrent) call must be a no-op rather
+// than a close of a closed channel.
+func TestStartProgressStopTwice(t *testing.T) {
+	var mu sync.Mutex
+	var b strings.Builder
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	})
+	stop := StartProgress(w, time.Millisecond, NewRun())
+	stop()
+	stop() // must not panic
+
+	// Concurrent double-stop (defer racing a signal handler) must also be
+	// safe, and the final line must be printed exactly once.
+	stop2 := StartProgress(w, time.Millisecond, NewRun())
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			stop2()
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	finals := strings.Count(b.String(), "(final)")
+	mu.Unlock()
+	if finals != 2 {
+		t.Errorf("final line printed %d times across 2 progress sessions, want 2", finals)
+	}
+}
+
+// TestRunConcurrentPublishSnapshot hammers every Run field from publisher
+// goroutines while snapshotting and JSON-encoding concurrently — the
+// contract the serve layer relies on when it streams per-job snapshots
+// over HTTP while the job's engine is still publishing. Run under -race.
+func TestRunConcurrentPublishSnapshot(t *testing.T) {
+	r := NewRun()
+	ws := r.SetWorkers(4)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				r.States.Inc()
+				r.Steps.Add(2)
+				r.Activations.Inc()
+				r.FrontierDepth.SetMax(int64(i))
+				r.VisitedSize.Set(int64(i))
+				r.Schedules.Inc()
+				ws.Record(w, time.Microsecond)
+				if i%256 == 0 {
+					r.SetWorkers(4)
+				}
+			}
+		}()
+	}
+	deadline := time.After(50 * time.Millisecond)
+	var last Snapshot
+	for looping := true; looping; {
+		select {
+		case <-deadline:
+			looping = false
+		default:
+			last = r.Snapshot()
+			if err := last.WriteJSON(discardWriter{}); err != nil {
+				t.Fatalf("WriteJSON under concurrency: %v", err)
+			}
+		}
+	}
+	close(done)
+	wg.Wait()
+	final := r.Snapshot()
+	if final.States < last.States {
+		t.Errorf("states went backwards: %d then %d", last.States, final.States)
+	}
+	if final.States == 0 || final.Steps != 2*final.States {
+		t.Errorf("final snapshot inconsistent: states=%d steps=%d", final.States, final.Steps)
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
 type writerFunc func(p []byte) (int, error)
 
 func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

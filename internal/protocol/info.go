@@ -1,0 +1,67 @@
+package protocol
+
+import "asynccycle/internal/sim"
+
+// Info is the JSON-serializable self-description of a registered protocol
+// — the registry's metadata plus the derived capability list, without the
+// capability closures. The colorserved /protocols endpoint serves it, and
+// clients use it to build valid job requests without hard-coding protocol
+// names: a job kind is accepted exactly when the matching capability is
+// listed.
+type Info struct {
+	Name        string   `json:"name"`
+	Aliases     []string `json:"aliases,omitempty"`
+	Problem     string   `json:"problem"`
+	Source      string   `json:"source,omitempty"`
+	Topology    string   `json:"topology"`
+	MinN        int      `json:"min_n"`
+	Palette     string   `json:"palette,omitempty"`
+	Bound       string   `json:"bound,omitempty"`
+	Expectation string   `json:"expectation,omitempty"`
+	// Capabilities lists the non-nil capability surfaces ("run", "conc",
+	// "check", "worst", "sweep", "fuzz", "big") in the registry's fixed
+	// order — the same strings Descriptor.Capabilities joins.
+	Capabilities []string `json:"capabilities"`
+	// Modes lists the supported activation semantics; a single-entry list
+	// marks a native-semantics protocol that ignores mode selection.
+	Modes []string `json:"modes"`
+	// DefaultCheckDepth is the descriptor's finite exploration horizon for
+	// infinite state graphs (0 = the model package default suffices).
+	DefaultCheckDepth int `json:"default_check_depth,omitempty"`
+}
+
+// Info derives the serializable self-description from the descriptor.
+func (d *Descriptor) Info() Info {
+	in := Info{
+		Name:              d.Name,
+		Aliases:           append([]string(nil), d.Aliases...),
+		Problem:           d.Problem,
+		Source:            d.Source,
+		Topology:          d.TopologyName,
+		MinN:              d.MinN,
+		Palette:           d.Palette,
+		Bound:             d.BoundDesc,
+		Expectation:       d.Expectation,
+		Capabilities:      d.CapabilityList(),
+		DefaultCheckDepth: d.DefaultCheckDepth,
+	}
+	if len(d.Modes) == 0 {
+		in.Modes = []string{sim.ModeInterleaved.String()}
+	} else {
+		for _, m := range d.Modes {
+			in.Modes = append(in.Modes, m.String())
+		}
+	}
+	return in
+}
+
+// Infos returns the self-descriptions of every registered protocol in
+// registration order.
+func Infos() []Info {
+	all := All()
+	out := make([]Info, len(all))
+	for i, d := range all {
+		out[i] = d.Info()
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package protocol_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"asynccycle/internal/protocol"
+)
+
+// TestInfosMatchRegistry pins the /protocols self-description to the
+// registry: one Info per registered descriptor, in registration order,
+// with the capability list matching the -list tables' joined string.
+func TestInfosMatchRegistry(t *testing.T) {
+	infos := protocol.Infos()
+	all := protocol.All()
+	if len(infos) != len(all) {
+		t.Fatalf("Infos() has %d entries, registry %d", len(infos), len(all))
+	}
+	for i, d := range all {
+		in := infos[i]
+		if in.Name != d.Name {
+			t.Errorf("infos[%d].Name = %q, want %q", i, in.Name, d.Name)
+		}
+		if got := strings.Join(in.Capabilities, ","); got != d.Capabilities() {
+			t.Errorf("%s: capability list %q != joined %q", d.Name, got, d.Capabilities())
+		}
+		if in.Problem == "" || in.Topology == "" {
+			t.Errorf("%s: Info missing required metadata: %+v", d.Name, in)
+		}
+		if len(in.Modes) == 0 {
+			t.Errorf("%s: Info lists no modes", d.Name)
+		}
+	}
+}
+
+// TestInfoJSON pins that the self-description actually serializes — the
+// shape the serve layer ships over HTTP.
+func TestInfoJSON(t *testing.T) {
+	d, err := protocol.Lookup("fast")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(d.Info())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back protocol.Info
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, data)
+	}
+	if back.Name != "fast" || len(back.Capabilities) == 0 {
+		t.Errorf("round-trip lost fields: %+v", back)
+	}
+	// The core engine protocols must advertise both semantics and the
+	// capability set every tool relies on.
+	for _, want := range []string{"run", "check", "fuzz", "big"} {
+		found := false
+		for _, c := range back.Capabilities {
+			if c == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("fast: capability %q missing from %v", want, back.Capabilities)
+		}
+	}
+	if len(back.Modes) != 2 {
+		t.Errorf("fast: modes = %v, want both semantics", back.Modes)
+	}
+}

@@ -169,9 +169,16 @@ func (d *Descriptor) SupportsMode(m sim.Mode) bool {
 	return false
 }
 
-// Capabilities lists the non-nil capability surfaces, space-separated, in
+// Capabilities lists the non-nil capability surfaces, comma-separated, in
 // a fixed order — the -list tables print it.
 func (d *Descriptor) Capabilities() string {
+	return strings.Join(d.CapabilityList(), ",")
+}
+
+// CapabilityList lists the non-nil capability surfaces in the same fixed
+// order as Capabilities — the registry's machine-readable self-description
+// (see Info).
+func (d *Descriptor) CapabilityList() []string {
 	var caps []string
 	if d.Run != nil {
 		caps = append(caps, "run")
@@ -194,7 +201,7 @@ func (d *Descriptor) Capabilities() string {
 	if d.BigKernel != nil {
 		caps = append(caps, "big")
 	}
-	return strings.Join(caps, ",")
+	return caps
 }
 
 // registry holds the descriptors in registration order plus a

@@ -40,6 +40,47 @@ func (b Budget) IsZero() bool {
 	return b.Timeout == 0 && b.MaxStates == 0 && b.MaxSteps == 0 && b.MaxActivations == 0
 }
 
+// Clamp folds a ceiling into the budget: each axis becomes the smaller
+// positive of the two, and axes the budget leaves unbounded (zero) take
+// the ceiling's bound outright. A multi-tenant caller uses it to make
+// budgets mandatory — whatever a request asks for, the pool's per-job
+// ceiling applies on every axis the ceiling bounds.
+func (b Budget) Clamp(max Budget) Budget {
+	b.Timeout = minDuration(b.Timeout, max.Timeout)
+	b.MaxStates = Min(b.MaxStates, max.MaxStates)
+	b.MaxSteps = Min(b.MaxSteps, max.MaxSteps)
+	b.MaxActivations = Min(b.MaxActivations, max.MaxActivations)
+	return b
+}
+
+// minDuration combines an explicit duration with a ceiling the way Min
+// combines counts: the smaller positive one wins, zero means unbounded.
+func minDuration(opt, max time.Duration) time.Duration {
+	if max <= 0 {
+		return opt
+	}
+	if opt <= 0 || max < opt {
+		return max
+	}
+	return opt
+}
+
+// WithContext derives a context carrying the budget's wall-clock axis: a
+// child of parent whose deadline is Timeout from now (or parent's own
+// deadline, whichever is earlier). With no Timeout it returns a plain
+// cancellable child, so the caller always has a cancel handle — the drain
+// path of a long-running service cancels every job through it. parent may
+// be nil (context.Background()).
+func (b Budget) WithContext(parent context.Context) (context.Context, context.CancelFunc) {
+	if parent == nil {
+		parent = context.Background()
+	}
+	if b.Timeout > 0 {
+		return context.WithTimeout(parent, b.Timeout)
+	}
+	return context.WithCancel(parent)
+}
+
 // StopReason labels why a run ended before completing. The empty string
 // means the run ran to completion.
 type StopReason string

@@ -84,6 +84,94 @@ func TestReason(t *testing.T) {
 	}
 }
 
+// TestCheckerEarliestDeadlineWins pins the contract the serve layer's
+// per-job budgets rely on: with both a context deadline and an explicit
+// timeout set, the earlier of the two trips the checker — in either
+// order.
+func TestCheckerEarliestDeadlineWins(t *testing.T) {
+	// Explicit timeout shorter than the context deadline: the checker must
+	// trip at the explicit timeout, long before the context's deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	c := NewChecker(ctx, time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	if reason, stop := c.CheckNow(); !stop || reason != StopTimeout {
+		t.Fatalf("short explicit timeout under long ctx deadline = (%q, %t), want (timeout, true)", reason, stop)
+	}
+
+	// Context deadline shorter than the explicit timeout: the checker must
+	// trip at the context's deadline even though the explicit budget still
+	// has an hour to run.
+	sctx, scancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer scancel()
+	c2 := NewChecker(sctx, time.Hour)
+	time.Sleep(time.Millisecond)
+	if reason, stop := c2.CheckNow(); !stop || reason != StopTimeout {
+		t.Fatalf("short ctx deadline under long explicit timeout = (%q, %t), want (timeout, true)", reason, stop)
+	}
+
+	// Sanity: two distant bounds trip neither way.
+	lctx, lcancel := context.WithTimeout(context.Background(), time.Hour)
+	defer lcancel()
+	if _, stop := NewChecker(lctx, time.Hour).CheckNow(); stop {
+		t.Error("two distant deadlines tripped immediately")
+	}
+}
+
+func TestBudgetClamp(t *testing.T) {
+	max := Budget{Timeout: time.Second, MaxStates: 100, MaxSteps: 0, MaxActivations: 50}
+	cases := []struct {
+		name string
+		in   Budget
+		want Budget
+	}{
+		{"zero takes ceiling", Budget{}, Budget{Timeout: time.Second, MaxStates: 100, MaxActivations: 50}},
+		{"tighter survives", Budget{Timeout: time.Millisecond, MaxStates: 10, MaxSteps: 7, MaxActivations: 5},
+			Budget{Timeout: time.Millisecond, MaxStates: 10, MaxSteps: 7, MaxActivations: 5}},
+		{"looser clamped", Budget{Timeout: time.Hour, MaxStates: 1000, MaxSteps: 9, MaxActivations: 500},
+			Budget{Timeout: time.Second, MaxStates: 100, MaxSteps: 9, MaxActivations: 50}},
+	}
+	for _, c := range cases {
+		if got := c.in.Clamp(max); got != c.want {
+			t.Errorf("%s: Clamp = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+	if got := (Budget{MaxSteps: 3}).Clamp(Budget{}); got != (Budget{MaxSteps: 3}) {
+		t.Errorf("zero ceiling changed the budget: %+v", got)
+	}
+}
+
+func TestBudgetWithContext(t *testing.T) {
+	// No timeout: a cancellable child of the parent.
+	ctx, cancel := Budget{}.WithContext(nil)
+	if _, ok := ctx.Deadline(); ok {
+		t.Error("zero-timeout budget produced a deadline")
+	}
+	cancel()
+	if ctx.Err() == nil {
+		t.Error("cancel did not cancel the derived context")
+	}
+
+	// Timeout: a deadline roughly Timeout from now.
+	dctx, dcancel := Budget{Timeout: time.Hour}.WithContext(context.Background())
+	defer dcancel()
+	d, ok := dctx.Deadline()
+	if !ok || time.Until(d) > time.Hour || time.Until(d) < 50*time.Minute {
+		t.Errorf("deadline %v not ~1h out", d)
+	}
+
+	// Parent cancellation propagates regardless of the budget.
+	parent, pcancel := context.WithCancel(context.Background())
+	child, ccancel := Budget{Timeout: time.Hour}.WithContext(parent)
+	defer ccancel()
+	pcancel()
+	select {
+	case <-child.Done():
+	case <-time.After(time.Second):
+		t.Error("parent cancellation did not propagate")
+	}
+}
+
 func TestBudgetIsZeroAndMin(t *testing.T) {
 	if !(Budget{}).IsZero() {
 		t.Error("zero budget not IsZero")

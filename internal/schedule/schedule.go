@@ -274,3 +274,26 @@ func (b *Burst) Next(st State) []int {
 	}
 	return nil
 }
+
+// Parse resolves a scheduler family by the short name the CLIs and the
+// job server share: sync|rr|random|one|alt|burst. The derived instances
+// use the historical CLI parameters (round-robin width 1, subset fraction
+// 0.4, burst width 4).
+func Parse(name string, seed int64) (Scheduler, error) {
+	switch name {
+	case "sync":
+		return Synchronous{}, nil
+	case "rr":
+		return NewRoundRobin(1), nil
+	case "random":
+		return NewRandomSubset(0.4, seed), nil
+	case "one":
+		return NewRandomOne(seed), nil
+	case "alt":
+		return Alternating{}, nil
+	case "burst":
+		return NewBurst(4), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
