@@ -1,0 +1,155 @@
+// Multi-process sweep sharding: -procs M re-invokes this binary M times,
+// each worker exploring shard I/M of the orbit representatives (-shard)
+// and printing its SweepReport as JSON (-json). The coordinator merges the
+// disjoint shard reports exactly (model.MergeSweepReports), so the merged
+// line matches a single-process sweep bit for bit.
+//
+// Interruption composes with checkpointing: the coordinator forwards
+// SIGTERM to every worker through the context, each worker checkpoints to
+// its own per-shard file (<base>.shardI-of-M) and reports PARTIAL, and a
+// rerun with -resume hands each worker its own checkpoint back.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"asynccycle/internal/model"
+)
+
+// workerSpawner runs one worker invocation of modelcheck with the given
+// args, wiring its stdout/stderr. Tests substitute an in-process runner;
+// the default execs the current binary.
+type workerSpawner func(ctx context.Context, args []string, stdout, stderr io.Writer) error
+
+// spawnWorker is the process-spawning strategy; a package variable so the
+// coordinator tests can run workers in-process.
+var spawnWorker workerSpawner = execWorker
+
+func execWorker(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	cmd := exec.CommandContext(ctx, exe, args...)
+	cmd.Stdout, cmd.Stderr = stdout, stderr
+	// On cancellation, forward SIGTERM instead of the default SIGKILL so the
+	// worker can write its final checkpoint and print a PARTIAL report;
+	// WaitDelay hard-kills stragglers.
+	cmd.Cancel = func() error { return cmd.Process.Signal(syscall.SIGTERM) }
+	cmd.WaitDelay = 10 * time.Second
+	return cmd.Run()
+}
+
+// coordinateShards fans the sweep out over procs worker processes and
+// merges their reports. args is the coordinator's own raw argument list;
+// each worker gets it back minus -procs, plus its shard assignment, the
+// JSON output format, and (when checkpointing) its own per-shard
+// checkpoint file.
+func coordinateShards(ctx context.Context, args []string, procs int, checkpoint string, w, ew io.Writer) error {
+	type result struct {
+		rep model.SweepReport
+		err error
+	}
+	results := make([]result, procs)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var out bytes.Buffer
+			err := spawnWorker(ctx, shardArgs(args, i, procs, checkpoint), &out, ew)
+			rep, perr := parseWorkerReport(out.Bytes())
+			if perr != nil {
+				// No usable report: the spawn error (exit status, context
+				// cancellation) is the primary failure.
+				if err == nil {
+					err = perr
+				}
+				results[i] = result{err: fmt.Errorf("shard %d/%d: %w (output: %.200s)", i, procs, err, out.String())}
+				return
+			}
+			// A worker that found violations exits 1 but still prints a valid
+			// report; the verdict is carried by the merged report, not the
+			// exit status.
+			results[i] = result{rep: rep}
+		}(i)
+	}
+	wg.Wait()
+
+	parts := make([]model.SweepReport, 0, procs)
+	for _, r := range results {
+		if r.err != nil {
+			return r.err
+		}
+		parts = append(parts, r.rep)
+	}
+	merged, err := model.MergeSweepReports(parts)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "procs=%d %s\n", procs, merged)
+	if merged.Partial {
+		fmt.Fprintf(w, "PARTIAL (%s): sweep stopped early; counts cover the processed assignments only\n", merged.StopReason)
+		if checkpoint != "" {
+			fmt.Fprintf(w, "checkpoints saved: rerun with -resume to continue every shard\n")
+		}
+	}
+	if merged.Violations > 0 {
+		return fmt.Errorf("verification failed")
+	}
+	return nil
+}
+
+// shardArgs derives worker i's argument list from the coordinator's.
+func shardArgs(base []string, i, m int, checkpoint string) []string {
+	out := stripValueFlag(base, "procs")
+	if checkpoint != "" {
+		out = stripValueFlag(out, "checkpoint")
+		out = append(out, "-checkpoint", shardCheckpoint(checkpoint, i, m))
+	}
+	return append(out, "-shard", fmt.Sprintf("%d/%d", i, m), "-json")
+}
+
+// shardCheckpoint names worker i's private checkpoint file.
+func shardCheckpoint(base string, i, m int) string {
+	return fmt.Sprintf("%s.shard%d-of-%d", base, i, m)
+}
+
+// stripValueFlag removes a value-taking flag (given without dashes) from
+// an argument list, covering the -name value, -name=value, and --name
+// spellings.
+func stripValueFlag(args []string, name string) []string {
+	out := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if a == "-"+name || a == "--"+name {
+			i++ // skip the value
+			continue
+		}
+		if strings.HasPrefix(a, "-"+name+"=") || strings.HasPrefix(a, "--"+name+"=") {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// parseWorkerReport decodes the single JSON object a -json worker prints.
+func parseWorkerReport(out []byte) (model.SweepReport, error) {
+	var rep model.SweepReport
+	dec := json.NewDecoder(bytes.NewReader(bytes.TrimSpace(out)))
+	if err := dec.Decode(&rep); err != nil {
+		return rep, fmt.Errorf("parse worker report: %w", err)
+	}
+	return rep, nil
+}

@@ -9,6 +9,8 @@
 //	           [-n 3] [-mode interleaved|simultaneous] [-worst] [-workers N]
 //	           [-sweep] [-symmetry off|assignments|full] [-depth N]
 //	           [-timeout 30s] [-max-states N] [-progress 1s] [-metrics-json -]
+//	           [-spill-dir DIR] [-mem-limit N]
+//	           [-checkpoint FILE] [-resume] [-shard I/M] [-procs M] [-json]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
 // -list prints the table of registered protocols and exits. -sweep checks
@@ -24,6 +26,17 @@
 // their descriptor's depth horizon and report PARTIAL — the verdict then
 // covers every schedule of at most that many ticks.
 //
+// Out-of-core and resumable sweeps (see DESIGN.md §13): -spill-dir makes
+// each exploration's visited set disk-backed once it outgrows -mem-limit
+// resident fingerprints. -checkpoint makes a -sweep write a checksummed
+// checkpoint after every completed assignment orbit; an interrupted sweep
+// (Ctrl-C, SIGTERM, -timeout) restarted with -resume continues from the
+// checkpoint and finishes with counts bit-identical to an uninterrupted
+// run. -shard I/M explores only every M-th orbit representative (shard I,
+// zero-based); -procs M spawns M modelcheck worker processes, one per
+// shard, and merges their reports exactly. -json prints the final sweep
+// report as JSON (the coordinator's wire format).
+//
 // A run stopped by -timeout or -max-states exits 0 with a report explicitly
 // marked PARTIAL: the verdicts cover exactly the explored region. Safety
 // violations always exit 1, partial or not.
@@ -31,6 +44,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -41,6 +55,7 @@ import (
 	"asynccycle/internal/ids"
 	"asynccycle/internal/metrics"
 	"asynccycle/internal/model"
+	"asynccycle/internal/ooc"
 	"asynccycle/internal/prof"
 	"asynccycle/internal/protocol"
 	"asynccycle/internal/runctl"
@@ -80,6 +95,13 @@ func runContext(ctx context.Context, args []string, w, ew io.Writer) error {
 	timeout := fs.Duration("timeout", 0, "wall-clock budget (0 = none); a tripped budget yields a PARTIAL report, exit 0")
 	progress := fs.Duration("progress", 0, "print a progress line to stderr every interval (0 = off)")
 	metricsJSON := fs.String("metrics-json", "", "write the final metrics snapshot as JSON to this file (\"-\" = stderr)")
+	spillDir := fs.String("spill-dir", "", "spill the visited set to sorted fingerprint runs under this directory once it outgrows -mem-limit")
+	memLimit := fs.Int("mem-limit", ooc.DefaultMemLimit, "resident visited fingerprints before spilling (with -spill-dir)")
+	checkpoint := fs.String("checkpoint", "", "write a resumable sweep checkpoint to this file after every completed assignment orbit (requires -sweep)")
+	resume := fs.Bool("resume", false, "continue an interrupted sweep from -checkpoint instead of restarting")
+	shardStr := fs.String("shard", "", "explore only shard I of M orbit representatives, as I/M (requires -sweep)")
+	procs := fs.Int("procs", 1, "spawn this many modelcheck worker processes, one sweep shard each, and merge their reports (requires -sweep)")
+	jsonOut := fs.Bool("json", false, "print the final sweep report as JSON (requires -sweep)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
@@ -87,6 +109,33 @@ func runContext(ctx context.Context, args []string, w, ew io.Writer) error {
 	}
 	if *list {
 		return protocol.WriteList(w)
+	}
+	if !*sweep {
+		switch {
+		case *checkpoint != "":
+			return fmt.Errorf("-checkpoint records an assignment-sweep cursor: add -sweep")
+		case *resume:
+			return fmt.Errorf("-resume continues a checkpointed sweep: add -sweep")
+		case *shardStr != "":
+			return fmt.Errorf("-shard splits an assignment sweep: add -sweep")
+		case *procs > 1:
+			return fmt.Errorf("-procs shards an assignment sweep: add -sweep")
+		case *jsonOut:
+			return fmt.Errorf("-json renders a sweep report: add -sweep")
+		}
+	}
+	if *resume && *checkpoint == "" {
+		return fmt.Errorf("-resume needs the checkpoint file: add -checkpoint FILE")
+	}
+	if (*checkpoint != "" || *resume || *jsonOut || *procs > 1) && *worst {
+		return fmt.Errorf("-checkpoint/-resume/-json/-procs cover the exploration sweep only, not -worst")
+	}
+	shardIndex, shardCount, err := parseShard(*shardStr)
+	if err != nil {
+		return err
+	}
+	if *procs > 1 && shardCount > 1 {
+		return fmt.Errorf("-procs spawns its own shards; drop -shard")
 	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -172,6 +221,10 @@ func runContext(ctx context.Context, args []string, w, ew io.Writer) error {
 		Context:        ctx,
 		Budget:         runctl.Budget{Timeout: *timeout},
 		Metrics:        met,
+		SpillDir:       *spillDir,
+		SpillMemLimit:  *memLimit,
+		ShardIndex:     shardIndex,
+		ShardCount:     shardCount,
 	}
 	if *depth > 0 {
 		opt.MaxDepth = *depth
@@ -184,26 +237,159 @@ func runContext(ctx context.Context, args []string, w, ew io.Writer) error {
 		if d.Sweep == nil {
 			return fmt.Errorf("-sweep supports the cycle-coloring algorithms fast|five|six, not %q", *alg)
 		}
-		return sweepAlg(w, d, *n, mode, opt, *worst)
+		if *procs > 1 {
+			return coordinateShards(ctx, args, *procs, *checkpoint, w, ew)
+		}
+		cfg := sweepCfg{
+			checkpoint: *checkpoint,
+			resume:     *resume,
+			jsonOut:    *jsonOut,
+			ew:         ew,
+			meta: ooc.SweepMeta{
+				Alg:        *alg,
+				N:          *n,
+				Mode:       mode.String(),
+				Symmetry:   symmetry.String(),
+				Singletons: single,
+				MaxDepth:   opt.MaxDepth,
+				MaxStates:  opt.MaxStates,
+				ShardIndex: shardIndex,
+				ShardCount: shardCount,
+			},
+		}
+		return sweepAlg(w, d, *n, mode, opt, *worst, cfg)
 	}
 	return checkAlg(w, d, xs, mode, opt, *worst)
+}
+
+// parseShard parses -shard's "I/M" form (zero-based I < M). The empty
+// string means unsharded (0/1).
+func parseShard(s string) (int, int, error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	var i, m int
+	if n, err := fmt.Sscanf(s, "%d/%d", &i, &m); n != 2 || err != nil {
+		return 0, 0, fmt.Errorf("-shard %q: want I/M (e.g. 0/2)", s)
+	}
+	if m < 1 || i < 0 || i >= m {
+		return 0, 0, fmt.Errorf("-shard %q: need 0 ≤ I < M", s)
+	}
+	return i, m, nil
+}
+
+// totalsFromReport projects the cumulative sweep report onto the
+// checkpoint's numeric totals (N/Symmetry/WorstPerProc are reconstructed
+// from the sweep configuration on resume).
+func totalsFromReport(rep model.SweepReport) ooc.Totals {
+	return ooc.Totals{
+		Assignments:    rep.Assignments,
+		Runs:           rep.Runs,
+		States:         rep.States,
+		Terminal:       rep.Terminal,
+		CycleRuns:      rep.CycleRuns,
+		Violations:     rep.Violations,
+		HashCollisions: rep.HashCollisions,
+		AllOk:          rep.AllOk,
+	}
+}
+
+// totalsToReport is the inverse: the seed report a resumed sweep folds new
+// orbits into.
+func totalsToReport(tt ooc.Totals) model.SweepReport {
+	return model.SweepReport{
+		Assignments:    tt.Assignments,
+		Runs:           tt.Runs,
+		States:         tt.States,
+		Terminal:       tt.Terminal,
+		CycleRuns:      tt.CycleRuns,
+		Violations:     tt.Violations,
+		HashCollisions: tt.HashCollisions,
+		AllOk:          tt.AllOk,
+	}
+}
+
+// sweepCfg carries the resumable-sweep plumbing into sweepAlg: the
+// checkpoint file (written after every completed orbit), whether to seed
+// the sweep from it, and the output format.
+type sweepCfg struct {
+	checkpoint string
+	resume     bool
+	jsonOut    bool
+	meta       ooc.SweepMeta
+	ew         io.Writer
 }
 
 // sweepAlg verifies every identifier-rank assignment via the descriptor's
 // sweep surface (and, with -worst, its worst-case sweep): only relative
 // identifier order is observable, so ranks cover all real inputs.
-func sweepAlg(w io.Writer, d *protocol.Descriptor, n int, mode sim.Mode, opt model.Options, worst bool) error {
+func sweepAlg(w io.Writer, d *protocol.Descriptor, n int, mode sim.Mode, opt model.Options, worst bool, cfg sweepCfg) error {
 	g, err := d.Topology(n)
 	if err != nil {
 		return err
+	}
+	var orbits []ooc.OrbitRecord
+	if cfg.resume {
+		cp, fromPrev, err := ooc.Load(cfg.checkpoint)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		if cp.Meta != cfg.meta {
+			return fmt.Errorf("resume: %s was written by a different sweep configuration:\n  checkpoint %+v\n  this run   %+v",
+				cfg.checkpoint, cp.Meta, cfg.meta)
+		}
+		if fromPrev {
+			fmt.Fprintf(cfg.ew, "modelcheck: primary checkpoint unreadable (torn write?); resumed from %s.prev\n", cfg.checkpoint)
+		}
+		orbits = cp.Orbits
+		opt.SweepResume = &model.SweepResume{
+			Cursor: cp.Cursor,
+			Totals: totalsToReport(cp.Totals),
+		}
+	}
+	if cfg.checkpoint != "" {
+		opt.OnOrbitDone = func(xs []int, weight int, run model.Report, cum model.SweepReport) error {
+			orbits = append(orbits, ooc.OrbitRecord{
+				Assignment:     xs,
+				Weight:         weight,
+				States:         run.States,
+				Terminal:       run.Terminal,
+				WeightedStates: run.WeightedStates,
+				Cycle:          run.CycleFound,
+				Violations:     len(run.Violations),
+				Truncated:      run.Truncated,
+				HashCollisions: run.HashCollisions,
+			})
+			return ooc.Save(cfg.checkpoint, &ooc.Checkpoint{
+				Version: ooc.CheckpointVersion,
+				Meta:    cfg.meta,
+				Cursor:  xs,
+				Orbits:  orbits,
+				Totals:  totalsFromReport(cum),
+			})
+		}
 	}
 	rep, err := d.Sweep(n, mode, opt)
 	if err != nil {
 		return err
 	}
+	if cfg.jsonOut {
+		// The coordinator's wire format: nothing but the report object.
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+		if rep.Violations > 0 {
+			return fmt.Errorf("verification failed")
+		}
+		return nil
+	}
 	fmt.Fprintf(w, "graph=%s mode=%s %s\n", g.Name(), mode, rep)
 	if rep.Partial {
 		fmt.Fprintf(w, "PARTIAL (%s): sweep stopped early; counts cover the processed assignments only\n", rep.StopReason)
+		if cfg.checkpoint != "" {
+			fmt.Fprintf(w, "checkpoint saved: rerun with -resume to continue from the last completed orbit\n")
+		}
 	}
 	if worst {
 		wrep, err := d.SweepWorst(n, mode, opt)

@@ -1,0 +1,128 @@
+package model
+
+// Differential property test of fpMap against a plain map oracle keyed by
+// the state's unique string fingerprint. Real explorations cannot exercise
+// the collided-slot lifecycle (a lane-A collision needs ~2^32 states), so
+// the keys here are adversarial: a handful of lane-A values shared by many
+// states forces every slot through the collision machinery — occupant
+// blanking, byStr routing, revival of blanked occupants — under random
+// interleavings of put/get/del.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestFPMapMatchesMapOracle(t *testing.T) {
+	type key struct{ h1, h2 uint64 }
+	strOf := func(k key) string { return fmt.Sprintf("s%d-%d", k.h1, k.h2) }
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := newFPMap[int]()
+		oracle := make(map[string]int)
+		// 32 distinct states squeezed onto 4 lane-A values: every slot
+		// collides, repeatedly.
+		keys := make([]key, 32)
+		for i := range keys {
+			keys[i] = key{h1: uint64(rng.Intn(4)), h2: uint64(i)}
+		}
+		const ops = 4000
+		for op := 0; op < ops; op++ {
+			k := keys[rng.Intn(len(keys))]
+			s := strOf(k)
+			fn := func() string { return s }
+			switch rng.Intn(4) {
+			case 0, 1: // insert-heavy mix, like a visited table
+				v := rng.Intn(1000)
+				m.put(k.h1, k.h2, fn, v)
+				oracle[s] = v
+			case 2:
+				m.del(k.h1, k.h2, fn)
+				delete(oracle, s)
+			case 3:
+				got, ok := m.get(k.h1, k.h2, fn)
+				want, wok := oracle[s]
+				if ok != wok || got != want {
+					t.Fatalf("seed=%d op=%d get(%v): fpMap (%d,%t), oracle (%d,%t)",
+						seed, op, k, got, ok, want, wok)
+				}
+			}
+			if m.length() != len(oracle) {
+				t.Fatalf("seed=%d op=%d after key %v: length=%d, oracle=%d",
+					seed, op, k, m.length(), len(oracle))
+			}
+		}
+		// Final sweep: every key's membership and value agree.
+		for _, k := range keys {
+			s := strOf(k)
+			got, ok := m.get(k.h1, k.h2, func() string { return s })
+			want, wok := oracle[s]
+			if ok != wok || got != want {
+				t.Fatalf("seed=%d final get(%v): fpMap (%d,%t), oracle (%d,%t)",
+					seed, k, got, ok, want, wok)
+			}
+		}
+	}
+}
+
+// Scripted walk through the blanked-occupant corners the random test may
+// only graze: a collided slot whose primary occupant is deleted keeps its
+// lane-B identity, must read as absent, and must revive on re-put without
+// disturbing the byStr residents of the same slot.
+func TestFPMapBlankedOccupantLifecycle(t *testing.T) {
+	m := newFPMap[int]()
+	sA, sB, sC := strOf("A"), strOf("B"), strOf("C")
+
+	m.put(7, 1, sA, 10) // occupant
+	m.put(7, 2, sB, 20) // collides: routed to byStr, slot marked
+	if m.collisions != 1 {
+		t.Fatalf("collisions=%d, want 1", m.collisions)
+	}
+
+	m.del(7, 1, sA) // blanks the occupant, keeps the marker
+	if _, ok := m.get(7, 1, sA); ok {
+		t.Fatal("blanked occupant still readable")
+	}
+	if v, ok := m.get(7, 2, sB); !ok || v != 20 {
+		t.Fatalf("byStr resident lost after occupant blank: (%d,%t)", v, ok)
+	}
+	if m.length() != 1 {
+		t.Fatalf("length=%d, want 1", m.length())
+	}
+
+	// Double-delete of the blanked occupant must be a no-op.
+	m.del(7, 1, sA)
+	if m.length() != 1 {
+		t.Fatalf("double delete drifted length to %d", m.length())
+	}
+
+	// A third state on the same lane lands in byStr even while the slot
+	// occupant is blanked.
+	m.put(7, 3, sC, 30)
+	if v, ok := m.get(7, 3, sC); !ok || v != 30 {
+		t.Fatalf("third lane resident: (%d,%t)", v, ok)
+	}
+
+	// Revive the blanked occupant: same slot, counted once.
+	m.put(7, 1, sA, 11)
+	if v, ok := m.get(7, 1, sA); !ok || v != 11 {
+		t.Fatalf("revived occupant: (%d,%t)", v, ok)
+	}
+	if m.length() != 3 {
+		t.Fatalf("length=%d, want 3", m.length())
+	}
+
+	// Tear everything down in a different order than insertion.
+	m.del(7, 2, sB)
+	m.del(7, 1, sA)
+	m.del(7, 3, sC)
+	if m.length() != 0 {
+		t.Fatalf("length=%d after full teardown, want 0", m.length())
+	}
+	for h2, s := range map[uint64]func() string{1: sA, 2: sB, 3: sC} {
+		if _, ok := m.get(7, h2, s); ok {
+			t.Fatalf("state h2=%d readable after teardown", h2)
+		}
+	}
+}

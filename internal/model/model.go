@@ -21,8 +21,11 @@ package model
 import (
 	"context"
 	"fmt"
+	"os"
+	"sync/atomic"
 
 	"asynccycle/internal/metrics"
+	"asynccycle/internal/ooc"
 	"asynccycle/internal/runctl"
 	"asynccycle/internal/sim"
 )
@@ -48,8 +51,11 @@ type Options struct {
 	// with a private visited set; the per-worker reports are merged by
 	// uniting their state-key sets, so States and Terminal match the serial
 	// counts exactly. Workers <= 1 (the default) keeps the serial DFS.
-	// In parallel mode MaxStates bounds each worker separately, and the
-	// order of recorded Violations may differ from the serial order.
+	// In parallel mode MaxStates is one shared budget on the combined
+	// states explored across all workers (so a parallel run trips PARTIAL
+	// under the same budget a serial run would, instead of exploring up to
+	// Workers× the cap), and the order of recorded Violations may differ
+	// from the serial order.
 	Workers int
 	// StringFingerprints forces the exact string-fingerprint state tables
 	// used before compact hashing — slower and allocation-heavy, kept for
@@ -76,8 +82,55 @@ type Options struct {
 	// Metrics, when non-nil, receives live progress: States/Terminal
 	// counters, FrontierDepth and VisitedSize gauges, HashCollisions. With
 	// Workers > 1 every worker publishes into the same sink (counters sum
-	// across workers; VisitedSize tracks the largest per-worker table).
+	// across workers; VisitedSize is the merged figure — total live
+	// entries across all worker tables plus the shared root — not a
+	// single worker's private table size).
 	Metrics *metrics.Run
+
+	// SpillDir, when non-empty, makes Explore's visited set out-of-core:
+	// once it outgrows SpillMemLimit resident fingerprints, sorted
+	// 128-bit fingerprint runs are spilled to a fresh subdirectory of
+	// SpillDir and membership is resolved against the on-disk runs (see
+	// internal/ooc). State identity is the full 128-bit fingerprint —
+	// exactly the in-RAM compact tables' identity — so States, Terminal,
+	// and WeightedStates are bit-identical to an in-RAM run. Ignored
+	// under StringFingerprints (exact string tables cannot spill) and
+	// with Workers > 1 (the parallel merge keeps key sets in RAM, so
+	// spilling the visited probes would not reduce the footprint).
+	SpillDir string
+	// SpillMemLimit bounds resident visited fingerprints before a spill;
+	// <= 0 selects ooc.DefaultMemLimit. Only meaningful with SpillDir.
+	SpillMemLimit int
+
+	// ShardIndex/ShardCount split an assignment sweep across processes:
+	// with ShardCount > 1, SweepExplore explores only the orbit
+	// representatives whose zero-based enumeration index ≡ ShardIndex
+	// (mod ShardCount) and reports counts for that shard alone; shard
+	// reports over a partition merge exactly via MergeSweepReports.
+	ShardIndex int
+	ShardCount int
+
+	// SweepResume, when non-nil, resumes an interrupted sweep: every
+	// assignment lexicographically ≤ Cursor is skipped (it was completed
+	// and is already folded into Totals, which seed the cumulative
+	// report). The sweep enumerates assignments deterministically, so a
+	// resumed run's final report is bit-identical to an uninterrupted one.
+	SweepResume *SweepResume
+	// OnOrbitDone, when non-nil, is called after each completed (never
+	// after a cancelled or timed-out) per-assignment exploration with the
+	// assignment, its orbit weight, the per-run report, and the cumulative
+	// sweep report so far — the checkpoint writer's hook. Returning an
+	// error aborts the sweep with that error.
+	OnOrbitDone func(assignment []int, weight int, run Report, cum SweepReport) error
+}
+
+// SweepResume carries the completed prefix of an interrupted sweep: the
+// last completed assignment in lexicographic order and the cumulative
+// totals over all completed assignments (cmd/modelcheck persists both via
+// internal/ooc checkpoints).
+type SweepResume struct {
+	Cursor []int
+	Totals SweepReport
 }
 
 // DefaultMaxDepth and DefaultMaxStates are generous bounds for n ≤ 5.
@@ -229,6 +282,22 @@ type explorer[V any] struct {
 	met       *metrics.Run     // nil when observability is off
 	free      []*sim.Engine[V] // discarded branch engines, recycled by CloneInto
 
+	// spill, when non-nil, replaces the in-RAM visited table with the
+	// out-of-core fingerprint set (Options.SpillDir); spillDir is the
+	// per-explorer scratch directory removed on teardown. onStack stays
+	// in RAM: it is bounded by the path depth, not the state space.
+	spill    *ooc.Set
+	spillDir string
+
+	// sharedStates, when non-nil, is the run-wide explored-state counter
+	// the parallel frontier shares across workers so MaxStates is one
+	// budget for the whole run (serial exploration leaves it nil and
+	// budgets its own report.States). sharedVisited likewise accumulates
+	// total visited-table entries across workers for the VisitedSize
+	// gauge — the merged figure, not a per-worker table size.
+	sharedStates  *atomic.Int64
+	sharedVisited *atomic.Int64
+
 	// Key collection, enabled only by the parallel frontier so worker
 	// reports can be merged by set union (see parallel.go). The mapped
 	// value is the state's exact rotation-orbit size (always 1 when canon
@@ -296,6 +365,21 @@ func (x *explorer[V]) clone(e *sim.Engine[V]) *sim.Engine[V] {
 
 func (x *explorer[V]) release(e *sim.Engine[V]) { x.free = append(x.free, e) }
 
+// visitedSize is the figure the VisitedSize gauge publishes for the state
+// just inserted: the run-wide total across all workers when the parallel
+// frontier shares a counter, the spilled set's cardinality when out of
+// core, this explorer's own table size otherwise. Called once per visited
+// insertion.
+func (x *explorer[V]) visitedSize() int64 {
+	if x.sharedVisited != nil {
+		return x.sharedVisited.Add(1)
+	}
+	if x.spill != nil {
+		return x.spill.Len()
+	}
+	return int64(x.visited.length())
+}
+
 // copySteps deep-copies a schedule fragment.
 func copySteps(steps [][]int) [][]int {
 	out := make([][]int, len(steps))
@@ -326,7 +410,29 @@ func Explore[V any](root *sim.Engine[V], opt Options, inv Invariant[V]) Report {
 	if x.canon {
 		x.report.Symmetry = SymmetryFull
 	}
+	if opt.SpillDir != "" && !opt.StringFingerprints {
+		dir, err := os.MkdirTemp(opt.SpillDir, "spill-")
+		if err == nil {
+			var s *ooc.Set
+			if s, err = ooc.NewSet(dir, opt.SpillMemLimit); err == nil {
+				x.spill, x.spillDir = s, dir
+			} else {
+				os.RemoveAll(dir)
+			}
+		}
+		if err != nil {
+			// Out-of-core storage unavailable: refuse rather than silently
+			// falling back to an in-RAM table the caller asked to bound.
+			x.report.Truncated = true
+			x.report.noteStop(runctl.StopIO)
+			return x.report
+		}
+	}
 	x.dfs(root, 0)
+	if x.spill != nil {
+		x.spill.Close()
+		os.RemoveAll(x.spillDir)
+	}
 	x.report.HashCollisions = x.visited.hashCollisions() + x.onStack.hashCollisions()
 	if x.met != nil {
 		x.met.HashCollisions.Add(int64(x.report.HashCollisions))
@@ -368,11 +474,33 @@ func (x *explorer[V]) dfs(e *sim.Engine[V], depth int) {
 		}
 		return
 	}
-	if _, seen := x.visited.get(k, strFn); seen {
-		return
+	if x.spill != nil {
+		added, err := x.spill.Add(k.h1, k.h2)
+		if err != nil {
+			// The on-disk visited set is gone; membership answers from here
+			// on would be undefined, so unwind everything counted so far.
+			x.interrupt = true
+			x.report.Truncated = true
+			x.report.noteStop(runctl.StopIO)
+			return
+		}
+		if !added {
+			return
+		}
+	} else {
+		if _, seen := x.visited.get(k, strFn); seen {
+			return
+		}
+		x.visited.put(k, strFn, struct{}{})
 	}
-	x.visited.put(k, strFn, struct{}{})
 	x.report.States++
+	// budgetStates is the count the MaxStates budget below trips on: the
+	// run-wide total when workers share one budget, this explorer's own
+	// count otherwise.
+	budgetStates := x.report.States
+	if x.sharedStates != nil {
+		budgetStates = int(x.sharedStates.Add(1))
+	}
 	if x.canon {
 		x.report.WeightedStates += int64(orbit)
 	}
@@ -382,7 +510,7 @@ func (x *explorer[V]) dfs(e *sim.Engine[V], depth int) {
 	if x.met != nil {
 		x.met.States.Inc()
 		x.met.FrontierDepth.SetMax(int64(depth))
-		x.met.VisitedSize.SetMax(int64(x.visited.length()))
+		x.met.VisitedSize.SetMax(x.visitedSize())
 	}
 	if x.inv != nil {
 		if err := x.inv(e); err != nil {
@@ -414,7 +542,7 @@ func (x *explorer[V]) dfs(e *sim.Engine[V], depth int) {
 		x.report.noteStop(runctl.StopMaxDepth)
 		return
 	}
-	if x.report.States >= x.opt.MaxStates {
+	if budgetStates >= x.opt.MaxStates {
 		x.report.Truncated = true
 		x.report.noteStop(runctl.StopMaxStates)
 		return

@@ -1,6 +1,8 @@
 package model
 
 import (
+	"sync/atomic"
+
 	"asynccycle/internal/metrics"
 	"asynccycle/internal/par"
 	"asynccycle/internal/runctl"
@@ -20,7 +22,10 @@ import (
 // so they match the serial DFS exactly. Cycle certificates and violation
 // witnesses are taken from the first worker (in subset enumeration order)
 // that found one, with violations deduplicated across workers by state
-// key. MaxStates bounds each worker separately.
+// key. MaxStates is one shared atomic budget on the combined explored
+// count across all workers (seeded with the root), so a parallel run
+// trips at the same global state count a serial run does instead of
+// letting every worker spend the full budget privately.
 func exploreParallel[V any](root *sim.Engine[V], opt Options, inv Invariant[V]) Report {
 	rep := Report{States: 1}
 
@@ -74,6 +79,16 @@ func exploreParallel[V any](root *sim.Engine[V], opt Options, inv Invariant[V]) 
 		return rep
 	}
 
+	// Both run-wide counters start at 1: the root configuration handled
+	// above is the first explored state and the first visited-table entry.
+	// sharedStates makes MaxStates one budget for the whole run, tripping
+	// at the same global count the serial dfs check does; sharedVisited
+	// feeds the VisitedSize gauge the merged figure rather than one
+	// worker's private table size.
+	var sharedStates, sharedVisited atomic.Int64
+	sharedStates.Store(1)
+	sharedVisited.Store(1)
+
 	subs := subsets(working, opt.SingletonsOnly)
 	var ws *metrics.WorkerStats
 	if opt.Metrics != nil {
@@ -91,6 +106,8 @@ func exploreParallel[V any](root *sim.Engine[V], opt Options, inv Invariant[V]) 
 		x := newExplorer[V](opt)
 		x.inv = inv
 		x.canon = canon
+		x.sharedStates = &sharedStates
+		x.sharedVisited = &sharedVisited
 		x.collectKeys = true
 		x.keys = make(map[stateKey]int)
 		x.terminalKeys = make(map[stateKey]struct{})

@@ -1,0 +1,241 @@
+package model_test
+
+// Out-of-core and resumable-checking contracts:
+//
+//   - A spilled visited set (Options.SpillDir) keys states by the same
+//     128-bit fingerprint as the in-RAM compact tables, so every count is
+//     bit-identical to an in-RAM run.
+//   - MaxStates is one shared budget across parallel workers: a Workers=4
+//     run trips at the same global state count a Workers=1 run does.
+//   - The VisitedSize gauge publishes the merged figure across workers.
+//   - A sweep resumed from any completed-orbit checkpoint finishes with a
+//     report bit-identical to the uninterrupted sweep's.
+//   - Sharded sweeps partition the orbit representatives and merge exactly.
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"asynccycle/internal/metrics"
+	"asynccycle/internal/model"
+	"asynccycle/internal/runctl"
+	"asynccycle/internal/sim"
+)
+
+func TestSpillEquivalence(t *testing.T) {
+	for _, n := range []int{4, 5} {
+		for _, sym := range []model.Symmetry{model.SymmetryOff, model.SymmetryFull} {
+			base := model.Options{SingletonsOnly: true, Symmetry: sym}
+			ref := model.Explore(fiveEngine(t, n), base, nil)
+
+			sp := base
+			sp.SpillDir = t.TempDir()
+			// A tiny delta limit forces many spilled runs plus compaction,
+			// so membership is really answered from disk.
+			sp.SpillMemLimit = 64
+			got := model.Explore(fiveEngine(t, n), sp, nil)
+
+			if got.States != ref.States || got.Terminal != ref.Terminal ||
+				got.WeightedStates != ref.WeightedStates ||
+				got.CycleFound != ref.CycleFound || got.Truncated != ref.Truncated ||
+				got.DeepestPath != ref.DeepestPath || got.Symmetry != ref.Symmetry {
+				t.Errorf("C%d symmetry=%s: spilled run drifted:\nref  %v\ngot  %v", n, sym, ref, got)
+			}
+			// The scratch subdirectory must be gone when Explore returns.
+			left, err := os.ReadDir(sp.SpillDir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(left) != 0 {
+				t.Errorf("C%d symmetry=%s: spill scratch left behind: %v", n, sym, left)
+			}
+		}
+	}
+}
+
+func TestSpillDirFailureRefusesRun(t *testing.T) {
+	opt := model.Options{
+		SingletonsOnly: true,
+		SpillDir:       t.TempDir() + "/does/not/exist",
+	}
+	rep := model.Explore(fiveEngine(t, 4), opt, nil)
+	if !rep.Partial || rep.StopReason != runctl.StopIO {
+		t.Fatalf("unusable spill dir not refused: %v", rep)
+	}
+	if rep.States != 0 {
+		t.Fatalf("refused run still explored %d states", rep.States)
+	}
+}
+
+// Regression for the per-worker budget bug: MaxStates used to bound each
+// parallel worker separately, letting a Workers=4 run explore up to 4× the
+// cap before tripping. The budget is now one shared atomic counter, so the
+// combined explored count (the metrics States sum across workers) trips at
+// the same point the serial run does.
+func TestSharedMaxStatesBudget(t *testing.T) {
+	const budget = 1500
+	mk := func(workers int) (model.Report, *metrics.Run) {
+		met := metrics.NewRun()
+		rep := model.Explore(fiveEngine(t, 5), model.Options{
+			SingletonsOnly: true,
+			MaxStates:      budget,
+			Workers:        workers,
+			Metrics:        met,
+		}, nil)
+		return rep, met
+	}
+	serial, _ := mk(1)
+	par, met := mk(4)
+
+	if !serial.Truncated || serial.StopReason != runctl.StopMaxStates {
+		t.Fatalf("serial run did not trip MaxStates: %v", serial)
+	}
+	if !par.Truncated || par.StopReason != runctl.StopMaxStates {
+		t.Fatalf("parallel run did not trip MaxStates: %v", par)
+	}
+	// Identical trip behavior: the combined count stays near the budget
+	// (bounded overshoot from in-flight frames draining), nowhere near
+	// workers × budget as the per-worker budgets allowed.
+	if got := met.States.Load(); got >= 2*budget {
+		t.Errorf("parallel run explored %d combined states under a budget of %d", got, budget)
+	}
+	// The merged distinct-state count cannot exceed what was explored
+	// (+1 for the root, which the parallel path counts in the report only).
+	if int64(par.States) > met.States.Load()+1 {
+		t.Errorf("merged States %d exceeds combined explored count %d", par.States, met.States.Load())
+	}
+}
+
+// Regression for the VisitedSize gauge: with Workers > 1 it used to
+// publish the largest single worker's private table size. It now counts
+// every insertion across workers plus the shared root, so it can never sit
+// below the merged distinct-state count.
+func TestParallelVisitedSizeMerged(t *testing.T) {
+	met := metrics.NewRun()
+	rep := model.Explore(fiveEngine(t, 4), model.Options{
+		SingletonsOnly: true,
+		Workers:        4,
+		Metrics:        met,
+	}, nil)
+	if got := met.VisitedSize.Load(); got < int64(rep.States) {
+		t.Errorf("VisitedSize gauge %d below merged distinct-state count %d", got, rep.States)
+	}
+}
+
+// eqSweep compares every field of two sweep reports.
+func eqSweep(t *testing.T, name string, got, want model.SweepReport) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s:\ngot  %+v\nwant %+v", name, got, want)
+	}
+}
+
+func TestSweepResumeBitIdentical(t *testing.T) {
+	n := 4
+	for _, sym := range []model.Symmetry{model.SymmetryOff, model.SymmetryAssignments} {
+		opt := model.Options{SingletonsOnly: true, Symmetry: sym}
+		ref, err := model.SweepExplore(n, fiveSweep(n, sim.ModeInterleaved), opt, fiveColoringInv(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Record the checkpoint state after every completed orbit.
+		type ckpt struct {
+			cursor []int
+			totals model.SweepReport
+		}
+		var cks []ckpt
+		withCb := opt
+		withCb.OnOrbitDone = func(xs []int, weight int, run model.Report, cum model.SweepReport) error {
+			cks = append(cks, ckpt{append([]int(nil), xs...), cum})
+			return nil
+		}
+		full, err := model.SweepExplore(n, fiveSweep(n, sim.ModeInterleaved), withCb, fiveColoringInv(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eqSweep(t, "callback sweep vs plain", full, ref)
+		if len(cks) != ref.Runs {
+			t.Fatalf("symmetry=%s: %d orbit callbacks for %d runs", sym, len(cks), ref.Runs)
+		}
+		// The last checkpoint's totals are the final report.
+		eqSweep(t, "final checkpoint totals", cks[len(cks)-1].totals, ref)
+
+		// Resuming from any mid-run checkpoint must reproduce the
+		// uninterrupted report bit for bit.
+		for i, ck := range cks[:len(cks)-1] {
+			res := opt
+			res.SweepResume = &model.SweepResume{Cursor: ck.cursor, Totals: ck.totals}
+			got, err := model.SweepExplore(n, fiveSweep(n, sim.ModeInterleaved), res, fiveColoringInv(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			eqSweep(t, "resume from checkpoint", got, ref)
+			_ = i
+		}
+	}
+}
+
+func TestSweepShardMergeEqualsSerial(t *testing.T) {
+	n := 4
+	opt := model.Options{SingletonsOnly: true, Symmetry: model.SymmetryAssignments}
+	serial, err := model.SweepExplore(n, fiveSweep(n, sim.ModeInterleaved), opt, fiveColoringInv(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shards = 2
+	parts := make([]model.SweepReport, shards)
+	runs := 0
+	for i := 0; i < shards; i++ {
+		so := opt
+		so.ShardIndex, so.ShardCount = i, shards
+		parts[i], err = model.SweepExplore(n, fiveSweep(n, sim.ModeInterleaved), so, fiveColoringInv(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs += parts[i].Runs
+	}
+	if runs != serial.Runs {
+		t.Fatalf("shards ran %d explorations, serial ran %d (not a partition)", runs, serial.Runs)
+	}
+	merged, err := model.MergeSweepReports(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqSweep(t, "merged shards vs serial", merged, serial)
+
+	// Worst-activation sweeps shard and merge too (supremum vectors fold
+	// position-wise).
+	serialW, err := model.SweepWorstActivations(n, fiveSweep(n, sim.ModeInterleaved), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partsW := make([]model.SweepReport, shards)
+	for i := 0; i < shards; i++ {
+		so := opt
+		so.ShardIndex, so.ShardCount = i, shards
+		partsW[i], err = model.SweepWorstActivations(n, fiveSweep(n, sim.ModeInterleaved), so)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mergedW, err := model.MergeSweepReports(partsW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eqSweep(t, "merged worst shards vs serial", mergedW, serialW)
+}
+
+func TestSweepShardValidation(t *testing.T) {
+	opt := model.Options{SingletonsOnly: true, ShardIndex: 2, ShardCount: 2}
+	if _, err := model.SweepExplore(4, fiveSweep(4, sim.ModeInterleaved), opt, nil); err == nil {
+		t.Error("out-of-range shard index accepted")
+	}
+	if _, err := model.MergeSweepReports(nil); err == nil {
+		t.Error("empty merge accepted")
+	}
+	if _, err := model.MergeSweepReports([]model.SweepReport{{N: 4}, {N: 5}}); err == nil {
+		t.Error("mismatched shard merge accepted")
+	}
+}

@@ -180,13 +180,34 @@ func sweep[V any](n int, mk func(xs []int) (*sim.Engine[V], error), opt Options,
 	opt = opt.withDefaults()
 	opt, cancel := opt.withTimeout()
 	defer cancel()
+	shards := opt.ShardCount
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > 1 && (opt.ShardIndex < 0 || opt.ShardIndex >= shards) {
+		return SweepReport{}, fmt.Errorf("model: sweep shard %d/%d: index out of range", opt.ShardIndex, shards)
+	}
 	ck := runctl.NewChecker(opt.Context, 0)
 	rep := SweepReport{N: n, Symmetry: opt.Symmetry, AllOk: true}
-	if worstMode {
+	var cursor []int
+	if opt.SweepResume != nil {
+		// Seed the cumulative report with the completed prefix's totals; the
+		// enumeration below skips every assignment ≤ Cursor. The caller
+		// (cmd/modelcheck) has already validated that the checkpoint's
+		// configuration matches this sweep's, so the deterministic
+		// enumeration continues exactly where the interrupted run stopped.
+		rep = opt.SweepResume.Totals
+		rep.N, rep.Symmetry = n, opt.Symmetry
+		rep.Partial, rep.StopReason = false, runctl.StopNone
+		rep.WorstPerProc = append([]int(nil), rep.WorstPerProc...)
+		cursor = opt.SweepResume.Cursor
+	}
+	if worstMode && rep.WorstPerProc == nil {
 		rep.WorstPerProc = make([]int, n)
 	}
 	reduce := opt.Symmetry != SymmetryOff
-	var mkErr error
+	var loopErr error
+	repIdx := 0 // enumeration index over explored representatives (shard key)
 	graph.Permutations(n, func(xs []int) bool {
 		if reason, stop := ck.CheckNow(); stop {
 			rep.Partial = true
@@ -203,38 +224,142 @@ func sweep[V any](n int, mk func(xs []int) (*sim.Engine[V], error), opt Options,
 			}
 			_, weight = graph.CanonicalAssignment(xs)
 		}
+		// The shard key counts every representative — including ones the
+		// resume cursor skips — so a representative's owning shard never
+		// depends on where a previous run was interrupted.
+		idx := repIdx
+		repIdx++
+		if shards > 1 && idx%shards != opt.ShardIndex {
+			return true // another shard's representative
+		}
+		if cursor != nil && lexLE(xs, cursor) {
+			return true // completed before the interruption; already in rep
+		}
 		e, err := mk(append([]int(nil), xs...))
 		if err != nil {
-			mkErr = fmt.Errorf("model: sweep assignment %v: %w", xs, err)
+			loopErr = fmt.Errorf("model: sweep assignment %v: %w", xs, err)
 			return false
 		}
 		rep.Runs++
 		rep.Assignments += weight
+		var r Report
 		if worstMode {
-			vec, ok, r := WorstActivations(e, opt)
+			var vec []int
+			var ok bool
+			vec, ok, r = WorstActivations(e, opt)
 			foldRun(&rep, r, weight)
 			if !ok {
 				rep.AllOk = false
 			}
 			foldWorst(rep.WorstPerProc, vec, reduce)
 		} else {
-			r := Explore(e, opt, inv)
+			r = Explore(e, opt, inv)
 			foldRun(&rep, r, weight)
 			if !r.Ok() {
 				rep.AllOk = false
 			}
 		}
+		if opt.OnOrbitDone != nil && deterministicStop(r.StopReason) {
+			// Only deterministic completions reach the checkpoint hook: a
+			// cancelled/timed-out (or I/O-failed) run's counts depend on
+			// wall-clock, so folding them into a checkpoint would poison the
+			// resumed totals. Such a run stays out of the checkpoint and is
+			// re-explored from scratch on resume, keeping the final report
+			// bit-identical to an uninterrupted sweep.
+			if err := opt.OnOrbitDone(append([]int(nil), xs...), weight, r, rep); err != nil {
+				loopErr = fmt.Errorf("model: sweep orbit callback at %v: %w", xs, err)
+				return false
+			}
+		}
 		return true
 	})
-	if mkErr != nil {
-		return SweepReport{}, mkErr
+	if loopErr != nil {
+		return SweepReport{}, loopErr
 	}
+	rep.MaxWorst = 0
 	for _, w := range rep.WorstPerProc {
 		if w > rep.MaxWorst {
 			rep.MaxWorst = w
 		}
 	}
 	return rep, nil
+}
+
+// deterministicStop reports whether a run ending with this reason is
+// reproducible: complete runs and runs truncated by explicit size bounds
+// re-run identically, while cancellation, deadlines, and I/O failures cut
+// exploration at a wall-clock-dependent point.
+func deterministicStop(r runctl.StopReason) bool {
+	switch r {
+	case runctl.StopNone, runctl.StopMaxStates, runctl.StopMaxDepth, runctl.StopMaxSteps, runctl.StopActivations:
+		return true
+	}
+	return false
+}
+
+// lexLE reports xs ≤ cursor in lexicographic order (both are permutations
+// of the same length in practice; a shorter cursor prefix-compares).
+func lexLE(xs, cursor []int) bool {
+	for i, x := range xs {
+		if i >= len(cursor) {
+			return false
+		}
+		if x != cursor[i] {
+			return x < cursor[i]
+		}
+	}
+	return true
+}
+
+// MergeSweepReports folds the per-shard reports of a sharded sweep into
+// the report the unsharded sweep would have produced. Shards partition the
+// orbit representatives, so counts add exactly; verdict fields combine
+// (AllOk ANDs, Partial ORs with the first StopReason kept) and the
+// worst-activation supremum merges position-wise. Shards must agree on N
+// and Symmetry.
+func MergeSweepReports(parts []SweepReport) (SweepReport, error) {
+	if len(parts) == 0 {
+		return SweepReport{}, fmt.Errorf("model: merge sweep reports: no shards")
+	}
+	out := parts[0]
+	out.WorstPerProc = append([]int(nil), out.WorstPerProc...)
+	for _, p := range parts[1:] {
+		if p.N != out.N || p.Symmetry != out.Symmetry {
+			return SweepReport{}, fmt.Errorf("model: merge sweep reports: shard mismatch (n=%d/%d symmetry=%s/%s)",
+				out.N, p.N, out.Symmetry, p.Symmetry)
+		}
+		out.Assignments += p.Assignments
+		out.Runs += p.Runs
+		out.States += p.States
+		out.Terminal += p.Terminal
+		out.CycleRuns += p.CycleRuns
+		out.Violations += p.Violations
+		out.HashCollisions += p.HashCollisions
+		out.AllOk = out.AllOk && p.AllOk
+		if p.Partial {
+			out.Partial = true
+			if out.StopReason == runctl.StopNone {
+				out.StopReason = p.StopReason
+			}
+		}
+		if p.WorstPerProc != nil {
+			if out.WorstPerProc == nil {
+				out.WorstPerProc = make([]int, len(p.WorstPerProc))
+			}
+			for i, v := range p.WorstPerProc {
+				if v > out.WorstPerProc[i] {
+					out.WorstPerProc[i] = v
+				}
+			}
+		}
+	}
+	out.MaxWorst = 0
+	for _, w := range out.WorstPerProc {
+		if w > out.MaxWorst {
+			out.MaxWorst = w
+		}
+	}
+	return out, nil
 }
 
 // foldRun accumulates one per-assignment report, weighted by orbit size.

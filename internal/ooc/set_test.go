@@ -1,0 +1,138 @@
+package ooc
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// A spilled set must agree with a plain map under any insertion sequence,
+// across flush and compaction boundaries.
+func TestSetMatchesMapOracle(t *testing.T) {
+	for _, limit := range []int{1, 7, 64, 100000} {
+		rng := rand.New(rand.NewSource(int64(limit)))
+		s, err := NewSet(t.TempDir(), limit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := make(map[Key]struct{})
+		const ops = 5000
+		for i := 0; i < ops; i++ {
+			// Small key space forces plenty of duplicate Adds.
+			k := Key{H1: uint64(rng.Intn(700)), H2: uint64(rng.Intn(5))}
+			_, dup := oracle[k]
+			oracle[k] = struct{}{}
+			added, err := s.Add(k.H1, k.H2)
+			if err != nil {
+				t.Fatalf("limit=%d op=%d: %v", limit, i, err)
+			}
+			if added == dup {
+				t.Fatalf("limit=%d op=%d key=%v: added=%t but oracle dup=%t", limit, i, k, added, dup)
+			}
+			if s.Len() != int64(len(oracle)) {
+				t.Fatalf("limit=%d op=%d: Len=%d oracle=%d", limit, i, s.Len(), len(oracle))
+			}
+		}
+		st := s.Stats()
+		if limit == 1 && st.SpilledKeys == 0 {
+			t.Errorf("limit=1 never spilled: %+v", st)
+		}
+		if limit == 1 && st.Compactions == 0 {
+			t.Errorf("limit=1 never compacted: %+v", st)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	}
+}
+
+// Every key inserted before any number of flushes must still be found
+// (i.e. re-Add reports duplicate) afterwards — including keys that landed
+// in different runs and keys merged by compaction.
+func TestSetDuplicatesAcrossRuns(t *testing.T) {
+	s, err := NewSet(t.TempDir(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	keys := make([]Key, 300)
+	rng := rand.New(rand.NewSource(7))
+	for i := range keys {
+		keys[i] = Key{H1: rng.Uint64(), H2: rng.Uint64()}
+		if added, err := s.Add(keys[i].H1, keys[i].H2); err != nil || !added {
+			t.Fatalf("fresh add %d: added=%t err=%v", i, added, err)
+		}
+	}
+	if s.Stats().Runs == 0 {
+		t.Fatal("expected spilled runs")
+	}
+	for i, k := range keys {
+		if added, err := s.Add(k.H1, k.H2); err != nil || added {
+			t.Fatalf("re-add %d: added=%t err=%v", i, added, err)
+		}
+	}
+	if s.Len() != int64(len(keys)) {
+		t.Fatalf("Len=%d want %d", s.Len(), len(keys))
+	}
+}
+
+// Adjacent keys sharing an H1 lane must stay distinct on disk (full
+// 128-bit records, not truncated ones).
+func TestSetLaneCollisionsStayDistinct(t *testing.T) {
+	s, err := NewSet(t.TempDir(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for h2 := uint64(0); h2 < 64; h2++ {
+		if added, err := s.Add(42, h2); err != nil || !added {
+			t.Fatalf("h2=%d: added=%t err=%v", h2, added, err)
+		}
+	}
+	if s.Len() != 64 {
+		t.Fatalf("Len=%d want 64", s.Len())
+	}
+	for h2 := uint64(0); h2 < 64; h2++ {
+		if added, err := s.Add(42, h2); err != nil || added {
+			t.Fatalf("re-add h2=%d: added=%t err=%v", h2, added, err)
+		}
+	}
+}
+
+// Close must remove the run files it created.
+func TestSetCloseRemovesRuns(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewSet(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := s.Add(uint64(i), uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	left, err := filepath.Glob(filepath.Join(dir, "run-*.fps"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("run files left behind: %v", left)
+	}
+}
+
+func TestNewSetRejectsMissingDir(t *testing.T) {
+	if _, err := NewSet(filepath.Join(t.TempDir(), "nope"), 10); err == nil {
+		t.Fatal("expected error for missing dir")
+	}
+	f := filepath.Join(t.TempDir(), "file")
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSet(f, 10); err == nil {
+		t.Fatal("expected error for non-directory")
+	}
+}

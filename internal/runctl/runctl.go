@@ -94,6 +94,7 @@ const (
 	StopMaxSteps    StopReason = "max-steps"       // step budget exhausted
 	StopMaxDepth    StopReason = "max-depth"       // schedule-length bound reached
 	StopActivations StopReason = "max-activations" // per-process round budget exhausted
+	StopIO          StopReason = "io-error"        // out-of-core storage failed (spilled visited set)
 )
 
 // ErrBudget is the sentinel wrapped by errors a tripped budget produces at
