@@ -84,6 +84,14 @@ type Config struct {
 	// MaxSteps bounds the execution length; exceeding it returns an error
 	// wrapping ErrStepLimit. 0 means a limit proportional to n².
 	MaxSteps int
+	// Topology, when non-empty, retargets the protocol onto another graph
+	// family ("path", "complete", "torus", "random:Δ[:seed]", optionally
+	// "+shuffled:SEED") before running; the typed helpers route through
+	// RunProtocol, so it applies to them too. Families the protocol does
+	// not declare support for fail with ErrBadInput; off the native family
+	// the cycle-specific round bound and identifier precondition are
+	// dropped (DESIGN.md §14).
+	Topology string
 	// Context, when non-nil, cancels the run: the engine stops between
 	// steps once it is done and returns the partial Result so far together
 	// with an error wrapping ErrBudget. A nil Context (the default) leaves

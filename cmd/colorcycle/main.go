@@ -5,6 +5,7 @@
 // Usage:
 //
 //	colorcycle [-alg fast|five|six|...] [-list] [-n 100]
+//	           [-topology cycle|path|complete|torus|random:Δ:seed]
 //	           [-ids random|increasing|zigzag|...]
 //	           [-sched sync|rr|random|one|alt|burst] [-seed 1]
 //	           [-crash 0.2] [-trace] [-concurrent]
@@ -15,6 +16,11 @@
 // -concurrent the run uses one goroutine per node (the -sched and -trace
 // flags do not apply: scheduling comes from the Go runtime); protocols
 // without a concurrent runtime reject it.
+//
+// -topology retargets the protocol onto another registered graph family
+// (append "+shuffled:SEED" to permute neighbor orders). Only families the
+// protocol declares are accepted; off-family runs drop cycle-specific
+// round bounds and the "big" engine, which is ring-indexed.
 //
 // -big selects the struct-of-arrays engine for protocols with the "big"
 // capability — the path for large cycles (n up to 10⁶ and beyond), with
@@ -53,6 +59,7 @@ func run(args []string, w io.Writer) error {
 	alg := fs.String("alg", "fast", "protocol to run (see -list)")
 	list := fs.Bool("list", false, "print the registered protocols and exit")
 	n := fs.Int("n", 100, "instance size (cycle length for the cycle protocols)")
+	topology := fs.String("topology", "", "graph family to run on (cycle|path|complete|torus|random:Δ[:seed][+shuffled:SEED]); empty = the protocol's native topology")
 	assign := fs.String("ids", "random", "identifier assignment: random|increasing|decreasing|zigzag|spaced-increasing")
 	sched := fs.String("sched", "random", "scheduler: sync|rr|random|one|alt|burst")
 	seed := fs.Int64("seed", 1, "random seed")
@@ -83,6 +90,13 @@ func run(args []string, w io.Writer) error {
 	d, err := protocol.Lookup(*alg)
 	if err != nil {
 		return err
+	}
+	d, err = protocol.WithTopology(d, *topology)
+	if err != nil {
+		return err
+	}
+	if d.FixN != nil {
+		*n = d.FixN(*n)
 	}
 	g, err := d.Topology(*n)
 	if err != nil {
@@ -122,6 +136,9 @@ func run(args []string, w io.Writer) error {
 	if *big {
 		if *withTrace || *concurrent {
 			return fmt.Errorf("-big does not combine with -trace or -concurrent")
+		}
+		if err := protocol.CheckBigTopology(*topology); err != nil {
+			return err
 		}
 		return runBig(w, d, xs, *sched, *seed, *workers, crashes, g, verdict)
 	}

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"asynccycle/internal/protocol"
+)
+
+// TestRunTopologyGeneralGraph runs dp1 on a random Δ-bounded graph through
+// the CLI surface — the smoke path CI exercises — and checks every verdict
+// line comes back ok.
+func TestRunTopologyGeneralGraph(t *testing.T) {
+	var b strings.Builder
+	args := []string{"-alg", "dp1", "-topology", "random:4:1", "-n", "20",
+		"-sched", "random", "-seed", "3", "-crash", "0.1"}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "graph=G(20,Δ≤4,seed=1)") {
+		t.Errorf("header does not name the random graph:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("verdict failed:\n%s", out)
+	}
+	for _, want := range []string{"ok   proper coloring", "ok   palette"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunTopologyFixN: torus sizes round to the nearest factorable grid
+// instead of erroring out.
+func TestRunTopologyFixN(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-alg", "six", "-topology", "torus", "-n", "10", "-sched", "rr", "-seed", "1"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "graph=T3x4") {
+		t.Errorf("torus -n 10 did not round to T3x4:\n%s", b.String())
+	}
+}
+
+// TestRunBigRefusesTopology: the struct-of-arrays engine is ring-indexed,
+// so -big must refuse any non-cycle (or shuffled-cycle) topology with the
+// typed sentinel rather than running on a misinterpreted graph.
+func TestRunBigRefusesTopology(t *testing.T) {
+	for _, spec := range []string{"torus", "random:4:1", "cycle+shuffled:2"} {
+		var b strings.Builder
+		err := run([]string{"-alg", "six", "-topology", spec, "-n", "12", "-big"}, &b)
+		if !errors.Is(err, protocol.ErrBigTopology) {
+			t.Errorf("-big -topology %s: err = %v, want protocol.ErrBigTopology", spec, err)
+		}
+	}
+	// The plain cycle still reaches the big engine.
+	var b strings.Builder
+	if err := run([]string{"-alg", "six", "-topology", "cycle", "-n", "64", "-big"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "engine=big") {
+		t.Errorf("explicit -topology cycle lost the big engine:\n%s", b.String())
+	}
+}
+
+// TestRunTopologyRefusals: undeclared families fail loudly with the typed
+// sentinel before any instance is built.
+func TestRunTopologyRefusals(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-alg", "five", "-topology", "complete", "-n", "8"}, &b)
+	if !errors.Is(err, protocol.ErrTopology) {
+		t.Errorf("five on complete: err = %v, want protocol.ErrTopology", err)
+	}
+}

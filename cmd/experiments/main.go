@@ -1,12 +1,12 @@
 // Command experiments regenerates every reproduction experiment of
-// DESIGN.md (E1–E19 and finding F1) and prints the tables recorded in
+// DESIGN.md (E1–E22 and finding F1) and prints the tables recorded in
 // EXPERIMENTS.md.
 //
 // Usage:
 //
 //	experiments [-quick] [-list] [-seed N] [-only E3,E4] [-format text|markdown|csv]
-//	            [-parallel N] [-timeout 5m] [-progress 1s] [-metrics-json -]
-//	            [-cpuprofile FILE] [-memprofile FILE]
+//	            [-parallel N] [-topology torus] [-timeout 5m] [-progress 1s]
+//	            [-metrics-json -] [-cpuprofile FILE] [-memprofile FILE]
 //
 // A run stopped by -timeout still prints every requested table: sweeps cut
 // short come back marked [PARTIAL: reason] with only their completed cells
@@ -55,6 +55,7 @@ func runContext(root context.Context, args []string, w, ew io.Writer) error {
 	only := fs.String("only", "", "comma-separated experiment IDs to run (e.g. E3,E4,F1)")
 	format := fs.String("format", "text", "output format: text, markdown, or csv")
 	parallel := fs.Int("parallel", 0, "sweep-cell workers per experiment (0 = GOMAXPROCS, 1 = serial); tables are byte-identical at every setting")
+	topology := fs.String("topology", "", "graph family for the topology-generic experiments (E22), e.g. torus or random:6:3; the cycle experiments ignore it")
 	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = none); cut-short tables are marked PARTIAL")
 	progress := fs.Duration("progress", 0, "print a progress line to stderr every interval (0 = off)")
 	metricsJSON := fs.String("metrics-json", "", "write the final metrics snapshot as JSON to this file (\"-\" = stderr)")
@@ -133,7 +134,7 @@ func runContext(root context.Context, args []string, w, ew io.Writer) error {
 		}
 	}
 
-	opt := expt.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel, Context: ctx, Metrics: met}
+	opt := expt.Options{Quick: *quick, Seed: *seed, Parallelism: *parallel, Context: ctx, Metrics: met, Topology: *topology}
 	ran := 0
 	for _, r := range expt.Runners() {
 		if len(want) > 0 && !want[r.ID] {

@@ -6,16 +6,21 @@
 // Usage:
 //
 //	modelcheck [-alg fast|five|six|mis-greedy|...] [-list]
-//	           [-n 3] [-mode interleaved|simultaneous] [-worst] [-workers N]
+//	           [-n 3] [-topology cycle|path|complete|torus|random:Δ:seed]
+//	           [-mode interleaved|simultaneous] [-worst] [-workers N]
 //	           [-sweep] [-symmetry off|assignments|full] [-depth N]
 //	           [-timeout 30s] [-max-states N] [-progress 1s] [-metrics-json -]
 //	           [-spill-dir DIR] [-mem-limit N]
 //	           [-checkpoint FILE] [-resume] [-shard I/M] [-procs M] [-json]
 //	           [-cpuprofile FILE] [-memprofile FILE]
 //
-// -list prints the table of registered protocols and exits. -sweep checks
-// every identifier-rank assignment of the cycle instead of just the
-// increasing one. -symmetry=assignments quotients that sweep by the
+// -list prints the table of registered protocols and exits. -topology
+// retargets the protocol onto another registered graph family the
+// descriptor declares (sizes round via the family's normalizer). -sweep
+// checks every identifier-rank assignment instead of just the increasing
+// one; on any topology other than the standard cycle the reduced sweeps
+// refuse (the dihedral orbit weighting is cycle-specific) — use
+// -symmetry off there. -symmetry=assignments quotients that sweep by the
 // dihedral group with exact orbit weighting (requires -sweep);
 // -symmetry=full additionally dedups rotation-equivalent states inside
 // each exploration. Verdicts and weighted counts are identical at every
@@ -85,10 +90,11 @@ func runContext(ctx context.Context, args []string, w, ew io.Writer) error {
 	alg := fs.String("alg", "fast", "algorithm to verify (see -list)")
 	list := fs.Bool("list", false, "print the registered protocols and exit")
 	n := fs.Int("n", 3, "instance size (3–5 recommended)")
+	topology := fs.String("topology", "", "graph family to verify on (a family the protocol declares); empty = the protocol's native topology")
 	modeStr := fs.String("mode", "interleaved", "activation semantics: interleaved|simultaneous")
 	worst := fs.Bool("worst", false, "also compute exact worst-case per-process rounds")
 	symmetryStr := fs.String("symmetry", "off", "symmetry reduction: off|assignments|full (assignments requires -sweep)")
-	sweep := fs.Bool("sweep", false, "check every identifier-rank assignment of the cycle, not just the increasing one (fast|five|six)")
+	sweep := fs.Bool("sweep", false, "check every identifier-rank assignment, not just the increasing one (fast|five|six|dp1)")
 	depth := fs.Int("depth", 0, "schedule-depth bound (0 = protocol default); deeper states are reported PARTIAL")
 	maxStates := fs.Int("max-states", 5_000_000, "state budget; a tripped budget yields a PARTIAL report")
 	workers := fs.Int("workers", 1, "frontier-parallel exploration workers (1 = serial DFS)")
@@ -197,6 +203,13 @@ func runContext(ctx context.Context, args []string, w, ew io.Writer) error {
 	if err != nil {
 		return err
 	}
+	d, err = protocol.WithTopology(d, *topology)
+	if err != nil {
+		return err
+	}
+	if d.FixN != nil {
+		*n = d.FixN(*n)
+	}
 	if d.Check == nil {
 		return fmt.Errorf("algorithm %q has no branchable instance surface to model-check", *alg)
 	}
@@ -235,7 +248,7 @@ func runContext(ctx context.Context, args []string, w, ew io.Writer) error {
 
 	if *sweep {
 		if d.Sweep == nil {
-			return fmt.Errorf("-sweep supports the cycle-coloring algorithms fast|five|six, not %q", *alg)
+			return fmt.Errorf("-sweep needs a sweepable coloring surface (fast|five|six|dp1), not %q", *alg)
 		}
 		if *procs > 1 {
 			return coordinateShards(ctx, args, *procs, *checkpoint, w, ew)
@@ -248,6 +261,7 @@ func runContext(ctx context.Context, args []string, w, ew io.Writer) error {
 			meta: ooc.SweepMeta{
 				Alg:        *alg,
 				N:          *n,
+				Topology:   *topology,
 				Mode:       mode.String(),
 				Symmetry:   symmetry.String(),
 				Singletons: single,

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asynccycle/internal/model"
+	"asynccycle/internal/protocol"
+)
+
+// TestSweepDP1CompleteK4 is the exhaustive (Δ+1)-certificate on K4 the
+// descriptor's Expectation claims, run through the CLI: every identifier
+// assignment, every interleaved schedule, zero violations.
+func TestSweepDP1CompleteK4(t *testing.T) {
+	var b strings.Builder
+	args := []string{"-alg", "dp1", "-topology", "complete", "-n", "4",
+		"-sweep", "-symmetry", "off", "-depth", "512"}
+	if err := run(args, &b, io.Discard); err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"graph=K4", "assignments=24", "violations=0", "allok=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "PARTIAL") {
+		t.Errorf("K4 sweep truncated — not an exhaustive certificate:\n%s", out)
+	}
+}
+
+// TestSweepDP1Path certifies dp1 on the path: P4 always, and the full
+// 120-assignment P5 sweep (~30s single-core) unless -short.
+func TestSweepDP1Path(t *testing.T) {
+	n, assignments := "5", "assignments=120"
+	if testing.Short() {
+		n, assignments = "4", "assignments=24"
+	}
+	var b strings.Builder
+	args := []string{"-alg", "dp1", "-topology", "path", "-n", n,
+		"-sweep", "-symmetry", "off", "-depth", "512"}
+	if err := run(args, &b, io.Discard); err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	out := b.String()
+	for _, want := range []string{"graph=P" + n, assignments, "violations=0", "allok=true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "PARTIAL") {
+		t.Errorf("P%s sweep truncated — not an exhaustive certificate:\n%s", n, out)
+	}
+}
+
+// TestSweepSymmetryRefusedOffCycle: the CLI surfaces the typed refusal for
+// dihedral-weighted sweeps on non-cycle topologies instead of weighting
+// orbits with cycle-automorphism sizes.
+func TestSweepSymmetryRefusedOffCycle(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-alg", "six", "-topology", "path", "-n", "4",
+		"-sweep", "-symmetry", "assignments"}, &b, io.Discard)
+	if !errors.Is(err, model.ErrSymmetryTopology) {
+		t.Errorf("err = %v, want model.ErrSymmetryTopology", err)
+	}
+}
+
+// TestCheckpointPinsTopology: the sweep checkpoint records the -topology
+// spec, so a -resume under a different topology refuses instead of merging
+// incompatible counts. Native-topology checkpoints keep their pre-topology
+// byte format (omitempty), which the resume_test golden files already pin.
+func TestCheckpointPinsTopology(t *testing.T) {
+	cp := filepath.Join(t.TempDir(), "sweep.ckpt")
+	var b strings.Builder
+	args := []string{"-alg", "dp1", "-topology", "complete", "-n", "4",
+		"-sweep", "-symmetry", "off", "-depth", "512", "-checkpoint", cp}
+	if err := run(args, &b, io.Discard); err != nil {
+		t.Fatalf("%v\n%s", err, b.String())
+	}
+	b.Reset()
+	err := run([]string{"-alg", "dp1", "-n", "4",
+		"-sweep", "-symmetry", "off", "-depth", "512", "-checkpoint", cp, "-resume"}, &b, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "different sweep configuration") {
+		t.Errorf("resume under a different topology: err = %v, want configuration mismatch", err)
+	}
+}
+
+// TestCheckTopologyUndeclared: the typed refusal reaches the CLI before
+// any exploration starts.
+func TestCheckTopologyUndeclared(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-alg", "renaming", "-topology", "torus", "-n", "9"}, &b, io.Discard)
+	if !errors.Is(err, protocol.ErrTopology) {
+		t.Errorf("err = %v, want protocol.ErrTopology", err)
+	}
+}

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	schedfuzz [-alg fast|five|six|mis-greedy|...] [-list] [-n 0]
+//	          [-topology cycle|path|complete|torus|random:Δ:seed]
 //	          [-mode interleaved|simultaneous]
 //	          [-seed 1] [-campaign-size 128] [-parallel N] [-conc-every 16]
 //	          [-timeout 30s] [-progress 1s] [-metrics-json -]
@@ -62,6 +63,7 @@ func runContext(ctx context.Context, args []string, w, ew io.Writer) error {
 	alg := fs.String("alg", "fast", "algorithm to fuzz (see -list)")
 	list := fs.Bool("list", false, "print the registered protocols and exit")
 	n := fs.Int("n", 0, "cycle size; 0 varies it per schedule in [3, 12]")
+	topology := fs.String("topology", "", "graph family to fuzz on (a family the protocol declares); off-family campaigns run with the cycle round-bound oracle off")
 	modeStr := fs.String("mode", "interleaved", "primary activation semantics: interleaved|simultaneous")
 	seed := fs.Int64("seed", 1, "campaign seed; the full report is a deterministic function of it")
 	campaign := fs.Int("campaign-size", 128, "number of schedules to fuzz")
@@ -118,6 +120,7 @@ func runContext(ctx context.Context, args []string, w, ew io.Writer) error {
 	rep, err := fuzzsched.Campaign(ctx, fuzzsched.Config{
 		Alg:       *alg,
 		N:         *n,
+		Topology:  *topology,
 		Mode:      mode,
 		Seed:      *seed,
 		Campaign:  *campaign,

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"asynccycle/internal/protocol"
+)
+
+// TestRunTopologyCampaign fuzzes dp1 on a random Δ-bounded graph through
+// the CLI: a clean campaign whose report names the topology.
+func TestRunTopologyCampaign(t *testing.T) {
+	var b strings.Builder
+	args := []string{"-alg", "dp1", "-topology", "random:4:2", "-n", "10",
+		"-seed", "3", "-campaign-size", "16", "-conc-every", "0"}
+	if err := run(args, &b, io.Discard); err != nil {
+		t.Fatalf("campaign errored: %v\n%s", err, b.String())
+	}
+	out := b.String()
+	if !strings.Contains(out, "topology=random:4:2") {
+		t.Errorf("report does not name the topology:\n%s", out)
+	}
+	if !strings.Contains(out, "violations=0") || !strings.Contains(out, "divergences=0") {
+		t.Errorf("unexpected findings:\n%s", out)
+	}
+}
+
+// TestRunTopologyRefused: an undeclared family fails loudly before the
+// campaign starts.
+func TestRunTopologyRefused(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-alg", "five", "-topology", "torus", "-campaign-size", "4"}, &b, io.Discard)
+	if !errors.Is(err, protocol.ErrTopology) {
+		t.Errorf("err = %v, want protocol.ErrTopology", err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package dp1 implements an asynchronous (Δ+1)-coloring protocol for
+// arbitrary Δ-bounded graphs in the crash-prone state model, following the
+// AG-coloring + color-reduction pipeline of the general-graph follow-up
+// (Balliu, Lambein-Monette, Olivetti, Rabie, arXiv:2408.10971) to the
+// source paper's Appendix A.
+//
+// The protocol is a single two-stage state machine per process:
+//
+//   - Stage A (AG stage): the Algorithm 1/4 pair machine runs verbatim —
+//     a ← mex{a_u : X_u > X_p}, b ← mex{b_u : X_u < X_p} — but instead of
+//     returning when the pair (a, b) differs from every visible neighbor
+//     pair, the process *locks*: the pair freezes in its register forever,
+//     and the process enters stage B carrying an initial claim that dodges
+//     every visible locked claim. The locked pairs form the O(Δ²) interim
+//     coloring: two adjacent locked processes always hold distinct pairs,
+//     because the later locker observed the earlier locker's frozen pair
+//     (and two same-step lockers observed each other's — publishes precede
+//     every observe in both activation modes).
+//
+//   - Stage B (reduction stage): the process iterates on a claim c. Each
+//     round it collects the claims of its visible locked neighbors; if c
+//     avoids all of them it returns c, otherwise c ← mex(claims). At most
+//     Δ neighbors contribute claims, so mex never exceeds Δ and the output
+//     palette is {0..Δ} — exactly Δ+1 colors.
+//
+// Safety is unconditional on every topology and in both activation modes:
+// a returning process froze its register at (locked, c) when it published
+// at the start of its returning round, so any neighbor returning later
+// sees the claim c among its visible locked claims and cannot return it,
+// and two adjacent same-step returns would each have seen the other's
+// published claim. A process whose neighbors have all crashed or returned
+// faces frozen claims only and returns within two activations (mex escapes
+// any fixed claim set). Against live adversarial schedules, however,
+// symmetric claim oscillations can recur forever — (Δ+1)-coloring K_n is
+// perfect renaming, which has no wait-free comparison-based solution — so
+// the protocol carries no wait-freedom bound and liveness oracles must
+// stay disabled for it.
+package dp1
+
+import "asynccycle/internal/sim"
+
+// mex returns the minimum excluded natural: min(ℕ ∖ used). Claim and pair
+// conflict sets never exceed the degree, so the quadratic scan stays cheap
+// and allocation-free.
+func mex(used []int) int {
+	for v := 0; ; v++ {
+		found := false
+		for _, u := range used {
+			if u == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return v
+		}
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Val is the register content: the static identifier, the stage flag, the
+// interim color pair (frozen once Locked), and the stage-B claim.
+type Val struct {
+	X      int
+	Locked bool
+	A, B   int
+	C      int
+}
+
+// HashFingerprint implements sim.Hashable.
+func (v *Val) HashFingerprint(h *sim.FPHasher) {
+	h.HashInt(v.X)
+	h.HashBool(v.Locked)
+	h.HashInt(v.A)
+	h.HashInt(v.B)
+	h.HashInt(v.C)
+}
+
+// Node is the dp1 state machine; see the package comment for the protocol.
+type Node struct {
+	x      int
+	locked bool
+	a, b   int
+	c      int
+}
+
+// New returns a dp1 process with the given identifier. Identifiers must be
+// non-negative and distinct across every edge; globally unique
+// identifiers satisfy this a fortiori.
+func New(id int) *Node { return &Node{x: id} }
+
+// X returns the (immutable) identifier.
+func (p *Node) X() int { return p.x }
+
+// Locked reports whether the process has frozen its interim pair and
+// entered the reduction stage.
+func (p *Node) Locked() bool { return p.locked }
+
+// Interim returns the current interim color pair (final once Locked).
+func (p *Node) Interim() (a, b int) { return p.a, p.b }
+
+// Claim returns the current stage-B claim.
+func (p *Node) Claim() int { return p.c }
+
+// Publish implements sim.Node.
+func (p *Node) Publish() Val {
+	return Val{X: p.x, Locked: p.locked, A: p.a, B: p.b, C: p.c}
+}
+
+// Observe implements sim.Node.
+func (p *Node) Observe(view []sim.Cell[Val]) sim.Decision {
+	if !p.locked {
+		// Stage A: the pair machine, with lock-in-place of Algorithm 1's
+		// return. The conflict check ranges over every present neighbor —
+		// locked neighbors' pairs are frozen and still must be avoided.
+		conflict := false
+		for _, cell := range view {
+			if cell.Present && cell.Val.A == p.a && cell.Val.B == p.b {
+				conflict = true
+				break
+			}
+		}
+		if conflict {
+			var aBuf, bBuf [8]int
+			aUsed, bUsed := aBuf[:0], bBuf[:0]
+			for _, cell := range view {
+				if !cell.Present {
+					continue
+				}
+				switch {
+				case cell.Val.X > p.x:
+					aUsed = append(aUsed, cell.Val.A)
+				case cell.Val.X < p.x:
+					bUsed = append(bUsed, cell.Val.B)
+				}
+			}
+			p.a = mex(aUsed)
+			p.b = mex(bUsed)
+			return sim.Decision{}
+		}
+		p.locked = true
+		p.c = mex(p.lockedClaims(view))
+		return sim.Decision{}
+	}
+	// Stage B: return the claim if no visible locked neighbor holds it,
+	// otherwise move to the mex of the visible claims. mex always escapes
+	// a frozen (crashed or returned) claim set, and never exceeds Δ.
+	claims := p.lockedClaims(view)
+	if !contains(claims, p.c) {
+		return sim.Decision{Return: true, Output: p.c}
+	}
+	p.c = mex(claims)
+	return sim.Decision{}
+}
+
+// lockedClaims collects the claims of the present locked neighbors; at
+// most deg(p) values.
+func (p *Node) lockedClaims(view []sim.Cell[Val]) []int {
+	claims := make([]int, 0, 8)
+	for _, cell := range view {
+		if cell.Present && cell.Val.Locked {
+			claims = append(claims, cell.Val.C)
+		}
+	}
+	return claims
+}
+
+// Clone implements sim.Node.
+func (p *Node) Clone() sim.Node[Val] {
+	cp := *p
+	return &cp
+}
+
+// HashFingerprint implements sim.Hashable.
+func (p *Node) HashFingerprint(h *sim.FPHasher) {
+	h.HashInt(p.x)
+	h.HashBool(p.locked)
+	h.HashInt(p.a)
+	h.HashInt(p.b)
+	h.HashInt(p.c)
+}
+
+var _ sim.Node[Val] = (*Node)(nil)
+
+// NewNodes builds one dp1 process per identifier, as engine-ready nodes.
+func NewNodes(xs []int) []sim.Node[Val] {
+	nodes := make([]sim.Node[Val], len(xs))
+	for i, x := range xs {
+		nodes[i] = New(x)
+	}
+	return nodes
+}

@@ -1,4 +1,4 @@
-// Package expt implements the reproduction experiments E1–E17 and finding
+// Package expt implements the reproduction experiments E1–E22 and finding
 // F1 listed in DESIGN.md. Each experiment runs a parameter sweep and
 // returns a Table whose rows are what cmd/experiments prints and what
 // EXPERIMENTS.md records; the root benchmarks drive the same runners.
@@ -194,6 +194,12 @@ type Options struct {
 	// CellsDone counters and per-worker utilization, plus whatever the
 	// underlying engines and model-checker runs publish.
 	Metrics *metrics.Run
+	// Topology overrides the graph family for the experiments that are
+	// topology-generic (currently E22's engine sweep): a registered
+	// topology spec such as "torus" or "random:6:3". The cycle-specific
+	// reproduction experiments E1–E20 ignore it — their tables
+	// operationalize cycle theorems and would be meaningless elsewhere.
+	Topology string
 }
 
 func (o Options) seed() int64 {
@@ -236,6 +242,7 @@ func Runners() []Runner {
 		{"E19", E19RegistryProtocols},
 		{"E20", E20RoundCurves},
 		{"F1", F1Livelock},
+		{"E22", E22DeltaPlusOne},
 	}
 }
 

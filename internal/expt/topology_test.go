@@ -1,0 +1,40 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE22CleanQuick: the quick sweep and certificates must come back with
+// zero violations, every palette within Δ+1, and every certificate
+// exhaustive.
+func TestE22CleanQuick(t *testing.T) {
+	tb := E22DeltaPlusOne(Options{Quick: true})
+	if len(tb.Rows) == 0 {
+		t.Fatal("E22 produced no rows")
+	}
+	for _, row := range tb.Rows {
+		if row[len(tb.Columns)-1] != "0" {
+			t.Errorf("row %v reports violations", row)
+		}
+		if strings.Contains(row[5], "EXCEEDED") {
+			t.Errorf("row %v exceeds the Δ+1 palette", row)
+		}
+	}
+	if s := tb.String(); strings.Contains(s, "TRUNCATED") {
+		t.Errorf("a certificate cell was truncated:\n%s", s)
+	}
+}
+
+// TestE22TopologyOverride: -topology redirects the engine sweep onto the
+// requested family while the fixed certificates stay.
+func TestE22TopologyOverride(t *testing.T) {
+	tb := E22DeltaPlusOne(Options{Quick: true, Topology: "torus"})
+	s := tb.String()
+	if !strings.Contains(s, "T3x6") && !strings.Contains(s, "T4x4") {
+		t.Errorf("override did not reach the engine sweep:\n%s", s)
+	}
+	if !strings.Contains(s, "K4") {
+		t.Errorf("certificates disappeared under the override:\n%s", s)
+	}
+}

@@ -73,6 +73,12 @@ type Config struct {
 	Alg string
 	// N fixes the cycle size; N <= 0 varies it per cell in [3, 12].
 	N int
+	// Topology retargets the campaign onto a named topology spec (see
+	// graph.ParseTopology); empty means the protocol's native topology.
+	// Off-family retargeting clears the descriptor's wait-freedom bound,
+	// so the liveness oracle is disabled automatically — the paper's
+	// cycle bounds must never be asserted against another graph.
+	Topology string
 	// Mode is the primary activation semantics the oracle runs under.
 	Mode sim.Mode
 	// Seed determines the entire campaign: every cell derives its
@@ -131,6 +137,7 @@ func (d Divergence) String() string {
 type Report struct {
 	Alg      string
 	N        int
+	Topology string // empty = the protocol's native topology
 	Mode     string
 	Seed     int64
 	Campaign int
@@ -152,8 +159,14 @@ func (r Report) String() string {
 	if r.N <= 0 {
 		nStr = "3..12"
 	}
-	s := fmt.Sprintf("alg=%s n=%s mode=%s seed=%d campaign=%d: schedules=%d violations=%d divergences=%d states=%d shrink-iters=%d conc-runs=%d",
-		r.Alg, nStr, r.Mode, r.Seed, r.Campaign, r.Schedules,
+	topo := ""
+	if r.Topology != "" {
+		// Printed only when set, so native-topology reports stay
+		// byte-identical to the historical format.
+		topo = fmt.Sprintf(" topology=%s", r.Topology)
+	}
+	s := fmt.Sprintf("alg=%s n=%s%s mode=%s seed=%d campaign=%d: schedules=%d violations=%d divergences=%d states=%d shrink-iters=%d conc-runs=%d",
+		r.Alg, nStr, topo, r.Mode, r.Seed, r.Campaign, r.Schedules,
 		len(r.Violations), len(r.Divergences), r.StatesSeen, r.ShrinkIters, r.ConcRuns)
 	if r.Partial {
 		s += fmt.Sprintf(" [PARTIAL: %s]", r.StopReason)
@@ -258,7 +271,7 @@ func Campaign(ctx context.Context, cfg Config) (Report, error) {
 	})
 
 	rep := Report{
-		Alg: cfg.Alg, N: cfg.N, Mode: cfg.Mode.String(),
+		Alg: cfg.Alg, N: cfg.N, Topology: cfg.Topology, Mode: cfg.Mode.String(),
 		Seed: cfg.Seed, Campaign: cfg.Campaign,
 	}
 	for i, r := range results {
@@ -292,6 +305,17 @@ func cellRunner(cfg Config) (func(cell int) cellResult, error) {
 	d, err := protocol.Lookup(cfg.Alg)
 	if err != nil {
 		return nil, fmt.Errorf("fuzzsched: %w", err)
+	}
+	if cfg.Topology != "" {
+		// Retargeting replaces the capability closures wholesale: the
+		// topology builder, the (possibly cleared) wait-freedom bound, the
+		// identifier precondition, and the FixN size normalizer all come
+		// from the retargeted copy, so every oracle below is consistent
+		// with the graph actually being fuzzed.
+		d, err = protocol.WithTopology(d, cfg.Topology)
+		if err != nil {
+			return nil, fmt.Errorf("fuzzsched: %w", err)
+		}
 	}
 	if d.NewInstance == nil {
 		return nil, fmt.Errorf("fuzzsched: algorithm %q has no branchable instance surface", cfg.Alg)

@@ -1,0 +1,87 @@
+package fuzzsched
+
+// Regression for the fuzzer's cycle-bound bug: before topology retargeting,
+// running the bound leg against a general-graph instance would assert the
+// paper's cycle-specific Theorem 3.1/3.11 round bounds and report false
+// liveness violations. Retargeting clears the bound for off-family
+// topologies, so these campaigns must come back clean.
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"asynccycle/internal/protocol"
+	"asynccycle/internal/sim"
+)
+
+// TestCampaignDP1OnTorus fuzzes dp1 on the 3×4 torus: no spurious liveness
+// flags (dp1 carries no wait-freedom bound), no safety violations (the
+// (Δ+1) validity certificate), and no cross-engine divergences.
+func TestCampaignDP1OnTorus(t *testing.T) {
+	rep, err := Campaign(context.Background(), Config{
+		Alg: "dp1", N: 12, Topology: "torus", Mode: sim.ModeInterleaved,
+		Seed: 7, Campaign: 24, ConcEvery: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schedules != 24 {
+		t.Fatalf("completed %d/24 cells", rep.Schedules)
+	}
+	if len(rep.Violations) != 0 {
+		t.Errorf("spurious violations on torus: %v", rep.Violations[0])
+	}
+	if len(rep.Divergences) != 0 {
+		t.Errorf("divergences on torus: %v", rep.Divergences[0])
+	}
+	if !strings.Contains(rep.String(), "topology=torus") {
+		t.Errorf("report does not name the topology: %s", rep.String())
+	}
+}
+
+// TestCampaignSixOffFamilyBoundGated pins the bound-oracle gate directly:
+// six retargeted onto a random Δ-bounded graph loses its ⌊3n/2⌋+4 cycle
+// bound, so the campaign runs with the liveness oracle off and reports no
+// liveness findings even where the cycle bound would have tripped.
+func TestCampaignSixOffFamilyBoundGated(t *testing.T) {
+	d, err := protocol.Lookup("six")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd, err := protocol.WithTopology(d, "random:4:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dd.Bound != nil {
+		t.Fatal("retargeted six still carries the cycle bound — the oracle gate is broken")
+	}
+	rep, err := Campaign(context.Background(), Config{
+		Alg: "six", Topology: "random:4:3", Mode: sim.ModeInterleaved,
+		Seed: 11, Campaign: 24,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Violations {
+		if f.Kind == "liveness" {
+			t.Errorf("spurious liveness flag off-family: %s", f)
+		}
+	}
+	if len(rep.Violations) != 0 || len(rep.Divergences) != 0 {
+		t.Errorf("unexpected findings: %s", rep.String())
+	}
+}
+
+// TestCampaignRefusesUndeclaredTopology: a topology the protocol never
+// declared fails loudly at configuration time with the typed sentinel, not
+// silently mid-campaign.
+func TestCampaignRefusesUndeclaredTopology(t *testing.T) {
+	_, err := Campaign(context.Background(), Config{
+		Alg: "five", Topology: "complete", Mode: sim.ModeInterleaved, Campaign: 4,
+	})
+	if !errors.Is(err, protocol.ErrTopology) {
+		t.Fatalf("err = %v, want protocol.ErrTopology", err)
+	}
+}

@@ -173,7 +173,7 @@ func RandomBoundedDegree(n, maxDeg int, seed int64) (Graph, error) {
 	for i := 0; i+1 < n; i++ { // spine: guarantees connectivity
 		addEdge(i, i+1)
 	}
-	// Random chords up to the degree budget; ~n attempts keeps density
+	// Random chords up to the degree budget; 4n attempts keeps density
 	// proportional to n without quadratic work.
 	for attempts := 0; attempts < 4*n; attempts++ {
 		u := rng.Intn(n)

@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+func TestParseTopologyFamilies(t *testing.T) {
+	cases := []struct {
+		spec   string
+		family string
+		canon  string
+		minN   int
+		n      int
+		name   string
+	}{
+		{"", "cycle", "cycle", 3, 5, "C5"},
+		{"cycle", "cycle", "cycle", 3, 5, "C5"},
+		{"path", "path", "path", 2, 5, "P5"},
+		{"complete", "complete", "complete", 2, 4, "K4"},
+		{"torus", "torus", "torus", 9, 9, "T3x3"},
+		{"random:4:7", "random", "random:4:7", 2, 12, "G(12,Δ≤4,seed=7)"},
+		{"random:3", "random", "random:3:1", 2, 8, "G(8,Δ≤3,seed=1)"},
+	}
+	for _, c := range cases {
+		b, err := ParseTopology(c.spec)
+		if err != nil {
+			t.Fatalf("ParseTopology(%q): %v", c.spec, err)
+		}
+		if b.Family != c.family || b.Spec != c.canon || b.MinN != c.minN || b.Shuffled {
+			t.Errorf("ParseTopology(%q) = {Family:%q Spec:%q MinN:%d Shuffled:%v}, want {%q %q %d false}",
+				c.spec, b.Family, b.Spec, b.MinN, b.Shuffled, c.family, c.canon, c.minN)
+		}
+		g, err := b.Build(c.n)
+		if err != nil {
+			t.Fatalf("%q.Build(%d): %v", c.spec, c.n, err)
+		}
+		if g.Name() != c.name {
+			t.Errorf("%q.Build(%d).Name() = %q, want %q", c.spec, c.n, g.Name(), c.name)
+		}
+	}
+}
+
+func TestParseTopologyShuffled(t *testing.T) {
+	b, err := ParseTopology("complete+shuffled:9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Family != "complete" || !b.Shuffled || b.Spec != "complete+shuffled:9" {
+		t.Fatalf("builder = %+v", b)
+	}
+	g, err := b.Build(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := Complete(5)
+	for u := 0; u < 5; u++ {
+		if g.Degree(u) != plain.Degree(u) {
+			t.Fatalf("shuffle changed degree of %d", u)
+		}
+		for _, v := range plain.Neighbors(u) {
+			if !g.Adjacent(u, v) {
+				t.Fatalf("shuffle changed adjacency: %d-%d missing", u, v)
+			}
+		}
+	}
+}
+
+func TestParseTopologyErrors(t *testing.T) {
+	for _, spec := range []string{
+		"mobius", "random", "random:1", "random:x", "random:4:y",
+		"random:4:1:2", "cycle+twisted:3", "cycle+shuffled:x",
+	} {
+		if _, err := ParseTopology(spec); !errors.Is(err, ErrUnknownTopology) {
+			t.Errorf("ParseTopology(%q) = %v, want ErrUnknownTopology", spec, err)
+		}
+	}
+}
+
+func TestTorusBuilderSizing(t *testing.T) {
+	b := MustParseTopology("torus")
+	if b.FixN == nil {
+		t.Fatal("torus builder has no FixN")
+	}
+	for n, want := range map[int]int{3: 9, 9: 9, 10: 12, 11: 12, 12: 12, 13: 15, 16: 16, 17: 18} {
+		if got := b.FixN(n); got != want {
+			t.Errorf("FixN(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if _, err := b.Build(11); err == nil {
+		t.Error("Build(11) succeeded; 11 has no r×c ≥ 3 factorization")
+	}
+	g, err := b.Build(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name() != "T3x4" || g.MaxDegree() != 4 {
+		t.Errorf("Build(12) = %s Δ=%d, want T3x4 Δ=4", g.Name(), g.MaxDegree())
+	}
+}
+
+// TestRandomBoundedDegreeProperties pins the contract the dp1 experiments
+// lean on: connectivity (the Hamiltonian spine), the Δ bound, and exact
+// seed reproducibility including neighbor order.
+func TestRandomBoundedDegreeProperties(t *testing.T) {
+	for _, c := range []struct {
+		n, maxDeg int
+		seed      int64
+	}{{8, 2, 1}, {20, 4, 7}, {50, 3, 42}, {100, 6, 3}} {
+		g, err := RandomBoundedDegree(c.n, c.maxDeg, c.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Connected() {
+			t.Errorf("G(%d,Δ≤%d,seed=%d) not connected", c.n, c.maxDeg, c.seed)
+		}
+		if d := g.MaxDegree(); d > c.maxDeg {
+			t.Errorf("G(%d,Δ≤%d,seed=%d) has Δ=%d", c.n, c.maxDeg, c.seed, d)
+		}
+		again, err := RandomBoundedDegree(c.n, c.maxDeg, c.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < c.n; u++ {
+			if !reflect.DeepEqual(g.Neighbors(u), again.Neighbors(u)) {
+				t.Fatalf("seed %d not reproducible at node %d: %v vs %v", c.seed, u, g.Neighbors(u), again.Neighbors(u))
+			}
+		}
+		other, err := RandomBoundedDegree(c.n, c.maxDeg, c.seed+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		same := true
+		for u := 0; u < c.n; u++ {
+			if !reflect.DeepEqual(g.Neighbors(u), other.Neighbors(u)) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("seeds %d and %d produced identical graphs", c.seed, c.seed+1)
+		}
+	}
+}

@@ -150,6 +150,14 @@ func (r SweepReport) String() string {
 // beyond 8 processes is out of reach for exhaustive exploration anyway.
 const maxSweepN = 8
 
+// ErrSymmetryTopology is the sentinel wrapped by reduced sweeps on
+// non-cycle topologies. The assignment quotient weights orbits by D_n
+// (dihedral) orbit sizes, which are only the automorphisms of the standard
+// cycle — on any other graph (or a cycle with shuffled neighbor lists,
+// which reflections no longer map to themselves) the weighted totals would
+// be silently wrong, so the sweep refuses instead of degrading.
+var ErrSymmetryTopology = fmt.Errorf("model: symmetry-reduced sweeps require the standard cycle topology")
+
 // SweepExplore runs Explore over every identifier-rank assignment of C_n
 // (all permutations of {1..n}; only relative identifier order is observable
 // by the algorithms, so ranks cover all real identifier inputs). mk builds
@@ -176,6 +184,21 @@ func SweepWorstActivations[V any](n int, mk func(xs []int) (*sim.Engine[V], erro
 func sweep[V any](n int, mk func(xs []int) (*sim.Engine[V], error), opt Options, inv Invariant[V], worstMode bool) (SweepReport, error) {
 	if n < 3 || n > maxSweepN {
 		return SweepReport{}, fmt.Errorf("model: sweep over C%d: need 3 ≤ n ≤ %d", n, maxSweepN)
+	}
+	if opt.Symmetry != SymmetryOff {
+		// Reduced sweeps weight orbit representatives by dihedral orbit
+		// sizes, a standard-cycle-only argument; probe the engine factory's
+		// topology with the identity assignment and refuse loudly on
+		// anything else. (canonApplies already falls back per-run, but the
+		// assignment-level weighting has no sound fallback short of
+		// SymmetryOff.)
+		probe, err := mk(identityAssignment(n))
+		if err != nil {
+			return SweepReport{}, fmt.Errorf("model: sweep topology probe: %w", err)
+		}
+		if !graph.IsStandardCycle(probe.Graph()) {
+			return SweepReport{}, fmt.Errorf("%w (got %s; rerun with -symmetry off)", ErrSymmetryTopology, probe.Graph().Name())
+		}
 	}
 	opt = opt.withDefaults()
 	opt, cancel := opt.withTimeout()
@@ -283,6 +306,16 @@ func sweep[V any](n int, mk func(xs []int) (*sim.Engine[V], error), opt Options,
 		}
 	}
 	return rep, nil
+}
+
+// identityAssignment returns the first assignment the sweep would
+// enumerate, {1..n} — the topology probe builds a throwaway engine with it.
+func identityAssignment(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i + 1
+	}
+	return xs
 }
 
 // deterministicStop reports whether a run ending with this reason is

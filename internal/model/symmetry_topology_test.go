@@ -1,0 +1,71 @@
+package model_test
+
+// Regression for the assignment-sweep topology bug: reduced sweeps weight
+// orbits by dihedral D_n orbit sizes, an argument that only holds on the
+// standard cycle. Before the guard, a sweep over any other topology (or a
+// shuffled-neighbor cycle) would silently fold cycle-automorphism weights
+// into wrong totals; now it must refuse with ErrSymmetryTopology.
+
+import (
+	"errors"
+	"testing"
+
+	"asynccycle/internal/core"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/model"
+	"asynccycle/internal/sim"
+)
+
+func mkOn(build func(n int) (graph.Graph, error)) func(xs []int) (*sim.Engine[core.PairVal], error) {
+	return func(xs []int) (*sim.Engine[core.PairVal], error) {
+		g, err := build(len(xs))
+		if err != nil {
+			return nil, err
+		}
+		return sim.NewEngine(g, core.NewPairNodes(xs))
+	}
+}
+
+func TestSweepRefusesSymmetryOffCycle(t *testing.T) {
+	nonCycles := map[string]func(n int) (graph.Graph, error){
+		"path":     graph.Path,
+		"complete": graph.Complete,
+		"shuffled-cycle": func(n int) (graph.Graph, error) {
+			g, err := graph.Cycle(n)
+			if err != nil {
+				return g, err
+			}
+			// Seed 1 actually reorders C4's neighbor lists (some seeds
+			// happen to shuffle back to the standard [i-1, i+1] order).
+			return g.ShuffledNeighbors(1), nil
+		},
+	}
+	for name, build := range nonCycles {
+		for _, sym := range []model.Symmetry{model.SymmetryAssignments, model.SymmetryFull} {
+			_, err := model.SweepExplore(4, mkOn(build), model.Options{Symmetry: sym}, nil)
+			if !errors.Is(err, model.ErrSymmetryTopology) {
+				t.Errorf("%s symmetry=%s: err = %v, want ErrSymmetryTopology", name, sym, err)
+			}
+			_, err = model.SweepWorstActivations(4, mkOn(build), model.Options{Symmetry: sym})
+			if !errors.Is(err, model.ErrSymmetryTopology) {
+				t.Errorf("%s symmetry=%s worst: err = %v, want ErrSymmetryTopology", name, sym, err)
+			}
+		}
+		// Unreduced sweeps stay sound on any topology (no orbit weighting).
+		rep, err := model.SweepExplore(4, mkOn(build), model.Options{Symmetry: model.SymmetryOff}, nil)
+		if err != nil {
+			t.Fatalf("%s symmetry=off: %v", name, err)
+		}
+		if rep.Assignments != 24 || rep.Runs != 24 {
+			t.Errorf("%s symmetry=off: covered %d/%d of 24 assignments", name, rep.Assignments, rep.Runs)
+		}
+	}
+	// The guard must not disturb reduced sweeps on the standard cycle.
+	rep, err := model.SweepExplore(4, mkOn(graph.Cycle), model.Options{Symmetry: model.SymmetryAssignments}, nil)
+	if err != nil {
+		t.Fatalf("cycle symmetry=assignments: %v", err)
+	}
+	if rep.Assignments != 24 {
+		t.Errorf("cycle reduced sweep weighted %d assignments, want 24", rep.Assignments)
+	}
+}

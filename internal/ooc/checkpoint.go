@@ -49,8 +49,12 @@ const CheckpointVersion = 1
 // SweepMeta pins the sweep configuration a checkpoint belongs to. Every
 // field participates in the resume compatibility check.
 type SweepMeta struct {
-	Alg        string `json:"alg"`
-	N          int    `json:"n"`
+	Alg string `json:"alg"`
+	N   int    `json:"n"`
+	// Topology is the -topology retarget spec ("" = the protocol's native
+	// topology). omitempty keeps checkpoints from native-topology sweeps —
+	// including every pre-topology checkpoint — byte-compatible.
+	Topology   string `json:"topology,omitempty"`
 	Mode       string `json:"mode"`
 	Symmetry   string `json:"symmetry"`
 	Singletons bool   `json:"singletons"`

@@ -37,13 +37,15 @@ func fiveValidity(g graph.Graph, r sim.Result) error {
 	return check.PaletteRange(r, 5)
 }
 
-// sixValidity is Algorithm 1's specification: proper coloring with pair
-// colors (a, b), a+b ≤ 2.
+// sixValidity is Algorithm 1's specification, stated degree-generically:
+// proper coloring with pair colors (a, b), a+b ≤ Δ. On the cycle Δ = 2,
+// giving the paper's 6-color palette; the same machine yields pairs with
+// a+b ≤ Δ on any Δ-bounded graph (Appendix A's O(Δ²) interim coloring).
 func sixValidity(g graph.Graph, r sim.Result) error {
 	if err := check.ProperColoring(g, r); err != nil {
 		return err
 	}
-	return check.PairPalette(r, 2)
+	return check.PairPalette(r, g.MaxDegree())
 }
 
 func fiveChecks(g graph.Graph) []NamedCheck {
@@ -55,9 +57,10 @@ func fiveChecks(g graph.Graph) []NamedCheck {
 }
 
 func sixChecks(g graph.Graph) []NamedCheck {
+	maxDeg := g.MaxDegree()
 	return []NamedCheck{
 		{"proper coloring", func(r sim.Result) error { return check.ProperColoring(g, r) }},
-		{"pair palette a+b≤2", func(r sim.Result) error { return check.PairPalette(r, 2) }},
+		{fmt.Sprintf("pair palette a+b≤%d", maxDeg), func(r sim.Result) error { return check.PairPalette(r, maxDeg) }},
 		{"survivors terminated", check.SurvivorsTerminated},
 	}
 }
@@ -71,9 +74,11 @@ func registerCore() {
 			Source:       "Algorithm 1 (Thm 3.1)",
 			TopologyName: "cycle",
 			MinN:         3,
-			Palette:      "pairs (a,b), a+b ≤ 2",
+			Palette:      "pairs (a,b), a+b ≤ Δ",
 			BoundDesc:    "⌊3n/2⌋+4",
 			Expectation:  "wait-free and safe under every schedule",
+			Family:       "cycle",
+			Topologies:   []string{"path", "complete", "torus", "random"},
 			Bound:        func(n int) int { return 3*n/2 + 4 },
 			Topology:     cycleTopology,
 			ValidateIDs:  cycleIDs,
@@ -96,6 +101,8 @@ func registerCore() {
 			Palette:      "{0..4}",
 			BoundDesc:    "3n+8",
 			Expectation:  "wait-free and safe under every schedule",
+			Family:       "cycle",
+			Topologies:   []string{"path"},
 			Bound:        func(n int) int { return 3*n + 8 },
 			Topology:     cycleTopology,
 			ValidateIDs:  cycleIDs,
@@ -117,6 +124,8 @@ func registerCore() {
 			Palette:      "{0..4}",
 			BoundDesc:    "8·(log* n + 4)",
 			Expectation:  "wait-free and safe under every schedule",
+			Family:       "cycle",
+			Topologies:   []string{"path"},
 			Bound:        func(n int) int { return 8 * (cv.LogStar(float64(n)) + 4) },
 			Topology:     cycleTopology,
 			ValidateIDs:  cycleIDs,

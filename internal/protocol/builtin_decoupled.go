@@ -93,6 +93,7 @@ func registerDecoupled() {
 		Palette:      "{0..2}",
 		BoundDesc:    "—",
 		Expectation:  "safe; 3 colors are impossible in the state model — wake-then-crash still blocks",
+		Family:       "cycle",
 		Topology:     cycleTopology,
 		ValidateIDs:  misIDs,
 		Validity:     decoupledThreeValidity,

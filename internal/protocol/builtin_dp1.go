@@ -1,0 +1,63 @@
+package protocol
+
+import (
+	"fmt"
+
+	"asynccycle/internal/check"
+	"asynccycle/internal/dp1"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/sim"
+)
+
+// dp1IDs is the (Δ+1)-coloring input precondition: distinct non-negative
+// identifiers (distinctness across every edge would suffice; globally
+// unique is what every dispatch site generates).
+func dp1IDs(xs []int) error {
+	if len(xs) < 3 {
+		return fmt.Errorf("dp1 needs n ≥ 3, got %d", len(xs))
+	}
+	return distinctIDs(xs)
+}
+
+// dp1Validity is the (Δ+1)-coloring specification: a proper coloring of
+// the terminated subgraph with colors in {0..Δ}, at every reachable
+// configuration.
+func dp1Validity(g graph.Graph, r sim.Result) error {
+	if err := check.ProperColoring(g, r); err != nil {
+		return err
+	}
+	return check.PaletteRange(r, g.MaxDegree()+1)
+}
+
+func dp1Checks(g graph.Graph) []NamedCheck {
+	maxDeg := g.MaxDegree()
+	return []NamedCheck{
+		{"proper coloring", func(r sim.Result) error { return check.ProperColoring(g, r) }},
+		{fmt.Sprintf("palette {0..%d} (Δ+1)", maxDeg), func(r sim.Result) error { return check.PaletteRange(r, maxDeg+1) }},
+		{"survivors terminated", check.SurvivorsTerminated},
+	}
+}
+
+func registerDP1() {
+	MustRegisterEngine(EngineSpec[dp1.Val]{
+		Meta: Descriptor{
+			Name:         "dp1",
+			Aliases:      []string{"deltaplus1"},
+			Problem:      "(Δ+1)-coloring of Δ-bounded graphs",
+			Source:       "AG stage + claim reduction (Appendix A base; arXiv:2408.10971 direction)",
+			TopologyName: "cycle",
+			MinN:         3,
+			Palette:      "{0..Δ} (Δ+1 colors)",
+			BoundDesc:    "—",
+			Expectation:  "safe (Δ+1)-proper on every declared topology; not wait-free — (Δ+1)-coloring K_n is perfect renaming, so adversarial schedules may livelock",
+			Family:       "cycle",
+			Topologies:   []string{"path", "complete", "torus", "random"},
+			Topology:     cycleTopology,
+			ValidateIDs:  dp1IDs,
+			Validity:     dp1Validity,
+			Checks:       dp1Checks,
+		},
+		New:   dp1.NewNodes,
+		Sweep: true,
+	})
+}

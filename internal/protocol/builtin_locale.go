@@ -30,6 +30,7 @@ func registerLocale() {
 		Palette:      "{0..2}",
 		BoundDesc:    "O(log* n) synchronous rounds",
 		Expectation:  "crash-free baseline: what the asynchronous model must give up",
+		Family:       "cycle",
 		Topology:     cycleTopology,
 		ValidateIDs:  misIDs,
 		Validity:     localeValidity,

@@ -58,6 +58,7 @@ func registerMIS() {
 			Palette:      "{out=0, in=1}",
 			BoundDesc:    "—",
 			Expectation:  "safe but NOT wait-free: waiting on a crashed lower-id neighbor livelocks",
+			Family:       "cycle",
 			Topology:     cycleTopology,
 			ValidateIDs:  misIDs,
 			Validity:     misValidity,
@@ -75,6 +76,7 @@ func registerMIS() {
 			Palette:      "{out=0, in=1}",
 			BoundDesc:    "patience+3",
 			Expectation:  "wait-free but UNSAFE: adjacent processes can both join the set",
+			Family:       "cycle",
 			Bound:        func(n int) int { return misPatience + 3 },
 			Topology:     cycleTopology,
 			ValidateIDs:  misIDs,

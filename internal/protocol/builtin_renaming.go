@@ -44,6 +44,7 @@ func registerRenaming() {
 			Palette:      "{0..2n-2}, pairwise distinct",
 			BoundDesc:    "n+2 (measured worst n+1 on K3..K5)",
 			Expectation:  "wait-free and safe under every schedule",
+			Family:       "complete",
 			Bound:        func(n int) int { return n + 2 },
 			Topology:     completeTopology,
 			ValidateIDs:  distinctIDs,

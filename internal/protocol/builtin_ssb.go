@@ -44,6 +44,7 @@ func registerSSB() {
 			Palette:      "{out=0, in=1}",
 			BoundDesc:    "—",
 			Expectation:  "safe but NOT wait-free (inherits the greedy livelock)",
+			Family:       "complete",
 			Topology:     completeTopology,
 			ValidateIDs:  ssbIDs,
 			Validity:     ssbValidity,
@@ -61,6 +62,7 @@ func registerSSB() {
 			Palette:      "{out=0, in=1}",
 			BoundDesc:    "—",
 			Expectation:  "wait-free but UNSAFE (inherits the impatient adjacency violation)",
+			Family:       "complete",
 			Topology:     completeTopology,
 			ValidateIDs:  ssbIDs,
 			Validity:     ssbValidity,

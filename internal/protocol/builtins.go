@@ -4,6 +4,7 @@ package protocol
 // -list tables print and tests pin, independent of source-file names.
 func init() {
 	registerCore()
+	registerDP1()
 	registerMIS()
 	registerRenaming()
 	registerSSB()

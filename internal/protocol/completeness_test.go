@@ -19,6 +19,7 @@ import (
 // no protocols is a deliberate exception and needs a reason.
 var nodePackages = map[string][]string{
 	"core":      {"six", "five", "fast"},
+	"dp1":       {"dp1"},
 	"mis":       {"mis-greedy", "mis-impatient"},
 	"renaming":  {"renaming"},
 	"ssb":       {"ssb-greedy", "ssb-impatient"},

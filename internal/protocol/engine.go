@@ -5,6 +5,7 @@ import (
 
 	"asynccycle/internal/conc"
 	"asynccycle/internal/graph"
+	"asynccycle/internal/ids"
 	"asynccycle/internal/model"
 	"asynccycle/internal/runctl"
 	"asynccycle/internal/schedule"
@@ -23,9 +24,9 @@ type EngineSpec[V any] struct {
 	Meta Descriptor
 	// New builds the node state machines for the given identifiers.
 	New func(xs []int) []sim.Node[V]
-	// Sweep enables the all-assignments sweep surface. Only meaningful
-	// for protocols whose assignment space the symmetry reducer models
-	// (cycle topologies).
+	// Sweep enables the all-assignments sweep surface. Unreduced sweeps
+	// are sound on any topology; symmetry-reduced sweeps additionally
+	// require the standard cycle, which internal/model enforces.
 	Sweep bool
 }
 
@@ -41,7 +42,15 @@ func RegisterEngine[V any](s EngineSpec[V]) error {
 	if d.Topology == nil {
 		return fmt.Errorf("protocol: engine spec %q without a topology", d.Name)
 	}
+	deriveEngine(&d, s)
+	d.retarget = func(b graph.Builder) (*Descriptor, error) { return retargetEngine(s, b) }
+	return Register(&d)
+}
 
+// deriveEngine fills in the capability closures over d's current Topology;
+// the metadata fields must already be final. It is shared between initial
+// registration and WithTopology retargeting.
+func deriveEngine[V any](d *Descriptor, s EngineSpec[V]) {
 	mk := func(xs []int, mode sim.Mode, crashes map[int]int) (*sim.Engine[V], graph.Graph, error) {
 		g, err := d.Topology(len(xs))
 		if err != nil {
@@ -159,8 +168,58 @@ func RegisterEngine[V any](s EngineSpec[V]) error {
 			return model.SweepWorstActivations(n, mkN(mode), opt)
 		}
 	}
+}
 
-	return Register(&d)
+// retargetEngine rebuilds the spec's descriptor over a different topology
+// builder. The returned copy is NOT registered: it is a per-call view for
+// the dispatch site that asked for it.
+func retargetEngine[V any](s EngineSpec[V], b graph.Builder) (*Descriptor, error) {
+	d := s.Meta
+	sameFamily := b.Family == d.Family
+	d.TopologyName = b.Spec
+	d.Topology = b.Build
+	if b.MinN > d.MinN {
+		d.MinN = b.MinN
+	}
+	if b.FixN != nil {
+		native := d.FixN
+		d.FixN = func(n int) int {
+			if native != nil {
+				n = native(n)
+			}
+			return b.FixN(n)
+		}
+	}
+	if !sameFamily {
+		// The wait-freedom bound, the verified expectation, and the
+		// identifier precondition are all statements about the native
+		// family. Off-family instances keep only distinctness, and every
+		// liveness oracle (the fuzzer's bound leg, -worst round caps)
+		// gates on the cleared Bound.
+		d.Bound = nil
+		d.BoundDesc = ""
+		d.Expectation = ""
+		minN := d.MinN
+		spec := b.Spec
+		d.ValidateIDs = func(xs []int) error {
+			if len(xs) < minN {
+				return fmt.Errorf("topology %s needs n ≥ %d, got %d", spec, minN, len(xs))
+			}
+			if !ids.Unique(xs) {
+				return fmt.Errorf("identifiers must be distinct and non-negative")
+			}
+			return nil
+		}
+	}
+	if b.Family != "cycle" || b.Shuffled {
+		// bigsim kernels index the ring directly (i±1 mod n); any other
+		// adjacency — including a shuffled cycle's reordered neighbor
+		// reads — would silently compute garbage (see CheckBigTopology).
+		d.BigKernel = nil
+	}
+	deriveEngine(&d, s)
+	d.retarget = func(b graph.Builder) (*Descriptor, error) { return retargetEngine(s, b) }
+	return &d, nil
 }
 
 // MustRegisterEngine is RegisterEngine, panicking on error.

@@ -93,6 +93,17 @@ type Descriptor struct {
 	// Expectation summarizes the verified verdict (safe/wait-free/…) for
 	// the -list tables.
 	Expectation string
+	// Family is the native topology family the metadata above is stated
+	// for — the graph.Builder family ("cycle", "complete", …) matching
+	// the Topology closure. WithTopology treats a spec resolving to this
+	// family's plain form as a no-op; empty means the descriptor opts out
+	// of retargeting entirely.
+	Family string
+	// Topologies lists additional builder families the protocol's state
+	// machine is degree-generic over. WithTopology refuses any family
+	// that is neither Family nor listed here, so capability gating stays
+	// honest: a protocol earns a family by declaring it, not by luck.
+	Topologies []string
 
 	// Bound returns the per-process wait-freedom round bound for size n,
 	// or ≤ 0 when the protocol is not wait-free (liveness oracles must
@@ -152,6 +163,11 @@ type Descriptor struct {
 	// checker runs to its state budget; 0 means the model package default
 	// is fine because the state graph is finite.
 	DefaultCheckDepth int
+
+	// retarget rebuilds the capability closures over a different topology
+	// builder, returning an unregistered copy. RegisterEngine installs it
+	// for engine-backed protocols; WithTopology is the public entry.
+	retarget func(b graph.Builder) (*Descriptor, error)
 }
 
 // SupportsMode reports whether the protocol implements the given

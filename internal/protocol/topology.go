@@ -1,0 +1,82 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"asynccycle/internal/graph"
+)
+
+// ErrTopology is the sentinel wrapped by WithTopology when a protocol does
+// not declare support for the requested topology family. Dispatch sites
+// surface it verbatim — a protocol that has not earned a family must fail
+// loudly, never run on an adjacency its proofs do not cover.
+var ErrTopology = errors.New("protocol: unsupported topology")
+
+// ErrBigTopology is the sentinel wrapped by CheckBigTopology: the
+// struct-of-arrays big engine is ring-indexed (node i reads i±1 mod n
+// directly, bypassing graph adjacency), so it runs only on the plain
+// cycle. Any other topology — or a shuffled-neighbor cycle — would
+// silently compute garbage neighbor reads.
+var ErrBigTopology = errors.New("protocol: the big engine supports only the plain cycle topology")
+
+// CheckBigTopology validates a -topology spec for the big engine. The
+// empty spec (the native cycle) and the explicit plain "cycle" pass;
+// everything else fails with ErrBigTopology.
+func CheckBigTopology(spec string) error {
+	if spec == "" {
+		return nil
+	}
+	b, err := graph.ParseTopology(spec)
+	if err != nil {
+		return err
+	}
+	if b.Family != "cycle" || b.Shuffled {
+		return fmt.Errorf("%w (got %q; bigsim kernels are ring-indexed)", ErrBigTopology, b.Spec)
+	}
+	return nil
+}
+
+// WithTopology resolves a -topology spec against a descriptor. The empty
+// spec and the plain form of the descriptor's native family return d
+// itself; any other supported spec returns an unregistered retargeted
+// copy whose capability closures build the requested graph, with the
+// cycle-only surfaces (wait-freedom bound, big kernel, cycle identifier
+// precondition) honestly cleared. Unsupported families fail with
+// ErrTopology, unknown specs with graph.ErrUnknownTopology.
+func WithTopology(d *Descriptor, spec string) (*Descriptor, error) {
+	if spec == "" {
+		return d, nil
+	}
+	b, err := graph.ParseTopology(spec)
+	if err != nil {
+		return nil, err
+	}
+	if b.Family == d.Family && !b.Shuffled && b.Family != "random" {
+		// The plain native form ("cycle" on a cycle protocol) is exactly
+		// the registered descriptor. Random specs always retarget: their
+		// Δ and seed parameters make every spec a distinct graph.
+		return d, nil
+	}
+	if !d.supportsFamily(b.Family) {
+		supported := append([]string{d.Family}, d.Topologies...)
+		return nil, fmt.Errorf("%w: %s supports {%s}, not %q", ErrTopology, d.Name, strings.Join(supported, ","), b.Family)
+	}
+	if d.retarget == nil {
+		return nil, fmt.Errorf("%w: %s cannot be retargeted (no engine-backed surface)", ErrTopology, d.Name)
+	}
+	return d.retarget(b)
+}
+
+func (d *Descriptor) supportsFamily(f string) bool {
+	if f == d.Family && d.Family != "" {
+		return true
+	}
+	for _, t := range d.Topologies {
+		if t == f {
+			return true
+		}
+	}
+	return false
+}

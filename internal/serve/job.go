@@ -67,6 +67,11 @@ type JobSpec struct {
 	// N is the instance size (run default 32, check default 3; fuzz 0
 	// varies it per schedule).
 	N int `json:"n,omitempty"`
+	// Topology retargets the protocol onto another registered graph family
+	// ("" = its native topology). Only families the descriptor declares are
+	// accepted; engine "big" is cycle-only. Sizes round via the family's
+	// normalizer (torus → the nearest factorable grid).
+	Topology string `json:"topology,omitempty"`
 	// Mode selects activation semantics: "interleaved" (default) or
 	// "simultaneous".
 	Mode string `json:"mode,omitempty"`
@@ -258,6 +263,13 @@ func (s *Server) validate(spec *JobSpec) (*protocol.Descriptor, sim.Mode, error)
 	if err != nil {
 		return nil, 0, err
 	}
+	// Retarget before any capability or size gate: the retargeted copy
+	// carries the family's MinN/FixN and drops cycle-only surfaces, so the
+	// structural checks below see the descriptor the job will actually run.
+	d, err = protocol.WithTopology(d, spec.Topology)
+	if err != nil {
+		return nil, 0, err
+	}
 
 	var mode sim.Mode
 	switch spec.Mode {
@@ -291,6 +303,9 @@ func (s *Server) validate(spec *JobSpec) (*protocol.Descriptor, sim.Mode, error)
 		if spec.N == 0 {
 			spec.N = 32
 		}
+		if d.FixN != nil {
+			spec.N = d.FixN(spec.N)
+		}
 		if spec.N < d.MinN {
 			return nil, 0, fmt.Errorf("n=%d below the protocol minimum %d", spec.N, d.MinN)
 		}
@@ -313,6 +328,9 @@ func (s *Server) validate(spec *JobSpec) (*protocol.Descriptor, sim.Mode, error)
 				return nil, 0, err
 			}
 		case "big":
+			if err := protocol.CheckBigTopology(spec.Topology); err != nil {
+				return nil, 0, err
+			}
 			if d.BigKernel == nil {
 				return nil, 0, fmt.Errorf("algorithm %q has no big-run surface (capability \"big\")", d.Name)
 			}
@@ -333,6 +351,9 @@ func (s *Server) validate(spec *JobSpec) (*protocol.Descriptor, sim.Mode, error)
 	case KindCheck:
 		if spec.N == 0 {
 			spec.N = 3
+		}
+		if d.FixN != nil {
+			spec.N = d.FixN(spec.N)
 		}
 		if spec.N < d.MinN {
 			return nil, 0, fmt.Errorf("n=%d below the protocol minimum %d", spec.N, d.MinN)
@@ -641,6 +662,7 @@ func (s *Server) executeFuzz(ctx context.Context, j *job) {
 	rep, err := fuzzsched.Campaign(ctx, fuzzsched.Config{
 		Alg:      spec.Alg,
 		N:        spec.N,
+		Topology: spec.Topology,
 		Mode:     j.mode,
 		Seed:     spec.Seed,
 		Campaign: spec.Campaign,

@@ -1,0 +1,112 @@
+package serve_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"asynccycle/internal/serve"
+)
+
+// TestRunJobTopology submits a dp1 run on a random Δ-bounded graph — the
+// colorserved leg of the general-graph smoke path — and checks the result
+// names the graph and every verdict passes.
+func TestRunJobTopology(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 2})
+	resp, v := post(t, ts, `{"kind":"run","alg":"dp1","topology":"random:4:1","n":20,"sched":"rr","seed":5,"crash":0.1}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	done := waitJob(t, ts, v.ID)
+	if done.Status != serve.StatusDone || done.Outcome != serve.OutcomeOK {
+		t.Fatalf("job did not complete ok: %+v", done)
+	}
+	res := getResult(t, ts, v.ID)
+	var run serve.RunResult
+	if err := json.Unmarshal(res["result"], &run); err != nil {
+		t.Fatal(err)
+	}
+	if run.Graph != "G(20,Δ≤4,seed=1)" {
+		t.Fatalf("graph = %q, want the random graph", run.Graph)
+	}
+	if run.Bound != 0 {
+		t.Fatalf("off-family run reported a cycle round bound: %d", run.Bound)
+	}
+	if len(run.Verdicts) == 0 {
+		t.Fatal("no verdicts reported")
+	}
+	for _, verdict := range run.Verdicts {
+		if !verdict.OK {
+			t.Errorf("verdict %s failed: %s", verdict.Name, verdict.Error)
+		}
+	}
+}
+
+// TestRunJobTopologyFixN: sizes round through the family normalizer at
+// validation time, so a torus job with an unfactorable n runs on the
+// nearest grid instead of failing at execution.
+func TestRunJobTopologyFixN(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 1})
+	resp, v := post(t, ts, `{"kind":"run","alg":"six","topology":"torus","n":10,"sched":"rr"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	done := waitJob(t, ts, v.ID)
+	if done.Outcome != serve.OutcomeOK {
+		t.Fatalf("job outcome: %+v", done)
+	}
+	res := getResult(t, ts, v.ID)
+	var run serve.RunResult
+	if err := json.Unmarshal(res["result"], &run); err != nil {
+		t.Fatal(err)
+	}
+	if run.Graph != "T3x4" || run.N != 12 {
+		t.Fatalf("torus n=10 did not round to T3x4: %+v", run)
+	}
+}
+
+// TestFuzzJobTopology runs a fuzz campaign on the torus through the job
+// surface; the report must name the topology and come back clean.
+func TestFuzzJobTopology(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 1})
+	resp, v := post(t, ts, `{"kind":"fuzz","alg":"dp1","topology":"torus","n":9,"campaign":8,"seed":3}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	done := waitJob(t, ts, v.ID)
+	if done.Outcome != serve.OutcomeOK {
+		t.Fatalf("job outcome: %+v", done)
+	}
+	res := getResult(t, ts, v.ID)
+	var fz serve.FuzzResult
+	if err := json.Unmarshal(res["result"], &fz); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(fz.Summary, "topology=torus") {
+		t.Errorf("summary does not name the topology: %s", fz.Summary)
+	}
+	if len(fz.Violations) != 0 || len(fz.Divergences) != 0 {
+		t.Errorf("unexpected findings: %s", fz.Summary)
+	}
+}
+
+// TestTopologyValidationRejects pins the 400-level refusals: undeclared
+// families, unknown specs, and the cycle-only big engine.
+func TestTopologyValidationRejects(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 1})
+	cases := []struct {
+		name, spec string
+	}{
+		{"undeclared family", `{"kind":"run","alg":"five","topology":"complete"}`},
+		{"unknown spec", `{"kind":"run","alg":"six","topology":"mobius"}`},
+		{"big off cycle", `{"kind":"run","alg":"six","topology":"torus","n":9,"engine":"big"}`},
+		{"big shuffled cycle", `{"kind":"run","alg":"six","topology":"cycle+shuffled:2","n":12,"engine":"big"}`},
+	}
+	for _, tc := range cases {
+		resp, _ := post(t, ts, tc.spec)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}

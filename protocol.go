@@ -86,6 +86,13 @@ func RunProtocol(name string, xs []int, cfg *Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if cfg != nil && cfg.Topology != "" {
+		// Retarget before validation: the retargeted descriptor carries the
+		// identifier precondition that is actually true on the new family.
+		if d, err = protocol.WithTopology(d, cfg.Topology); err != nil {
+			return Result{}, fmt.Errorf("%w: %v", ErrBadInput, err)
+		}
+	}
 	if err := validateProtocolInput(d, xs, cfg.crashes()); err != nil {
 		return Result{}, err
 	}

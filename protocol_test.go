@@ -75,6 +75,30 @@ func TestRunProtocolErrors(t *testing.T) {
 	}
 }
 
+// TestRunProtocolTopology: Config.Topology retargets onto a declared
+// family through the facade, and refuses undeclared ones with ErrBadInput.
+func TestRunProtocolTopology(t *testing.T) {
+	xs := []int{7, 2, 9, 4, 11, 0, 5, 13, 1, 8}
+	res, err := asynccycle.RunProtocol("dp1", xs, &asynccycle.Config{
+		Topology:  "random:4:1",
+		Scheduler: asynccycle.RandomSubset(0.5, 3),
+	})
+	if err != nil {
+		t.Fatalf("dp1 on random:4:1: %v", err)
+	}
+	if res.TerminatedCount() != len(xs) {
+		t.Fatalf("dp1 on random:4:1: terminated=%d/%d", res.TerminatedCount(), len(xs))
+	}
+	for i, out := range res.Outputs {
+		if out < 0 || out > 4 {
+			t.Errorf("output[%d] = %d outside the Δ+1 palette {0..4}", i, out)
+		}
+	}
+	if _, err := asynccycle.RunProtocol("five", xs, &asynccycle.Config{Topology: "torus"}); !errors.Is(err, asynccycle.ErrBadInput) {
+		t.Errorf("five on torus: err = %v, want ErrBadInput", err)
+	}
+}
+
 // TestProtocolsTable pins the public registry listing: names, order, and
 // the capability surface the README documents.
 func TestProtocolsTable(t *testing.T) {
@@ -85,7 +109,7 @@ func TestProtocolsTable(t *testing.T) {
 		names = append(names, in.Name)
 		caps[in.Name] = in.Capabilities
 	}
-	want := []string{"six", "five", "fast", "mis-greedy", "mis-impatient", "renaming", "ssb-greedy", "ssb-impatient", "decoupled-three", "local-cv"}
+	want := []string{"six", "five", "fast", "dp1", "mis-greedy", "mis-impatient", "renaming", "ssb-greedy", "ssb-impatient", "decoupled-three", "local-cv"}
 	if len(names) < len(want) {
 		t.Fatalf("Protocols() lists %d protocols, want at least %d", len(names), len(want))
 	}
