@@ -202,6 +202,42 @@ func run(out string, quick bool) error {
 		})
 	}
 
+	// The contract-overhead pair: the same exhaustive C5 sweep with the
+	// per-state invariant calling the legacy Validity closure directly vs
+	// routed through the descriptor's Contract.Safety surface (the bare
+	// adapter Register synthesizes around the same properties). The pair
+	// pins that the pluggable contract layer is free: one extra interface
+	// call per state, identical verdicts, within noise.
+	{
+		d, err := protocol.Lookup("five")
+		if err != nil {
+			return err
+		}
+		coN := sweepN
+		cog := graph.MustCycle(coN)
+		mkFive := func(axs []int) (*sim.Engine[core.FiveVal], error) {
+			return sim.NewEngine(cog, core.NewFiveNodes(axs))
+		}
+		for _, c := range []struct {
+			name string
+			inv  func(e *sim.Engine[core.FiveVal]) error
+		}{
+			{"check_contract_overhead_legacy", func(e *sim.Engine[core.FiveVal]) error { return d.Validity(cog, e.Result()) }},
+			{"check_contract_overhead_contract", func(e *sim.Engine[core.FiveVal]) error { return d.Contract.Safety(cog, e.Result()) }},
+		} {
+			c := c
+			add(c.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					r, err := model.SweepExplore(coN, mkFive, model.Options{SingletonsOnly: true, Symmetry: model.SymmetryAssignments}, c.inv)
+					if err != nil || !r.AllOk {
+						b.Fatalf("sweep failed: %v %v", err, r)
+					}
+				}
+			})
+		}
+	}
+
 	// The fingerprint primitives themselves.
 	add("fingerprint_string", func(b *testing.B) {
 		b.ReportAllocs()

@@ -124,6 +124,14 @@ func run(args []string, w io.Writer) error {
 	}
 
 	verdict := func(res sim.Result) {
+		if d.Contract != nil && d.Contract.Labeled() {
+			// Contract-first protocols: one verdict line per contract
+			// property, labeled with its provenance.
+			for _, p := range d.Contract.Properties() {
+				report(w, fmt.Sprintf("contract=%s property=%s", d.Contract.ContractName(), p.Name), p.Check(g, res))
+			}
+			return
+		}
 		if d.Checks != nil {
 			for _, c := range d.Checks(g) {
 				report(w, c.Name, c.Check(res))
@@ -252,9 +260,14 @@ func printColors(w io.Writer, res sim.Result) {
 	}
 	fmt.Fprint(w, "colors: ")
 	for i := 0; i < limit; i++ {
-		if res.Done[i] {
+		switch {
+		case res.Done[i]:
 			fmt.Fprintf(w, "%d ", res.Outputs[i])
-		} else {
+		case res.Values != nil:
+			// Stabilizing protocols never terminate: the published register
+			// value is the process's current color.
+			fmt.Fprintf(w, "%d ", res.Values[i])
+		default:
 			fmt.Fprint(w, "× ")
 		}
 	}

@@ -1,5 +1,5 @@
 // Command experiments regenerates every reproduction experiment of
-// DESIGN.md (E1–E22 and finding F1) and prints the tables recorded in
+// DESIGN.md (E1–E24 and finding F1) and prints the tables recorded in
 // EXPERIMENTS.md.
 //
 // Usage:

@@ -57,6 +57,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"asynccycle/internal/contract"
 	"asynccycle/internal/ids"
 	"asynccycle/internal/metrics"
 	"asynccycle/internal/model"
@@ -276,6 +277,16 @@ func runContext(ctx context.Context, args []string, w, ew io.Writer) error {
 	return checkAlg(w, d, xs, mode, opt, *worst)
 }
 
+// contractField renders the " contract=NAME" header fragment for
+// protocols with an explicit labeled contract; legacy bare adapters get
+// "" so pre-contract report lines stay byte-identical.
+func contractField(d *protocol.Descriptor) string {
+	if label := d.ContractLabel(); label != "" {
+		return " contract=" + label
+	}
+	return ""
+}
+
 // parseShard parses -shard's "I/M" form (zero-based I < M). The empty
 // string means unsharded (0/1).
 func parseShard(s string) (int, int, error) {
@@ -398,7 +409,7 @@ func sweepAlg(w io.Writer, d *protocol.Descriptor, n int, mode sim.Mode, opt mod
 		}
 		return nil
 	}
-	fmt.Fprintf(w, "graph=%s mode=%s %s\n", g.Name(), mode, rep)
+	fmt.Fprintf(w, "graph=%s mode=%s%s %s\n", g.Name(), mode, contractField(d), rep)
 	if rep.Partial {
 		fmt.Fprintf(w, "PARTIAL (%s): sweep stopped early; counts cover the processed assignments only\n", rep.StopReason)
 		if cfg.checkpoint != "" {
@@ -431,7 +442,7 @@ func checkAlg(w io.Writer, d *protocol.Descriptor, xs []int, mode sim.Mode, opt 
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "graph=%s mode=%s %s\n", g.Name(), mode, rep)
+	fmt.Fprintf(w, "graph=%s mode=%s%s %s\n", g.Name(), mode, contractField(d), rep)
 	for _, v := range rep.Violations {
 		fmt.Fprintln(w, "violation:", v)
 	}
@@ -441,11 +452,18 @@ func checkAlg(w io.Writer, d *protocol.Descriptor, xs []int, mode sim.Mode, opt 
 		}
 	}
 	if rep.CycleFound {
-		fmt.Fprintln(w, "NOT WAIT-FREE: a schedule loop keeps working processes active forever")
-		prefix, errP := schedule.MarshalSteps(rep.CyclePrefix)
-		loop, errL := schedule.MarshalSteps(rep.CycleLoop)
-		if errP == nil && errL == nil {
-			fmt.Fprintf(w, "livelock witness: prefix=%s loop=%s\n", prefix, loop)
+		if d.Contract != nil && d.Contract.Liveness() == contract.ClosureConvergence {
+			// A stabilizing protocol never terminates by design; the cycle
+			// certificate here is a fair loop within the illegitimate states
+			// (the convergence violation above carries the witness detail).
+			fmt.Fprintln(w, "NOT SELF-STABILIZING: a fair schedule loop stays within illegitimate configurations forever")
+		} else {
+			fmt.Fprintln(w, "NOT WAIT-FREE: a schedule loop keeps working processes active forever")
+			prefix, errP := schedule.MarshalSteps(rep.CyclePrefix)
+			loop, errL := schedule.MarshalSteps(rep.CycleLoop)
+			if errP == nil && errL == nil {
+				fmt.Fprintf(w, "livelock witness: prefix=%s loop=%s\n", prefix, loop)
+			}
 		}
 	}
 	if rep.Partial {

@@ -1,0 +1,326 @@
+// Package agree implements wait-free approximate agreement on graphs
+// (after Alistarh, Ellen, Rybicki, arXiv:2103.08949): processes
+// communicate through shared memory (the complete communication graph,
+// i.e. every snapshot sees every register), inputs are vertices of a
+// *value graph* H, and the outputs of all non-crashed processes must lie
+// on a single edge (or single vertex) of H while staying "between" the
+// inputs. The interesting axis is the shape of H, not of the
+// communication graph:
+//
+//   - H a path P_m: solvable wait-free for any number of processes. The
+//     protocol is the classic jump-or-midpoint iteration made exact over
+//     the integers: positions are scaled by S = 2^R, every round halves
+//     the spread (midpoints of round-r values always share the
+//     chronologically first-published round-r value), and after
+//     R = ⌈log₂(m-1)⌉₊ rounds the spread is below S, so flooring back to
+//     vertices lands all outputs on one edge.
+//
+//   - H a cycle C_m (m ≥ 4): NOT solvable wait-free for three or more
+//     processes — AER's central impossibility. For two processes it is
+//     solvable whenever H has diameter ≤ 2 (so C4 and C5): a one-shot
+//     protocol where each process publishes its input, snapshots the
+//     other register, and outputs a canonical "meet" vertex adjacent to
+//     both inputs. At most one process can fail to see the other (the
+//     engine's write-then-read rounds make double-solo impossible), and
+//     the meet is adjacent to either solo output.
+//
+// Identifiers double as inputs: a process with id x starts on vertex
+// x mod m, so any identifier assignment denotes an input vector and
+// exhaustive input sweeps are ordinary id sweeps with repetition.
+// Certificates live in the package tests and EXPERIMENTS.md E23.
+package agree
+
+import (
+	"fmt"
+	"math/bits"
+
+	"asynccycle/internal/contract"
+	"asynccycle/internal/graph"
+	"asynccycle/internal/sim"
+)
+
+// ValueGraph is the graph H the values live on: a path P_m (vertices
+// 0..m-1 along the path) or a cycle C_m (vertices 0..m-1 around the
+// ring).
+type ValueGraph struct {
+	M     int
+	Cycle bool
+}
+
+// Path returns P_m (m ≥ 2).
+func Path(m int) ValueGraph { return ValueGraph{M: m} }
+
+// CycleGraph returns C_m (m ≥ 3).
+func CycleGraph(m int) ValueGraph { return ValueGraph{M: m, Cycle: true} }
+
+// Name renders "P3", "C4", ….
+func (h ValueGraph) Name() string {
+	if h.Cycle {
+		return fmt.Sprintf("C%d", h.M)
+	}
+	return fmt.Sprintf("P%d", h.M)
+}
+
+// Dist is the graph distance between two vertices of H.
+func (h ValueGraph) Dist(a, b int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if h.Cycle && h.M-d < d {
+		d = h.M - d
+	}
+	return d
+}
+
+// Vertex normalizes an identifier into a vertex of H.
+func (h ValueGraph) Vertex(x int) int { return ((x % h.M) + h.M) % h.M }
+
+// Rounds returns the number of halving rounds R of the path protocol:
+// the least R with 2^R > m-1, so the scaled spread (m-1)·2^R contracts
+// below the scale 2^R. It is also the protocol's exact per-process
+// wait-freedom bound — every activation advances a process's round by at
+// least one, and a process decides when its round reaches R.
+func (h ValueGraph) Rounds() int { return bits.Len(uint(h.M - 1)) }
+
+// Val is the register value: a round tag and a scaled position.
+type Val struct {
+	R int
+	X int
+}
+
+// HashFingerprint implements sim.Hashable.
+func (v *Val) HashFingerprint(fp *sim.FPHasher) {
+	fp.HashInt(v.R)
+	fp.HashInt(v.X)
+}
+
+// PathNode runs the jump-or-midpoint protocol on path values.
+type PathNode struct {
+	rmax  int // final round R
+	scale int // S = 2^R
+	r     int
+	x     int
+}
+
+// NewPathNodes builds the processes for value graph P_m; identifiers map
+// to input vertices via Vertex.
+func NewPathNodes(xs []int, m int) []sim.Node[Val] {
+	h := Path(m)
+	rmax := h.Rounds()
+	scale := 1 << rmax
+	nodes := make([]sim.Node[Val], len(xs))
+	for i, x := range xs {
+		nodes[i] = &PathNode{rmax: rmax, scale: scale, x: h.Vertex(x) * scale}
+	}
+	return nodes
+}
+
+// Publish writes the current round-tagged scaled position.
+func (nd *PathNode) Publish() Val { return Val{R: nd.r, X: nd.x} }
+
+// Observe implements one jump-or-midpoint round. Seen values are the own
+// state plus every present register; a higher round anywhere makes the
+// node jump (adopt the smallest position at the highest round), otherwise
+// it advances by taking the midpoint of the seen positions at its own
+// round. Midpoints stay exact integers: round-r positions are divisible
+// by 2^(R-r). The node decides once its round reaches R, flooring the
+// scaled position back to a vertex.
+func (nd *PathNode) Observe(view []sim.Cell[Val]) sim.Decision {
+	best := nd.r
+	for _, c := range view {
+		if c.Present && c.Val.R > best {
+			best = c.Val.R
+		}
+	}
+	if best > nd.r {
+		minX := -1
+		for _, c := range view {
+			if c.Present && c.Val.R == best && (minX < 0 || c.Val.X < minX) {
+				minX = c.Val.X
+			}
+		}
+		nd.r, nd.x = best, minX
+	} else {
+		lo, hi := nd.x, nd.x
+		for _, c := range view {
+			if c.Present && c.Val.R == nd.r {
+				if c.Val.X < lo {
+					lo = c.Val.X
+				}
+				if c.Val.X > hi {
+					hi = c.Val.X
+				}
+			}
+		}
+		nd.r, nd.x = nd.r+1, (lo+hi)/2
+	}
+	if nd.r >= nd.rmax {
+		return sim.Decision{Return: true, Output: nd.x / nd.scale}
+	}
+	return sim.Decision{}
+}
+
+// Clone implements sim.Node.
+func (nd *PathNode) Clone() sim.Node[Val] { cp := *nd; return &cp }
+
+// HashFingerprint implements sim.Hashable.
+func (nd *PathNode) HashFingerprint(fp *sim.FPHasher) {
+	fp.HashInt(nd.r)
+	fp.HashInt(nd.x)
+}
+
+// CycleNode runs the two-process one-shot protocol on cycle values of
+// diameter ≤ 2 (C4, C5). It decides on its first activation.
+type CycleNode struct {
+	h ValueGraph
+	v int
+}
+
+// NewCycleNodes builds the two processes for value graph C_m (m ∈ {4,5};
+// callers pin the process count to 2 — AER prove three processes cannot
+// solve cycles).
+func NewCycleNodes(xs []int, m int) []sim.Node[Val] {
+	h := CycleGraph(m)
+	nodes := make([]sim.Node[Val], len(xs))
+	for i, x := range xs {
+		nodes[i] = &CycleNode{h: h, v: h.Vertex(x)}
+	}
+	return nodes
+}
+
+// Publish writes the input vertex.
+func (nd *CycleNode) Publish() Val { return Val{X: nd.v} }
+
+// Observe decides immediately: the own input when the other register is
+// still ⊥ (solo), otherwise the canonical meet of the two inputs. The
+// engine's write-then-read rounds make it impossible for both processes
+// to run solo, and the meet is adjacent to both inputs, so the two
+// outputs always share an edge of H.
+func (nd *CycleNode) Observe(view []sim.Cell[Val]) sim.Decision {
+	out := nd.v
+	for _, c := range view {
+		if c.Present {
+			out = meet(nd.h, nd.v, c.Val.X)
+			break
+		}
+	}
+	return sim.Decision{Return: true, Output: out}
+}
+
+// Clone implements sim.Node.
+func (nd *CycleNode) Clone() sim.Node[Val] { cp := *nd; return &cp }
+
+// HashFingerprint implements sim.Hashable.
+func (nd *CycleNode) HashFingerprint(fp *sim.FPHasher) {
+	fp.HashInt(nd.v)
+	fp.HashBool(nd.h.Cycle)
+}
+
+// meet returns the canonical vertex adjacent-or-equal to both u and w
+// (defined whenever dist(u,w) ≤ 2): u itself when equal, the
+// smaller-numbered endpoint when adjacent, and the smallest common
+// neighbor at distance two. Both processes compute the same meet, and a
+// solo output (u or w) is adjacent to it.
+func meet(h ValueGraph, u, w int) int {
+	switch h.Dist(u, w) {
+	case 0:
+		return u
+	case 1:
+		if u < w {
+			return u
+		}
+		return w
+	default:
+		for c := 0; c < h.M; c++ {
+			if h.Dist(c, u) == 1 && h.Dist(c, w) == 1 {
+				return c
+			}
+		}
+	}
+	return -1 // unreachable: callers restrict H to diameter ≤ 2
+}
+
+// Contract is the approximate-agreement correctness contract for value
+// graph H: every pair of outputs lies on one edge of H (ε-agreement with
+// ε = one edge), and every output is a vertex of H. Validity relative to
+// the inputs (outputs between the inputs) is checked by the exhaustive
+// certificates, which know the input vector — a Result alone does not
+// carry it.
+func Contract(h ValueGraph) *contract.Terminating {
+	return &contract.Terminating{
+		Name: "approx-agreement",
+		Props: []contract.Property{
+			{Name: "edge-agreement", Check: func(_ graph.Graph, r sim.Result) error { return EdgeAgreement(h, r) }},
+			{Name: "range", Check: func(_ graph.Graph, r sim.Result) error { return Range(h, r) }},
+		},
+		Kind: contract.WaitFreeBounded,
+	}
+}
+
+// EdgeAgreement checks that the outputs of all terminated processes are
+// pairwise at distance ≤ 1 in H.
+func EdgeAgreement(h ValueGraph, r sim.Result) error {
+	for i := range r.Outputs {
+		if !r.Done[i] {
+			continue
+		}
+		for j := i + 1; j < len(r.Outputs); j++ {
+			if !r.Done[j] {
+				continue
+			}
+			if d := h.Dist(r.Outputs[i], r.Outputs[j]); d > 1 {
+				return fmt.Errorf("outputs %d (process %d) and %d (process %d) are at distance %d in %s",
+					r.Outputs[i], i, r.Outputs[j], j, d, h.Name())
+			}
+		}
+	}
+	return nil
+}
+
+// Range checks that every terminated process output a vertex of H.
+func Range(h ValueGraph, r sim.Result) error {
+	for i, o := range r.Outputs {
+		if r.Done[i] && (o < 0 || o >= h.M) {
+			return fmt.Errorf("process %d output %d outside the vertices of %s", i, o, h.Name())
+		}
+	}
+	return nil
+}
+
+// HullValid is the input-relative validity predicate used by the
+// exhaustive certificates: on a path, outputs lie between the least and
+// greatest input; on a cycle with two inputs, outputs lie on a shortest
+// path between them.
+func HullValid(h ValueGraph, inputs []int, r sim.Result) error {
+	vs := make([]int, len(inputs))
+	for i, x := range inputs {
+		vs[i] = h.Vertex(x)
+	}
+	if !h.Cycle {
+		lo, hi := vs[0], vs[0]
+		for _, v := range vs[1:] {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		for i, o := range r.Outputs {
+			if r.Done[i] && (o < lo || o > hi) {
+				return fmt.Errorf("process %d output %d outside input hull [%d,%d]", i, o, lo, hi)
+			}
+		}
+		return nil
+	}
+	if len(vs) != 2 {
+		return fmt.Errorf("cycle hull validity is defined for 2 processes, got %d", len(vs))
+	}
+	for i, o := range r.Outputs {
+		if r.Done[i] && h.Dist(o, vs[0])+h.Dist(o, vs[1]) != h.Dist(vs[0], vs[1]) {
+			return fmt.Errorf("process %d output %d not on a shortest path between inputs %d and %d", i, o, vs[0], vs[1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,220 @@
+package agree
+
+import (
+	"strings"
+	"testing"
+
+	"asynccycle/internal/graph"
+	"asynccycle/internal/model"
+	"asynccycle/internal/sim"
+)
+
+// newEngine builds the shared-memory (complete communication graph)
+// engine for the given input vector.
+func newEngine(t *testing.T, h ValueGraph, inputs []int, mode sim.Mode) *sim.Engine[Val] {
+	t.Helper()
+	g, err := graph.Complete(len(inputs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []sim.Node[Val]
+	if h.Cycle {
+		nodes = NewCycleNodes(inputs, h.M)
+	} else {
+		nodes = NewPathNodes(inputs, h.M)
+	}
+	e, err := sim.NewEngine(g, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetMode(mode)
+	return e
+}
+
+// allInputs enumerates [0,m)^n.
+func allInputs(m, n int) [][]int {
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= m
+	}
+	out := make([][]int, 0, total)
+	for s := 0; s < total; s++ {
+		in := make([]int, n)
+		v := s
+		for i := range in {
+			in[i] = v % m
+			v /= m
+		}
+		out = append(out, in)
+	}
+	return out
+}
+
+// certify model-checks one (H, inputs, mode) instance exhaustively: at
+// every reachable configuration — so under every crash pattern — the
+// terminated outputs must satisfy edge-agreement, range, and validity
+// relative to the inputs. Returns the exploration report.
+func certify(t *testing.T, h ValueGraph, inputs []int, mode sim.Mode) model.Report {
+	t.Helper()
+	e := newEngine(t, h, inputs, mode)
+	inv := func(e *sim.Engine[Val]) error {
+		r := e.Result()
+		if err := EdgeAgreement(h, r); err != nil {
+			return err
+		}
+		if err := Range(h, r); err != nil {
+			return err
+		}
+		return HullValid(h, inputs, r)
+	}
+	rep := model.Explore(e, model.Options{}, inv)
+	if !rep.Ok() {
+		t.Fatalf("%s inputs=%v mode=%v: %s\nviolations=%v", h.Name(), inputs, mode, rep.String(), rep.Violations)
+	}
+	return rep
+}
+
+// TestPathCertificates is half of the E23 certificate: exhaustive
+// model checking of the path protocol on P3 and P4 for 2 and 3
+// processes, all m^n input vectors, both activation modes.
+func TestPathCertificates(t *testing.T) {
+	for _, m := range []int{3, 4} {
+		h := Path(m)
+		for _, n := range []int{2, 3} {
+			states := 0
+			for _, inputs := range allInputs(m, n) {
+				for _, mode := range []sim.Mode{sim.ModeInterleaved, sim.ModeSimultaneous} {
+					rep := certify(t, h, inputs, mode)
+					states += rep.States
+				}
+			}
+			t.Logf("%s n=%d: all %d input vectors certified in both modes (%d states)",
+				h.Name(), n, len(allInputs(m, n)), states)
+		}
+	}
+}
+
+// TestCycleCertificates is the other half of E23: the two-process
+// one-shot protocol on cycle values C4 and C5, all input pairs, both
+// modes. (Three processes on a cycle is AER's impossibility — there is
+// deliberately nothing to certify there.)
+func TestCycleCertificates(t *testing.T) {
+	for _, m := range []int{4, 5} {
+		h := CycleGraph(m)
+		states := 0
+		for _, inputs := range allInputs(m, 2) {
+			for _, mode := range []sim.Mode{sim.ModeInterleaved, sim.ModeSimultaneous} {
+				rep := certify(t, h, inputs, mode)
+				states += rep.States
+			}
+		}
+		t.Logf("%s n=2: all %d input pairs certified in both modes (%d states)", h.Name(), m*m, states)
+	}
+}
+
+// TestPathBoundTight: the worst-case activation count over all schedules
+// is exactly Rounds() for every process — the registered Bound is tight
+// and never exceeded.
+func TestPathBoundTight(t *testing.T) {
+	for _, m := range []int{3, 4} {
+		h := Path(m)
+		for _, n := range []int{2, 3} {
+			worstEver := 0
+			for _, inputs := range allInputs(m, n) {
+				e := newEngine(t, h, inputs, sim.ModeInterleaved)
+				vec, ok, rep := model.WorstActivations(e, model.Options{})
+				if !ok {
+					t.Fatalf("%s inputs=%v: inconclusive: %s", h.Name(), inputs, rep.String())
+				}
+				for _, w := range vec {
+					if w > h.Rounds() {
+						t.Fatalf("%s inputs=%v: worst activations %v exceed bound %d", h.Name(), inputs, vec, h.Rounds())
+					}
+					if w > worstEver {
+						worstEver = w
+					}
+				}
+			}
+			if worstEver != h.Rounds() {
+				t.Errorf("%s n=%d: worst over all inputs = %d, want the bound %d to be tight", h.Name(), n, worstEver, h.Rounds())
+			}
+		}
+	}
+}
+
+// TestCycleSolo pins the solo behavior and the impossibility of a double
+// solo: a process activated before the other publishes outputs its own
+// input, and since each publishes before reading, at most one can be solo.
+func TestCycleSolo(t *testing.T) {
+	h := CycleGraph(4)
+	e := newEngine(t, h, []int{0, 2}, sim.ModeInterleaved)
+	e.Step([]int{0}) // process 0 runs solo: sees no one, outputs its input 0
+	e.Step([]int{1}) // process 1 sees 0's register: must output a meet adjacent to 0
+	r := e.Result()
+	if !r.Done[0] || !r.Done[1] {
+		t.Fatalf("both must decide in one activation: %+v", r.Done)
+	}
+	if r.Outputs[0] != 0 {
+		t.Fatalf("solo process must output its own input, got %d", r.Outputs[0])
+	}
+	if d := h.Dist(r.Outputs[0], r.Outputs[1]); d > 1 {
+		t.Fatalf("outputs %v are at distance %d", r.Outputs, d)
+	}
+	if err := HullValid(h, []int{0, 2}, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMeetGeometry pins meet()'s corner cases, including the C5 pair
+// (0,3) whose sole common neighbor is 4 — the case that forces a search
+// rather than midpoint arithmetic.
+func TestMeetGeometry(t *testing.T) {
+	c5 := CycleGraph(5)
+	if got := meet(c5, 0, 3); got != 4 {
+		t.Fatalf("meet_C5(0,3) = %d, want 4", got)
+	}
+	c4 := CycleGraph(4)
+	if got := meet(c4, 0, 2); got != 1 {
+		t.Fatalf("meet_C4(0,2) = %d, want smallest common neighbor 1", got)
+	}
+	if got := meet(c4, 3, 0); got != 0 {
+		t.Fatalf("meet_C4(3,0) = %d, want smaller endpoint 0 (3 and 0 are ring-adjacent)", got)
+	}
+	if got := meet(c4, 2, 2); got != 2 {
+		t.Fatalf("meet_C4(2,2) = %d, want 2", got)
+	}
+}
+
+// TestContractShape: the registered contract is labeled, wait-free
+// bounded, and its violations carry the contract=/property= provenance.
+func TestContractShape(t *testing.T) {
+	h := Path(3)
+	ct := Contract(h)
+	if !ct.Labeled() {
+		t.Fatal("agree ships an explicit labeled contract")
+	}
+	g, gerr := graph.Complete(2)
+	if gerr != nil {
+		t.Fatal(gerr)
+	}
+	bad := sim.Result{Outputs: []int{0, 2}, Done: []bool{true, true}}
+	err := ct.Safety(g, bad)
+	if err == nil {
+		t.Fatal("outputs 0 and 2 on P3 are not edge-agreeing")
+	}
+	if !strings.Contains(err.Error(), "contract=approx-agreement property=edge-agreement") {
+		t.Fatalf("violation label = %q", err)
+	}
+	if ct.Liveness().String() != "wait-free-bounded" {
+		t.Fatalf("liveness = %s", ct.Liveness())
+	}
+}
+
+// TestRoundsScale pins R for the palettes in use.
+func TestRoundsScale(t *testing.T) {
+	for _, tc := range []struct{ m, r int }{{2, 1}, {3, 2}, {4, 2}, {5, 3}} {
+		if got := Path(tc.m).Rounds(); got != tc.r {
+			t.Fatalf("Rounds(P%d) = %d, want %d", tc.m, got, tc.r)
+		}
+	}
+}

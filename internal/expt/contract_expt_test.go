@@ -1,0 +1,61 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE23CleanQuick: every certificate row must be violation-free with
+// the worst-case round count exactly at the declared bound, labeled with
+// the approx-agreement contract.
+func TestE23CleanQuick(t *testing.T) {
+	tb := E23ApproxAgreement(Options{Quick: true})
+	if len(tb.Rows) == 0 {
+		t.Fatal("E23 produced no rows")
+	}
+	for _, row := range tb.Rows {
+		if row[len(tb.Columns)-1] != "0" {
+			t.Errorf("row %v reports violations", row)
+		}
+		if row[2] != "approx-agreement" {
+			t.Errorf("row %v lacks the contract label", row)
+		}
+		if row[6] != row[7] {
+			t.Errorf("row %v: worst rounds %s ≠ bound %s (bound not tight)", row, row[6], row[7])
+		}
+	}
+	if s := tb.String(); strings.Contains(s, "≠ declared bound") {
+		t.Errorf("bound mismatch note:\n%s", s)
+	}
+}
+
+// TestE24CleanQuick: the rooted sweeps must certify stabilization from
+// all 3^n initial states, and the anonymous negative control must
+// livelock — the expected failure, proving the analysis has teeth.
+func TestE24CleanQuick(t *testing.T) {
+	tb := E24SelfStabilization(Options{Quick: true})
+	if len(tb.Rows) == 0 {
+		t.Fatal("E24 produced no rows")
+	}
+	var sawRooted, sawAnon bool
+	for _, row := range tb.Rows {
+		verdict := row[len(tb.Columns)-1]
+		if strings.HasPrefix(row[0], "rooted") {
+			sawRooted = true
+			if verdict != "STABILIZING" {
+				t.Errorf("rooted row %v: verdict %q", row, verdict)
+			}
+			if row[2] != "ss-coloring" {
+				t.Errorf("rooted row %v lacks the contract label", row)
+			}
+		} else {
+			sawAnon = true
+			if verdict != "LIVELOCK (expected)" {
+				t.Errorf("anonymous row %v: verdict %q", row, verdict)
+			}
+		}
+	}
+	if !sawRooted || !sawAnon {
+		t.Errorf("missing a leg: rooted=%v anonymous=%v", sawRooted, sawAnon)
+	}
+}

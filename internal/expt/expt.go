@@ -1,4 +1,4 @@
-// Package expt implements the reproduction experiments E1–E22 and finding
+// Package expt implements the reproduction experiments E1–E24 and finding
 // F1 listed in DESIGN.md. Each experiment runs a parameter sweep and
 // returns a Table whose rows are what cmd/experiments prints and what
 // EXPERIMENTS.md records; the root benchmarks drive the same runners.
@@ -243,6 +243,8 @@ func Runners() []Runner {
 		{"E20", E20RoundCurves},
 		{"F1", F1Livelock},
 		{"E22", E22DeltaPlusOne},
+		{"E23", E23ApproxAgreement},
+		{"E24", E24SelfStabilization},
 	}
 }
 

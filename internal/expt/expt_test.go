@@ -28,7 +28,7 @@ func TestTableFormatting(t *testing.T) {
 }
 
 func TestRunnersCoverAllExperiments(t *testing.T) {
-	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "F1", "E22"}
+	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "F1", "E22", "E23", "E24"}
 	runners := Runners()
 	if len(runners) != len(want) {
 		t.Fatalf("got %d runners, want %d", len(runners), len(want))

@@ -26,8 +26,19 @@
 //     the same safety and fault-tolerance oracle.
 //
 // The algorithm under test is any protocol registered in
-// internal/protocol that exposes an instance surface; the safety oracle is
-// the descriptor's Validity and the liveness bound its Bound.
+// internal/protocol that exposes an instance surface; the oracles derive
+// from the descriptor's correctness contract (internal/contract): safety
+// is Contract.Safety (for pre-contract protocols the bare adapter keeps
+// the historical Validity text byte-for-byte) and the liveness bound is
+// Bound. Stabilizing contracts (liveness closure+convergence) replace the
+// end-state safety check — transiently illegal configurations are the
+// whole point of self-stabilization — with a convergence oracle: after
+// the adversarial prefix, a fair crash-free round-robin suffix of the
+// contract's ConvergenceBound activations must reach a configuration
+// that satisfies Safety and is a fixpoint across one further full pass
+// (everyone publishes, nothing changes — closure). The suffix needs every
+// process to keep moving, so cells with a crash plan skip it: a crashed
+// process frozen in conflict legitimately stalls convergence forever.
 //
 // Oracle failures on the primary run are violations: the recorded schedule
 // is shrunk (see shrink.go) to a minimal replayable witness. Leg
@@ -56,6 +67,7 @@ import (
 
 	"asynccycle/internal/check"
 	"asynccycle/internal/conc"
+	"asynccycle/internal/contract"
 	"asynccycle/internal/metrics"
 	"asynccycle/internal/par"
 	"asynccycle/internal/protocol"
@@ -138,6 +150,7 @@ type Report struct {
 	Alg      string
 	N        int
 	Topology string // empty = the protocol's native topology
+	Contract string // contract label; empty = legacy bare adapter
 	Mode     string
 	Seed     int64
 	Campaign int
@@ -164,6 +177,11 @@ func (r Report) String() string {
 		// Printed only when set, so native-topology reports stay
 		// byte-identical to the historical format.
 		topo = fmt.Sprintf(" topology=%s", r.Topology)
+	}
+	if r.Contract != "" {
+		// Same only-when-set rule: bare legacy adapters carry no label, so
+		// pre-contract reports keep their exact historical header.
+		topo += fmt.Sprintf(" contract=%s", r.Contract)
 	}
 	s := fmt.Sprintf("alg=%s n=%s%s mode=%s seed=%d campaign=%d: schedules=%d violations=%d divergences=%d states=%d shrink-iters=%d conc-runs=%d",
 		r.Alg, nStr, topo, r.Mode, r.Seed, r.Campaign, r.Schedules,
@@ -232,7 +250,7 @@ type cellResult struct {
 // is non-nil only for invalid configuration; oracle violations and layer
 // divergences are reported in the Report, not as errors.
 func Campaign(ctx context.Context, cfg Config) (Report, error) {
-	run, err := cellRunner(cfg)
+	run, d, err := cellRunner(cfg)
 	if err != nil {
 		return Report{}, err
 	}
@@ -271,8 +289,8 @@ func Campaign(ctx context.Context, cfg Config) (Report, error) {
 	})
 
 	rep := Report{
-		Alg: cfg.Alg, N: cfg.N, Topology: cfg.Topology, Mode: cfg.Mode.String(),
-		Seed: cfg.Seed, Campaign: cfg.Campaign,
+		Alg: cfg.Alg, N: cfg.N, Topology: cfg.Topology, Contract: d.ContractLabel(),
+		Mode: cfg.Mode.String(), Seed: cfg.Seed, Campaign: cfg.Campaign,
 	}
 	for i, r := range results {
 		if !done[i] {
@@ -299,12 +317,13 @@ func Campaign(ctx context.Context, cfg Config) (Report, error) {
 }
 
 // cellRunner resolves the protocol descriptor and returns the per-cell
-// worker. Any registered protocol with an instance surface is fuzzable;
-// the safety oracle and the liveness bound come from the descriptor.
-func cellRunner(cfg Config) (func(cell int) cellResult, error) {
+// worker plus the (possibly retargeted) descriptor. Any registered
+// protocol with an instance surface is fuzzable; the oracles derive from
+// the descriptor's contract and bound.
+func cellRunner(cfg Config) (func(cell int) cellResult, *protocol.Descriptor, error) {
 	d, err := protocol.Lookup(cfg.Alg)
 	if err != nil {
-		return nil, fmt.Errorf("fuzzsched: %w", err)
+		return nil, nil, fmt.Errorf("fuzzsched: %w", err)
 	}
 	if cfg.Topology != "" {
 		// Retargeting replaces the capability closures wholesale: the
@@ -314,16 +333,16 @@ func cellRunner(cfg Config) (func(cell int) cellResult, error) {
 		// with the graph actually being fuzzed.
 		d, err = protocol.WithTopology(d, cfg.Topology)
 		if err != nil {
-			return nil, fmt.Errorf("fuzzsched: %w", err)
+			return nil, nil, fmt.Errorf("fuzzsched: %w", err)
 		}
 	}
 	if d.NewInstance == nil {
-		return nil, fmt.Errorf("fuzzsched: algorithm %q has no branchable instance surface", cfg.Alg)
+		return nil, nil, fmt.Errorf("fuzzsched: algorithm %q has no branchable instance surface", cfg.Alg)
 	}
 	if !d.SupportsMode(cfg.Mode) {
-		return nil, fmt.Errorf("fuzzsched: algorithm %q does not support %s semantics", cfg.Alg, cfg.Mode)
+		return nil, nil, fmt.Errorf("fuzzsched: algorithm %q does not support %s semantics", cfg.Alg, cfg.Mode)
 	}
-	return func(cell int) cellResult { return runCell(cfg, cell, d) }, nil
+	return func(cell int) cellResult { return runCell(cfg, cell, d) }, d, nil
 }
 
 // runCell executes one cell: generate, run with the oracle watching,
@@ -351,7 +370,11 @@ func runCell(cfg Config, cell int, d *protocol.Descriptor) cellResult {
 	} else {
 		xs = rng.Perm(4 * n)[:n]
 	}
-	safety := func(r sim.Result) error { return d.Validity(g, r) }
+	// The safety oracle is the contract's Safety: for pre-contract
+	// protocols the bare adapter wraps the legacy Validity closure, so the
+	// verdict and its text are byte-identical to the historical oracle.
+	safety := func(r sim.Result) error { return d.Contract.Safety(g, r) }
+	stabilizing := d.Contract.Liveness() == contract.ClosureConvergence
 	bound := 0
 	if d.Bound != nil {
 		bound = d.Bound(n)
@@ -395,7 +418,13 @@ func runCell(cfg Config, cell int, d *protocol.Descriptor) cellResult {
 	}
 	res := e.Result()
 	if vioKind == "" {
-		if err := safety(res); err != nil {
+		if stabilizing {
+			// The adversarial prefix may legitimately end illegal; the
+			// promise is convergence under a fair crash-free suffix.
+			if len(crashes) == 0 {
+				vioKind, vioDetail = stabilizationOracle(e, safety, n, stabilizationHorizon(d, n))
+			}
+		} else if err := safety(res); err != nil {
 			vioKind, vioDetail = "safety", err.Error()
 		}
 	}
@@ -479,9 +508,16 @@ func runCell(cfg Config, cell int, d *protocol.Descriptor) cellResult {
 	// Shrink the violation, if any, to a minimal replayable witness.
 	if vioKind != "" {
 		test := func(cand [][]int) bool {
-			resT := playSteps(newInstance(d, xs, cfg.Mode, crashes), cand)
+			inst := newInstance(d, xs, cfg.Mode, crashes)
+			resT := playSteps(inst, cand)
 			if vioKind == "liveness" {
 				return overBoundResult(resT, bound) >= 0
+			}
+			if stabilizing {
+				// A candidate prefix still witnesses the violation when the
+				// deterministic fair suffix after it still fails to stabilize.
+				k, _ := stabilizationOracle(inst, safety, n, stabilizationHorizon(d, n))
+				return k != ""
 			}
 			return safety(resT) != nil
 		}
@@ -496,6 +532,49 @@ func runCell(cfg Config, cell int, d *protocol.Descriptor) cellResult {
 		}
 	}
 	return out
+}
+
+// stabilizationHorizon is the convergence budget the stabilization oracle
+// grants: the contract's ConvergenceBound when the protocol states one, a
+// generous quadratic default otherwise.
+func stabilizationHorizon(d *protocol.Descriptor, n int) int {
+	if st, ok := d.Contract.(*contract.Stabilizing); ok && st.ConvergenceBound != nil {
+		return st.ConvergenceBound(n)
+	}
+	return n * (4*n + 16)
+}
+
+// stabilizationOracle drives the instance from wherever the adversarial
+// prefix left it: a fair round-robin suffix of `horizon` singleton
+// activations (the central-daemon schedule the stabilization analysis is
+// stated for), then two full confirmation passes. After the first pass
+// every process has published, so the visible registers are the complete
+// configuration; Safety must hold there (convergence). The second pass
+// must leave both the verdict and the configuration fingerprint unchanged
+// — a legitimate configuration is a fixpoint, so any motion or regression
+// is a closure violation. Requires a crash-free instance.
+func stabilizationOracle(e sim.Instance, safety func(sim.Result) error, n, horizon int) (kind, detail string) {
+	for t := 0; t < horizon; t++ {
+		e.Step([]int{t % n})
+	}
+	pass := func() {
+		for i := 0; i < n; i++ {
+			e.Step([]int{i})
+		}
+	}
+	pass()
+	if err := safety(e.Result()); err != nil {
+		return "convergence", fmt.Sprintf("not stabilized after %d fair activations: %v", horizon, err)
+	}
+	h1a, h1b := e.FingerprintHash128()
+	pass()
+	if err := safety(e.Result()); err != nil {
+		return "closure", fmt.Sprintf("legitimate configuration regressed within one fair pass: %v", err)
+	}
+	if h2a, h2b := e.FingerprintHash128(); h2a != h1a || h2b != h1b {
+		return "closure", "legitimate configuration is not a fixpoint: state changed across a fair pass"
+	}
+	return "", ""
 }
 
 // newInstance builds a fresh protocol instance with the given mode and

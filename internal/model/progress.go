@@ -79,6 +79,12 @@ type stateGraph struct {
 	orbit     []int    // exact rotation-orbit size per state (canon only)
 	terminal  []bool
 	truncated bool
+
+	// Legality analysis (stabilization checking only; empty otherwise):
+	// legal[s] records whether state s is legitimate, illegalWhy[s] the
+	// first violated legitimacy property's message ("" when legal).
+	legal      []bool
+	illegalWhy []string
 }
 
 type edge struct {
@@ -127,7 +133,7 @@ func FairlyTerminates[V any](root *sim.Engine[V], opt Options) (string, Report) 
 	if g.canon {
 		rep.Symmetry = SymmetryFull
 	}
-	buildStateGraph(root, opt, g, &rep, 0)
+	buildStateGraph(root, opt, g, &rep, 0, nil)
 	rep.States = len(g.edges)
 	rep.HashCollisions = g.ids.hashCollisions()
 	if g.truncated {
@@ -192,8 +198,12 @@ func liftQuotient(g *stateGraph) *stateGraph {
 // canon) and recursively explores its successors. It returns the state id
 // and the rotation carrying e into the state's canonical frame (0 when
 // unreduced) — callers use the rotation to express edge data frame-
-// consistently.
-func buildStateGraph[V any](e *sim.Engine[V], opt Options, g *stateGraph, rep *Report, depth int) (int, int) {
+// consistently. A non-nil legal predicate turns on the legality analysis
+// (stabilization checking): every interned state records whether it is
+// legitimate and, when not, the first violation message. legal must not
+// be combined with canon — legitimacy need not be rotation-invariant
+// (stabilizing protocols may distinguish a root process).
+func buildStateGraph[V any](e *sim.Engine[V], opt Options, g *stateGraph, rep *Report, depth int, legal func(*sim.Engine[V]) error) (int, int) {
 	var k stateKey
 	rot, orbit := 0, 1
 	switch {
@@ -234,6 +244,15 @@ func buildStateGraph[V any](e *sim.Engine[V], opt Options, g *stateGraph, rep *R
 		g.working = append(g.working, working)
 	}
 	g.terminal = append(g.terminal, e.AllDone())
+	if legal != nil {
+		err := legal(e)
+		g.legal = append(g.legal, err == nil)
+		why := ""
+		if err != nil {
+			why = err.Error()
+		}
+		g.illegalWhy = append(g.illegalWhy, why)
+	}
 	if depth > rep.DeepestPath {
 		rep.DeepestPath = depth
 	}
@@ -253,7 +272,7 @@ func buildStateGraph[V any](e *sim.Engine[V], opt Options, g *stateGraph, rep *R
 		// Step's result is child-owned scratch; the edge outlives the
 		// child, so it keeps a copy.
 		performed := append([]int(nil), child.Step(subset)...)
-		to, childRot := buildStateGraph(child, opt, g, rep, depth+1)
+		to, childRot := buildStateGraph(child, opt, g, rep, depth+1, legal)
 		ed := edge{to: to, activated: performed}
 		if g.canon {
 			ed.activated = rotateSet(performed, -rot, g.n)

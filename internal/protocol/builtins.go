@@ -10,4 +10,6 @@ func init() {
 	registerSSB()
 	registerDecoupled()
 	registerLocale()
+	registerAgree()
+	registerSSUni()
 }

@@ -24,6 +24,8 @@ var nodePackages = map[string][]string{
 	"renaming":  {"renaming"},
 	"ssb":       {"ssb-greedy", "ssb-impatient"},
 	"decoupled": {"decoupled-three"},
+	"agree":     {"agree-p3", "agree-p4", "agree-c4"},
+	"ssuni":     {"ssuni"},
 	// locale has no sim.Node machines (it is a direct synchronous
 	// computation) but registers local-cv through a custom Run closure.
 	// ablation's node variants are deliberately broken copies of Algorithm

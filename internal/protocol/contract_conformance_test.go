@@ -1,0 +1,115 @@
+package protocol
+
+// Registry-wide contract conformance: for every registered descriptor the
+// two property surfaces — the legacy Validity closure and the contract's
+// Safety — must agree verdict-for-verdict on a pinned battery of result
+// shapes. Register synthesizes each surface from the other, so this
+// guards the wiring (including future refactors that might split them),
+// and additionally pins that bare adapters keep their historical
+// unlabeled violation text while explicit contracts carry provenance.
+
+import (
+	"strings"
+	"testing"
+
+	"asynccycle/internal/sim"
+)
+
+// conformanceBattery builds result shapes covering the interesting
+// verdict space for n processes: nothing terminated, everything
+// terminated monochromatic (improper for coloring protocols), outputs
+// far out of any palette, a half-terminated alternation, and a
+// stabilizing-style snapshot with register values recorded.
+func conformanceBattery(n int) []sim.Result {
+	mk := func(out func(i int) int, done func(i int) bool, values bool) sim.Result {
+		r := sim.Result{
+			Outputs: make([]int, n),
+			Done:    make([]bool, n),
+			Crashed: make([]bool, n),
+		}
+		for i := 0; i < n; i++ {
+			r.Outputs[i] = out(i)
+			r.Done[i] = done(i)
+		}
+		if values {
+			r.Values = make([]int, n)
+			for i := 0; i < n; i++ {
+				r.Values[i] = out(i)
+			}
+		}
+		return r
+	}
+	return []sim.Result{
+		mk(func(int) int { return 0 }, func(int) bool { return false }, false),
+		mk(func(int) int { return 0 }, func(int) bool { return true }, false),
+		mk(func(int) int { return -7 }, func(int) bool { return true }, false),
+		mk(func(i int) int { return 99 }, func(int) bool { return true }, false),
+		mk(func(i int) int { return i % 2 }, func(i int) bool { return i%2 == 0 }, false),
+		mk(func(i int) int { return i % 2 }, func(int) bool { return false }, true),
+		mk(func(int) int { return 1 }, func(int) bool { return false }, true),
+	}
+}
+
+func TestContractSafetyAgreesWithValidity(t *testing.T) {
+	for _, d := range All() {
+		d := d
+		t.Run(d.Name, func(t *testing.T) {
+			if d.Contract == nil {
+				t.Fatal("registration must complete the contract surface")
+			}
+			if d.Validity == nil {
+				t.Fatal("registration must complete the legacy Validity surface")
+			}
+			n := d.MinN
+			if n < 3 {
+				n = 3
+			}
+			if d.FixN != nil {
+				n = d.FixN(n)
+			}
+			g, err := d.Topology(n)
+			if err != nil {
+				t.Fatalf("topology(%d): %v", n, err)
+			}
+			for bi, r := range conformanceBattery(n) {
+				vErr := d.Validity(g, r)
+				cErr := d.Contract.Safety(g, r)
+				if (vErr == nil) != (cErr == nil) {
+					t.Fatalf("battery %d: Validity=%v, Contract.Safety=%v — verdicts disagree", bi, vErr, cErr)
+				}
+				if vErr == nil {
+					continue
+				}
+				if vErr.Error() != cErr.Error() {
+					t.Fatalf("battery %d: Validity=%q, Contract.Safety=%q — texts disagree", bi, vErr, cErr)
+				}
+				if d.Contract.Labeled() {
+					if !strings.HasPrefix(cErr.Error(), "contract="+d.Contract.ContractName()+" property=") {
+						t.Fatalf("battery %d: labeled contract violation lacks provenance: %q", bi, cErr)
+					}
+				} else if strings.Contains(cErr.Error(), "contract=") {
+					t.Fatalf("battery %d: bare adapter leaked a provenance label: %q", bi, cErr)
+				}
+			}
+		})
+	}
+}
+
+// TestContractLabelPartition pins which protocols carry labeled contracts:
+// exactly the two new contract-first families — every pre-contract
+// protocol keeps a bare adapter so its recorded outputs stay
+// byte-identical.
+func TestContractLabelPartition(t *testing.T) {
+	labeled := map[string]string{
+		"agree-p3": "approx-agreement",
+		"agree-p4": "approx-agreement",
+		"agree-c4": "approx-agreement",
+		"ssuni":    "ss-coloring",
+	}
+	for _, d := range All() {
+		want := labeled[d.Name]
+		if got := d.ContractLabel(); got != want {
+			t.Errorf("%s: ContractLabel = %q, want %q", d.Name, got, want)
+		}
+	}
+}

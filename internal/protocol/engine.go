@@ -70,7 +70,12 @@ func deriveEngine[V any](d *Descriptor, s EngineSpec[V]) {
 		return e, g, nil
 	}
 
-	d.Modes = []sim.Mode{sim.ModeInterleaved, sim.ModeSimultaneous}
+	// Engine-backed protocols support both activation semantics unless the
+	// spec restricts them (a stabilizing protocol analyzed for a central
+	// daemon declares interleaved only).
+	if d.Modes == nil {
+		d.Modes = []sim.Mode{sim.ModeInterleaved, sim.ModeSimultaneous}
+	}
 
 	d.NewInstance = func(xs []int, mode sim.Mode, crashes map[int]int) (sim.Instance, error) {
 		e, _, err := mk(xs, mode, crashes)
@@ -127,6 +132,11 @@ func deriveEngine[V any](d *Descriptor, s EngineSpec[V]) {
 
 	invariant := func(g graph.Graph) model.Invariant[V] {
 		v := d.Validity
+		if v == nil && d.Contract != nil {
+			// Contract-first spec evaluated before Register completed the
+			// legacy surface: the contract's labeled Safety is the invariant.
+			v = d.Contract.Safety
+		}
 		if v == nil {
 			return nil
 		}
@@ -218,6 +228,10 @@ func retargetEngine[V any](s EngineSpec[V], b graph.Builder) (*Descriptor, error
 		d.BigKernel = nil
 	}
 	deriveEngine(&d, s)
+	// Retargeted copies bypass Register: complete the property layer here
+	// so WithTopology views expose the same Contract/Validity pair as the
+	// registered original.
+	completeContract(&d)
 	d.retarget = func(b graph.Builder) (*Descriptor, error) { return retargetEngine(s, b) }
 	return &d, nil
 }

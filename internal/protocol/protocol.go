@@ -23,6 +23,7 @@ import (
 
 	"asynccycle/internal/bigsim"
 	"asynccycle/internal/conc"
+	"asynccycle/internal/contract"
 	"asynccycle/internal/graph"
 	"asynccycle/internal/model"
 	"asynccycle/internal/runctl"
@@ -117,10 +118,19 @@ type Descriptor struct {
 	// FormatOutput renders one output value for display (nil = decimal).
 	FormatOutput func(c int) string
 
+	// Contract is the protocol's correctness contract — the pluggable
+	// property layer every checker consumes (safety properties with
+	// provenance labels, a terminal-state policy, and a liveness kind).
+	// Descriptors may leave it nil and set Validity instead: Register
+	// then synthesizes a bare terminating adapter from Validity/Bound so
+	// pre-contract protocols keep byte-identical output. At least one of
+	// Contract and Validity must be set.
+	Contract contract.Contract
 	// Validity checks an outcome against the protocol's specification.
 	// It must hold at every reachable configuration, counting only
 	// terminated processes — the model checker uses it as its invariant
-	// and the fuzzer as its safety oracle.
+	// and the fuzzer as its safety oracle. Nil is allowed when Contract
+	// is set; Register then derives Validity from Contract.Safety.
 	Validity func(g graph.Graph, r sim.Result) error
 	// Checks lists the verdict predicates the colorcycle CLI prints; nil
 	// falls back to Validity as a single "validity" line.
@@ -229,15 +239,21 @@ var registry = struct {
 }{byName: make(map[string]*Descriptor)}
 
 // Register adds a descriptor to the registry. It rejects descriptors
-// missing the required surfaces (Name, Problem, Topology, Validity, Run)
-// and any name or alias already taken.
+// missing the required surfaces (Name, Problem, Topology, Run, and at
+// least one of Validity and Contract) and any name or alias already
+// taken. Registration completes the property layer in both directions:
+// a descriptor with only a legacy Validity closure gets a synthesized
+// bare terminating contract, and a descriptor with only a Contract gets
+// Validity derived from Contract.Safety — so every registered protocol
+// exposes both surfaces.
 func Register(d *Descriptor) error {
 	if d == nil || d.Name == "" {
 		return fmt.Errorf("protocol: descriptor without a name")
 	}
-	if d.Problem == "" || d.Topology == nil || d.Validity == nil || d.Run == nil {
-		return fmt.Errorf("protocol: descriptor %q missing a required field (Problem, Topology, Validity, Run)", d.Name)
+	if d.Problem == "" || d.Topology == nil || d.Run == nil || (d.Validity == nil && d.Contract == nil) {
+		return fmt.Errorf("protocol: descriptor %q missing a required field (Problem, Topology, Run, and one of Validity or Contract)", d.Name)
 	}
+	completeContract(d)
 	keys := append([]string{d.Name}, d.Aliases...)
 	registry.Lock()
 	defer registry.Unlock()
@@ -255,6 +271,42 @@ func Register(d *Descriptor) error {
 	}
 	registry.ordered = append(registry.ordered, d)
 	return nil
+}
+
+// completeContract fills in the missing half of the property layer so
+// every registered descriptor exposes both Contract and Validity. A
+// legacy descriptor (Validity only) gets a bare terminating adapter —
+// violations keep their historical unlabeled text, and the liveness kind
+// follows the bound surface. A contract-first descriptor (Contract only)
+// gets Validity derived from Contract.Safety so every pre-contract call
+// site keeps working.
+func completeContract(d *Descriptor) {
+	if d.Contract == nil {
+		kind := contract.Convergence
+		if d.Bound != nil {
+			kind = contract.WaitFreeBounded
+		}
+		d.Contract = &contract.Terminating{
+			Name:  "coloring",
+			Props: []contract.Property{{Name: "validity", Check: d.Validity}},
+			Kind:  kind,
+			Bare:  true,
+		}
+		return
+	}
+	if d.Validity == nil {
+		d.Validity = d.Contract.Safety
+	}
+}
+
+// ContractLabel returns the contract name for verdict labels and report
+// headers, or "" for legacy bare adapters — callers omit the field then,
+// keeping pre-contract output byte-identical.
+func (d *Descriptor) ContractLabel() string {
+	if d.Contract == nil || !d.Contract.Labeled() {
+		return ""
+	}
+	return d.Contract.ContractName()
 }
 
 // MustRegister is Register, panicking on error; builtin descriptors use it
@@ -301,7 +353,7 @@ func namesLocked() []string {
 // implementation behind every CLI's -list flag.
 func WriteList(w io.Writer) error {
 	tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(tw, "NAME\tALIASES\tPROBLEM\tGRAPH\tPALETTE\tBOUND\tCAPABILITIES")
+	fmt.Fprintln(tw, "NAME\tALIASES\tPROBLEM\tGRAPH\tPALETTE\tBOUND\tCONTRACT\tCAPABILITIES")
 	for _, d := range All() {
 		aliases := strings.Join(d.Aliases, ",")
 		if aliases == "" {
@@ -311,8 +363,12 @@ func WriteList(w io.Writer) error {
 		if bound == "" {
 			bound = "—"
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
-			d.Name, aliases, d.Problem, d.TopologyName, d.Palette, bound, d.Capabilities())
+		ct := "—"
+		if d.Contract != nil {
+			ct = d.Contract.ContractName()
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			d.Name, aliases, d.Problem, d.TopologyName, d.Palette, bound, ct, d.Capabilities())
 	}
 	if err := tw.Flush(); err != nil {
 		return err

@@ -1,0 +1,100 @@
+package serve_test
+
+// Contract-labeled job verdicts: run jobs on contract-first protocols
+// carry the contract name and per-property labeled verdicts (and, for
+// stabilizing protocols, the published register colors), while
+// pre-contract protocols keep their legacy payload shape — no contract
+// field, legacy verdict names.
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"asynccycle/internal/serve"
+	"asynccycle/internal/ssuni"
+)
+
+func TestRunJobContractLabels(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 2})
+
+	resp, v := post(t, ts, `{"kind":"run","alg":"ssuni","n":8,"sched":"rr","seed":3}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	done := waitJob(t, ts, v.ID)
+	if done.Status != serve.StatusDone || done.Outcome != serve.OutcomeOK {
+		t.Fatalf("job did not complete ok: %+v", done)
+	}
+	res := getResult(t, ts, v.ID)
+	var run serve.RunResult
+	if err := json.Unmarshal(res["result"], &run); err != nil {
+		t.Fatal(err)
+	}
+	if run.Contract != "ss-coloring" {
+		t.Errorf("Contract = %q, want ss-coloring", run.Contract)
+	}
+	// Stabilizing runs never terminate; the color vector is the published
+	// registers, all inside the palette.
+	if run.Terminated != 0 {
+		t.Errorf("Terminated = %d, want 0 (stabilizing runs never terminate)", run.Terminated)
+	}
+	for i, c := range run.Colors {
+		if c < 0 || c >= ssuni.K {
+			t.Errorf("color[%d] = %d outside [0,%d)", i, c, ssuni.K)
+		}
+	}
+	if len(run.Verdicts) == 0 {
+		t.Fatal("no verdicts reported")
+	}
+	for _, verdict := range run.Verdicts {
+		if !strings.HasPrefix(verdict.Name, "contract=ss-coloring property=") {
+			t.Errorf("verdict %q lacks contract provenance", verdict.Name)
+		}
+		if !verdict.OK {
+			t.Errorf("verdict %s failed: %s", verdict.Name, verdict.Error)
+		}
+	}
+
+	// A pre-contract protocol keeps the legacy shape.
+	resp, v = post(t, ts, `{"kind":"run","alg":"six","n":8,"sched":"rr","seed":3}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	waitJob(t, ts, v.ID)
+	res = getResult(t, ts, v.ID)
+	raw := string(res["result"])
+	if strings.Contains(raw, `"contract"`) {
+		t.Errorf("legacy run result leaked a contract field: %s", raw)
+	}
+	if strings.Contains(raw, "contract=") {
+		t.Errorf("legacy run verdicts leaked contract labels: %s", raw)
+	}
+}
+
+func TestFuzzJobContractLabel(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 2})
+	resp, v := post(t, ts, `{"kind":"fuzz","alg":"agree-p3","campaign":8,"seed":9}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	done := waitJob(t, ts, v.ID)
+	if done.Status != serve.StatusDone || done.Outcome != serve.OutcomeOK {
+		t.Fatalf("job did not complete ok: %+v", done)
+	}
+	res := getResult(t, ts, v.ID)
+	var fz serve.FuzzResult
+	if err := json.Unmarshal(res["result"], &fz); err != nil {
+		t.Fatal(err)
+	}
+	if fz.Contract != "approx-agreement" {
+		t.Errorf("Contract = %q, want approx-agreement", fz.Contract)
+	}
+	if !strings.Contains(fz.Summary, "contract=approx-agreement") {
+		t.Errorf("summary lacks contract field: %q", fz.Summary)
+	}
+	if len(fz.Violations) != 0 || len(fz.Divergences) != 0 {
+		t.Errorf("spurious findings: %+v", fz)
+	}
+}

@@ -119,12 +119,15 @@ type Verdict struct {
 
 // RunResult is the result payload of a run job.
 type RunResult struct {
-	Graph      string    `json:"graph"`
-	Engine     string    `json:"engine"`
-	Scheduler  string    `json:"scheduler"`
-	Workers    int       `json:"workers,omitempty"`
-	N          int       `json:"n"`
-	Steps      int64     `json:"steps"`
+	Graph     string `json:"graph"`
+	Engine    string `json:"engine"`
+	Scheduler string `json:"scheduler"`
+	Workers   int    `json:"workers,omitempty"`
+	N         int    `json:"n"`
+	Steps     int64  `json:"steps"`
+	// Contract is the correctness contract labeling the verdicts; empty
+	// for pre-contract protocols (their verdicts keep the legacy names).
+	Contract   string    `json:"contract,omitempty"`
 	Terminated int       `json:"terminated"`
 	Crashed    int       `json:"crashed"`
 	MaxRounds  int       `json:"max_rounds"`
@@ -140,6 +143,7 @@ type RunResult struct {
 // CheckResult is the result payload of a check job.
 type CheckResult struct {
 	Summary          string   `json:"summary"`
+	Contract         string   `json:"contract,omitempty"`
 	States           int64    `json:"states"`
 	Terminal         int64    `json:"terminal"`
 	Violations       []string `json:"violations,omitempty"`
@@ -160,6 +164,7 @@ type FuzzFinding struct {
 // FuzzResult is the result payload of a fuzz job.
 type FuzzResult struct {
 	Summary     string        `json:"summary"`
+	Contract    string        `json:"contract,omitempty"`
 	Schedules   int           `json:"schedules"`
 	Violations  []FuzzFinding `json:"violations,omitempty"`
 	Divergences []string      `json:"divergences,omitempty"`
@@ -488,6 +493,7 @@ func (s *Server) executeRun(ctx context.Context, j *job) {
 		Workers:     spec.Workers,
 		N:           g.N(),
 		Steps:       int64(res.Steps),
+		Contract:    d.ContractLabel(),
 		Terminated:  res.TerminatedCount(),
 		MaxRounds:   res.MaxActivations(),
 		ColorsTotal: len(res.Outputs),
@@ -507,16 +513,31 @@ func (s *Server) executeRun(ctx context.Context, j *job) {
 	out.ColorsShown = shown
 	out.Colors = make([]int, shown)
 	for i := 0; i < shown; i++ {
-		if res.Done[i] {
+		switch {
+		case res.Done[i]:
 			out.Colors[i] = res.Outputs[i]
-		} else {
+		case res.Values != nil:
+			// Stabilizing protocols never terminate: the published
+			// register value is the process's current color.
+			out.Colors[i] = res.Values[i]
+		default:
 			out.Colors[i] = -1
 		}
 	}
 	// Verdicts: on a PARTIAL run the validity predicates still hold for
 	// the terminated region (they count only terminated processes), so
-	// they are reported either way.
-	if d.Checks != nil {
+	// they are reported either way. Contract-first protocols report one
+	// labeled verdict per contract property.
+	if d.Contract != nil && d.Contract.Labeled() {
+		for _, p := range d.Contract.Properties() {
+			v := Verdict{Name: fmt.Sprintf("contract=%s property=%s", d.Contract.ContractName(), p.Name), OK: true}
+			if err := p.Check(g, res); err != nil {
+				v.OK = false
+				v.Error = err.Error()
+			}
+			out.Verdicts = append(out.Verdicts, v)
+		}
+	} else if d.Checks != nil {
 		for _, c := range d.Checks(g) {
 			v := Verdict{Name: c.Name, OK: true}
 			if err := c.Check(res); err != nil {
@@ -606,6 +627,7 @@ func (s *Server) executeCheck(ctx context.Context, j *job) {
 		}
 		out := CheckResult{
 			Summary:  rep.String(),
+			Contract: d.ContractLabel(),
 			States:   rep.States,
 			Terminal: rep.Terminal,
 			Sweep:    true,
@@ -630,6 +652,7 @@ func (s *Server) executeCheck(ctx context.Context, j *job) {
 	}
 	out := CheckResult{
 		Summary:    rep.String(),
+		Contract:   d.ContractLabel(),
 		States:     int64(rep.States),
 		Terminal:   int64(rep.Terminal),
 		CycleFound: rep.CycleFound,
@@ -679,6 +702,7 @@ func (s *Server) executeFuzz(ctx context.Context, j *job) {
 	}
 	out := FuzzResult{
 		Summary:    rep.String(),
+		Contract:   rep.Contract,
 		Schedules:  rep.Schedules,
 		StatesSeen: rep.StatesSeen,
 	}

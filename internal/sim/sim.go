@@ -80,6 +80,12 @@ type Result struct {
 	Activations []int
 	// Steps is the number of time steps the execution took.
 	Steps int
+	// Values[i] is the current content of process i's register for engines
+	// with int-typed registers that opted in via SetRecordValues (-1 for a
+	// register still at ⊥); nil otherwise. Stabilizing protocols publish
+	// their color here, so legitimacy predicates can read the configuration
+	// from a Result even though nothing terminates.
+	Values []int
 }
 
 // MaxActivations returns the largest per-process activation count — the
@@ -171,6 +177,11 @@ type Engine[V any] struct {
 	fph          FPHasher  // FingerprintHash's streaming state
 	rotH         []uint64  // canonical fingerprint scratch: 2n rotated hash lanes
 
+	// recordValues opts Result snapshots into carrying the register
+	// contents (Result.Values) for int-registered engines; off by default
+	// so terminating protocols keep their allocation profile.
+	recordValues bool
+
 	met *metrics.Run // optional observability sink; nil = off
 }
 
@@ -225,6 +236,28 @@ func (e *Engine[V]) CrashAfter(i, k int) {
 
 // Crash immediately crashes process i.
 func (e *Engine[V]) Crash(i int) { e.crashed[i] = true }
+
+// SetRecordValues opts Result snapshots into carrying the register
+// contents as Result.Values. Meaningful only for engines whose register
+// type V is int (other engines record nil); see Result.Values.
+func (e *Engine[V]) SetRecordValues(on bool) { e.recordValues = on }
+
+// SeedRegisters installs an arbitrary initial register configuration:
+// every register becomes present with the given value, as if its owner
+// had published it before the execution started. Self-stabilizing
+// protocols use it to start from arbitrary (possibly corrupted) states —
+// the node state machines must be constructed consistently with the
+// seeded values, since a node's next Publish overwrites its register.
+// len(vals) must equal the process count. Call before the first Step.
+func (e *Engine[V]) SeedRegisters(vals []V) error {
+	if len(vals) != len(e.regs) {
+		return fmt.Errorf("sim: %d seed values for %d registers", len(vals), len(e.regs))
+	}
+	for i, v := range vals {
+		e.regs[i] = Cell[V]{Present: true, Val: v}
+	}
+	return nil
+}
 
 // Graph returns the topology.
 func (e *Engine[V]) Graph() graph.Graph { return e.g }
@@ -441,6 +474,23 @@ func (e *Engine[V]) result() Result {
 		Activations: append([]int(nil), e.acts...),
 		Steps:       e.t,
 	}
+	if e.recordValues {
+		vals := make([]int, len(e.regs))
+		for i, c := range e.regs {
+			switch v, ok := any(c.Val).(int); {
+			case !ok:
+				vals = nil
+			case !c.Present:
+				vals[i] = -1
+			default:
+				vals[i] = v
+			}
+			if vals == nil {
+				break
+			}
+		}
+		r.Values = vals
+	}
 	return r
 }
 
@@ -475,6 +525,7 @@ func (e *Engine[V]) CloneInto(dst *Engine[V]) *Engine[V] {
 	dst.limits = append(dst.limits[:0], e.limits...)
 	dst.t = e.t
 	dst.mode = e.mode
+	dst.recordValues = e.recordValues
 	dst.hooks = nil
 	dst.met = nil
 	if dst.inSetBuf != nil && len(dst.inSetBuf) != len(e.nodes) {

@@ -1,0 +1,71 @@
+package ssuni
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// runRR drives the engine with singleton round-robin activations until
+// legal, returning activations used (-1 if budget exhausted).
+func runRR(t *testing.T, colors []int, budget int) int {
+	t.Helper()
+	e, err := NewEngine(colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := e.N()
+	for a := 0; a <= budget; a++ {
+		if Legal(e) == nil {
+			return a
+		}
+		e.Step([]int{a % n})
+	}
+	return -1
+}
+
+func TestMeasureWorstConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement harness")
+	}
+	for n := 3; n <= 8; n++ {
+		worst := 0
+		total := 1
+		for i := 0; i < n; i++ {
+			total *= K
+		}
+		for s := 0; s < total; s++ {
+			colors := make([]int, n)
+			v := s
+			for i := range colors {
+				colors[i] = v % K
+				v /= K
+			}
+			a := runRR(t, colors, 100*n*n)
+			if a < 0 {
+				t.Fatalf("n=%d state %v did not converge", n, colors)
+			}
+			if a > worst {
+				worst = a
+			}
+		}
+		t.Logf("n=%d exhaustive worst=%d bound=%d", n, worst, ConvergenceBound(n))
+	}
+	rng := rand.New(rand.NewSource(7))
+	for n := 9; n <= 14; n++ {
+		worst := 0
+		for s := 0; s < 20000; s++ {
+			colors := make([]int, n)
+			for i := range colors {
+				colors[i] = rng.Intn(K)
+			}
+			a := runRR(t, colors, 100*n*n)
+			if a < 0 {
+				t.Fatalf("n=%d random state did not converge", n)
+			}
+			if a > worst {
+				worst = a
+			}
+		}
+		t.Logf("n=%d sampled worst=%d bound=%d", n, worst, ConvergenceBound(n))
+	}
+}

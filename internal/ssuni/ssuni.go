@@ -1,0 +1,210 @@
+// Package ssuni implements self-stabilizing coloring of the
+// unidirectional cycle (after Bernard, Devismes, Potop-Butucaru, Tixeuil,
+// arXiv:0805.0851): every process reads only its *predecessor* on the
+// ring, starts from an arbitrary (possibly corrupted) color, and the
+// system converges to a proper coloring under any fair schedule — and
+// stays proper once it gets there.
+//
+// The rule is deliberately minimal. With K = 3 colors, a process moves
+// only when it conflicts with its predecessor:
+//
+//	non-root i:  c_i == c_{i-1}  ⇒  c_i ← c_i + 1 (mod K)
+//	root 0:      c_0 == c_{n-1}  ⇒  c_0 ← c_0 + 2 (mod K)
+//
+// Conflicts can only travel forward around the ring (a move resolves the
+// conflict with the predecessor and can at worst create one with the
+// successor), so the number of conflicting edges never increases and any
+// persistent conflict wave must keep passing through the root. The root's
+// +2 increment is the symmetry breaker: with a uniform +1 rule the
+// anonymous ring admits a fair livelock in which a conflict wave
+// circulates forever (e.g. on C4: (2,0,1,2) returns to itself after 12
+// moves) — the root's different increment de-synchronizes the wave and
+// the system converges. Closure is immediate: a properly colored ring has
+// no conflicting edge, so no process is enabled and the configuration is
+// a fixpoint.
+//
+// Nothing ever terminates (self-stabilizing protocols run forever), so
+// the correctness story is the contract.Stabilizing shape checked by
+// model.CheckStabilization: closure plus convergence from all K^n initial
+// states, certified exhaustively on small rings (EXPERIMENTS.md E24).
+//
+// The analysis is for the central-daemon model: one process moves at a
+// time, which the engine's interleaved mode realizes (simultaneous
+// activation sets in interleaved mode are sequential compositions of
+// singleton moves, so they add no reachable states).
+package ssuni
+
+import (
+	"fmt"
+
+	"asynccycle/internal/graph"
+	"asynccycle/internal/sim"
+)
+
+// K is the palette size. Three colors suffice: every cycle is
+// 3-colorable, and the conflict-wave argument above needs K ≥ 3 so a
+// move never recreates the conflict it resolves.
+const K = 3
+
+// Node is one ring process: its state is just its current color.
+type Node struct {
+	k    int
+	root bool
+	c    int
+}
+
+// Publish writes the current color to the register.
+func (nd *Node) Publish() int { return nd.c }
+
+// Observe applies the move rule against the predecessor's register
+// (view[0] on the standard cycle, whose neighbor order is [pred, succ]).
+// The node never returns: stabilizing processes run forever.
+func (nd *Node) Observe(view []sim.Cell[int]) sim.Decision {
+	if view[0].Present && view[0].Val == nd.c {
+		inc := 1
+		if nd.root {
+			inc = 2
+		}
+		nd.c = (nd.c + inc) % nd.k
+	}
+	return sim.Decision{}
+}
+
+// Clone implements sim.Node.
+func (nd *Node) Clone() sim.Node[int] { cp := *nd; return &cp }
+
+// HashFingerprint implements sim.Hashable for the compact state tables.
+func (nd *Node) HashFingerprint(h *sim.FPHasher) {
+	h.HashInt(nd.c)
+	h.HashBool(nd.root)
+}
+
+// Colors normalizes an arbitrary identifier vector into an initial color
+// vector in [0, K): the registry feeds protocol identifiers through it so
+// any id assignment denotes an initial (possibly corrupted) state.
+func Colors(xs []int) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = ((x % K) + K) % K
+	}
+	return out
+}
+
+// NewNodes builds the ring processes for the given initial colors
+// (values taken mod K); node 0 is the root.
+func NewNodes(colors []int) []sim.Node[int] {
+	nodes := make([]sim.Node[int], len(colors))
+	for i, c := range colors {
+		nodes[i] = &Node{k: K, root: i == 0, c: ((c % K) + K) % K}
+	}
+	return nodes
+}
+
+// NewAnonymousNodes builds the ring with the uniform rule (every process
+// +1, no root) — the deliberately broken variant whose fair livelock on
+// C4 motivates the root's +2 increment. It exists so the checkers'
+// negative tests and experiment E24 can demonstrate the failure.
+func NewAnonymousNodes(colors []int) []sim.Node[int] {
+	nodes := make([]sim.Node[int], len(colors))
+	for i, c := range colors {
+		nodes[i] = &Node{k: K, root: false, c: ((c % K) + K) % K}
+	}
+	return nodes
+}
+
+// NewEngine builds a ready engine on C_n starting from the given colors:
+// registers are seeded with the initial colors (an arbitrary initial
+// *published* state, the self-stabilization model) and Result snapshots
+// carry the register values so legitimacy is checkable from a Result.
+func NewEngine(colors []int) (*sim.Engine[int], error) {
+	g, err := graph.Cycle(len(colors))
+	if err != nil {
+		return nil, err
+	}
+	e, err := sim.NewEngine(g, NewNodes(colors))
+	if err != nil {
+		return nil, err
+	}
+	if err := e.SeedRegisters(Colors(colors)); err != nil {
+		return nil, err
+	}
+	e.SetRecordValues(true)
+	return e, nil
+}
+
+// Legal is the legitimacy predicate over a live engine, the invariant
+// model.CheckStabilization consumes: the published colors properly color
+// the ring AND no process holds a pending move (its internal color must
+// equal its register). The second conjunct matters because the engine's
+// round publishes the *pre-move* color first and reveals the new color
+// only at the next activation — a configuration whose registers happen to
+// be proper while a process still carries an unpublished recoloring is
+// transient, not legitimate: the pending publish can reintroduce a
+// conflict, which would break closure if such states counted as legal.
+// Legitimate configurations under this definition are exact fixpoints.
+func Legal(e *sim.Engine[int]) error {
+	n := e.N()
+	for i := 0; i < n; i++ {
+		nd, ok := e.NodeState(i).(*Node)
+		if !ok {
+			return fmt.Errorf("process %d is not an ssuni node", i)
+		}
+		reg := e.Register(i)
+		if !reg.Present || reg.Val != nd.c {
+			return fmt.Errorf("process %d has a pending move (register %v, internal color %d)", i, reg, nd.c)
+		}
+		j := i + 1
+		if j == n {
+			j = 0
+		}
+		b := e.Register(j)
+		if b.Present && reg.Val == b.Val {
+			return fmt.Errorf("edge (%d,%d) conflicts: both color %d", i, j, reg.Val)
+		}
+	}
+	return nil
+}
+
+// ProperRing is the same legitimacy predicate over a Result snapshot
+// (the contract's safety property): the recorded register values must
+// properly color every graph edge. Results without recorded values are
+// rejected — legitimacy of a stabilizing run lives in the registers.
+func ProperRing(g graph.Graph, r sim.Result) error {
+	if r.Values == nil {
+		return fmt.Errorf("no register values recorded (stabilizing runs need sim.Result.Values)")
+	}
+	for i := 0; i < g.N(); i++ {
+		for _, q := range g.Neighbors(i) {
+			if i < q && r.Values[i] >= 0 && r.Values[i] == r.Values[q] {
+				return fmt.Errorf("edge (%d,%d) conflicts: both color %d", i, q, r.Values[i])
+			}
+		}
+	}
+	return nil
+}
+
+// PaletteRange checks the recorded colors lie in [0, K) — trivially true
+// for the rule's own moves, and part of the legitimacy definition.
+func PaletteRange(g graph.Graph, r sim.Result) error {
+	if r.Values == nil {
+		return fmt.Errorf("no register values recorded (stabilizing runs need sim.Result.Values)")
+	}
+	for i, v := range r.Values {
+		if v < 0 || v >= K {
+			return fmt.Errorf("process %d publishes color %d outside [0,%d)", i, v, K)
+		}
+	}
+	return nil
+}
+
+// ConvergenceBound returns a number of fair round-robin activations after
+// which any crash-free execution from any initial state must have reached
+// a proper coloring — the fuzzer's convergence oracle. A conflict wave
+// advances at most one edge per full round-robin pass and dies within a
+// bounded number of root passages, giving O(n) passes of n activations
+// each; the constant carries ≥ 2× slack over the worst convergence times
+// observed by the package's exhaustive (n ≤ 8) and sampled (n ≤ 14)
+// measurements. Convergence assumes no crashes: a crashed process frozen
+// in conflict with its predecessor stalls the wave forever, which is why
+// stabilization oracles only run on crash-free executions.
+func ConvergenceBound(n int) int { return n * (4*n + 16) }

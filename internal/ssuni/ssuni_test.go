@@ -1,0 +1,148 @@
+package ssuni
+
+import (
+	"strings"
+	"testing"
+
+	"asynccycle/internal/graph"
+	"asynccycle/internal/model"
+	"asynccycle/internal/sim"
+)
+
+// allStates enumerates [0,K)^n.
+func allStates(n int) [][]int {
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= K
+	}
+	out := make([][]int, 0, total)
+	for s := 0; s < total; s++ {
+		colors := make([]int, n)
+		v := s
+		for i := range colors {
+			colors[i] = v % K
+			v /= K
+		}
+		out = append(out, colors)
+	}
+	return out
+}
+
+// TestStabilizationExhaustive is the E24 certificate: closure and
+// convergence from ALL 3^n initial states on C4 and C5, over the full
+// reachable schedule space (all activation subsets, interleaved mode).
+func TestStabilizationExhaustive(t *testing.T) {
+	for _, n := range []int{3, 4, 5} {
+		states := 0
+		for _, colors := range allStates(n) {
+			e, err := NewEngine(colors)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sr := model.CheckStabilization(e, model.Options{}, Legal)
+			if !sr.OK() {
+				t.Fatalf("n=%d initial %v: %s\nclosure=%v livelock=%q",
+					n, colors, sr, sr.ClosureViolations, sr.LivelockWitness)
+			}
+			states += sr.Explore.States
+		}
+		t.Logf("n=%d: all %d initial states certified (%d states explored)", n, len(allStates(n)), states)
+	}
+}
+
+// TestUniformRuleLivelocks pins the root's role and the checker's teeth:
+// the anonymous rule (every process +1, no root) admits a fair conflict
+// wave that circulates C4 forever, and CheckStabilization finds it.
+func TestUniformRuleLivelocks(t *testing.T) {
+	colors := []int{2, 0, 1, 2}
+	g, err := graph.Cycle(len(colors))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]sim.Node[int], len(colors))
+	for i, c := range colors {
+		nodes[i] = &Node{k: K, root: false, c: c}
+	}
+	e, err := sim.NewEngine(g, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SeedRegisters(colors); err != nil {
+		t.Fatal(err)
+	}
+	sr := model.CheckStabilization(e, model.Options{}, Legal)
+	if sr.Converges() {
+		t.Fatal("anonymous uniform rule must admit a fair livelock on C4")
+	}
+	if !strings.Contains(sr.LivelockWitness, "fair livelock") {
+		t.Fatalf("witness = %q", sr.LivelockWitness)
+	}
+	if !sr.Closed() {
+		t.Errorf("closure must hold even for the livelocking rule: %v", sr.ClosureViolations)
+	}
+}
+
+// TestClosureIsFixpoint: legitimate configurations are fixpoints — no
+// process is enabled, so any activation leaves the state unchanged.
+func TestClosureIsFixpoint(t *testing.T) {
+	colors := []int{0, 1, 2, 0, 1, 2}
+	e, err := NewEngine(colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Legal(e); err != nil {
+		t.Fatalf("seeded proper coloring must be legal: %v", err)
+	}
+	before := e.Fingerprint()
+	for i := 0; i < e.N(); i++ {
+		e.Step([]int{i})
+	}
+	e.Step([]int{0, 1, 2, 3, 4, 5})
+	if e.Fingerprint() != before {
+		t.Fatal("legal configuration must be a fixpoint")
+	}
+}
+
+// TestConvergenceBoundHolds: fair round-robin reaches legality within
+// ConvergenceBound from every initial state (exhaustive to n=7).
+func TestConvergenceBoundHolds(t *testing.T) {
+	for n := 3; n <= 7; n++ {
+		for _, colors := range allStates(n) {
+			a := runRR(t, colors, ConvergenceBound(n))
+			if a < 0 {
+				t.Fatalf("n=%d initial %v exceeded ConvergenceBound=%d", n, colors, ConvergenceBound(n))
+			}
+		}
+	}
+}
+
+// TestResultSurface: results carry the published colors and the contract
+// predicates read them.
+func TestResultSurface(t *testing.T) {
+	colors := []int{1, 1, 1, 1}
+	e, err := NewEngine(colors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := e.Graph()
+	r := e.Result()
+	if len(r.Values) != 4 {
+		t.Fatalf("Values = %v, want the 4 seeded colors", r.Values)
+	}
+	if err := ProperRing(g, r); err == nil {
+		t.Fatal("monochromatic ring must violate ProperRing")
+	}
+	if err := PaletteRange(g, r); err != nil {
+		t.Fatalf("seeded colors are in palette: %v", err)
+	}
+	if err := ProperRing(g, sim.Result{}); err == nil {
+		t.Fatal("a Result without Values must be rejected")
+	}
+	// Colors normalizes arbitrary ids, including negatives.
+	got := Colors([]int{-1, 7, 3})
+	for i, want := range []int{2, 1, 0} {
+		if got[i] != want {
+			t.Fatalf("Colors = %v", got)
+		}
+	}
+}
